@@ -1,0 +1,112 @@
+//===- bench/bench_cm5_retarget.cpp - E8: the CM/5 retarget -----------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Section 5.3.1: "The CM/5 NIR compiler retains the majority of its
+/// structure and, therefore, its specification from the CM/2 version ...
+/// Most importantly, the new compiler can still take advantage of the
+/// machine-independent blocking and vectorizing NIR transformations
+/// defined in the front end."
+///
+/// The harness compiles the identical SWE NIR program under the CM/2 and
+/// CM/5 machine descriptions — the *same* compiler specification, with
+/// only the node model swapped — and reports the three-way split of the
+/// compiled program (control processor / node scalar / vector unit work)
+/// plus sustained GFLOPS on both machines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+struct MachineRun {
+  std::string Name;
+  size_t Routines = 0;
+  unsigned ScalarArgs = 0;
+  double GFlops = 0;
+  runtime::CycleLedger Ledger;
+};
+
+MachineRun runOn(const std::string &Name, const cm2::CostModel &Machine,
+                 const std::string &Src, uint64_t Flops) {
+  CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, Machine);
+  Compilation C(Opts);
+  if (!C.compile(Src)) {
+    std::fprintf(stderr, "compile failed (%s)\n%s", Name.c_str(),
+                 C.diags().str().c_str());
+    std::exit(1);
+  }
+  Execution Exec(Opts.Costs);
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  if (!Report) {
+    std::fprintf(stderr, "run failed (%s)\n%s", Name.c_str(),
+                 Exec.diags().str().c_str());
+    std::exit(1);
+  }
+  MachineRun R;
+  R.Name = Name;
+  R.Routines = C.artifacts().Compiled.Program.Routines.size();
+  for (const peac::Routine &Rt : C.artifacts().Compiled.Program.Routines)
+    R.ScalarArgs += Rt.NumScalarArgs;
+  R.GFlops = Report->gflopsFor(Flops);
+  R.Ledger = Report->Ledger;
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int64_t N = argc > 1 ? std::atoll(argv[1]) : 512;
+  std::string Src = sweSource(N, 3);
+
+  // Reference flops.
+  CompileOptions Ref = CompileOptions::forProfile(Profile::F90Y);
+  Compilation C(Ref);
+  if (!C.compile(Src))
+    return 1;
+  DiagnosticEngine Diags;
+  interp::Interpreter Interp(Diags);
+  if (!Interp.run(C.artifacts().RawNIR))
+    return 1;
+  uint64_t Flops = Interp.flopCount();
+
+  std::printf("E8: retargeting the specification - CM/2 vs CM/5 node "
+              "models\n(SWE %lldx%lld, identical NIR program and "
+              "transformations)\n\n",
+              static_cast<long long>(N), static_cast<long long>(N));
+
+  cm2::CostModel Cm2;
+  cm2::CostModel Cm5 = cm2::CostModel::cm5();
+  MachineRun A = runOn("CM/2 (2048 slicewise PEs)", Cm2, Src, Flops);
+  MachineRun B = runOn("CM/5 (1024 vector nodes)", Cm5, Src, Flops);
+
+  std::printf("  %-28s %14s %14s\n", "", "CM/2", "CM/5");
+  std::printf("  %-28s %14zu %14zu\n", "vector-unit routines", A.Routines,
+              B.Routines);
+  std::printf("  %-28s %14u %14u\n", "node-scalar (SPARC) args",
+              A.ScalarArgs, B.ScalarArgs);
+  std::printf("  %-28s %14.2f %14.2f\n", "sustained GFLOPS", A.GFlops,
+              B.GFlops);
+  std::printf("  %-28s %13.1f%% %13.1f%%\n", "node (vector) share",
+              100.0 * A.Ledger.NodeCycles / A.Ledger.total(),
+              100.0 * B.Ledger.NodeCycles / B.Ledger.total());
+  std::printf("  %-28s %13.1f%% %13.1f%%\n", "communication share",
+              100.0 * A.Ledger.CommCycles / A.Ledger.total(),
+              100.0 * B.Ledger.CommCycles / B.Ledger.total());
+  std::printf("\n(The retarget reuses every phase of the specification; "
+              "only the machine\ndescription changed. The CM/5's faster "
+              "nodes shift the bottleneck toward\ncommunication, the "
+              "pressure Section 2.3 predicts.)\n");
+  return 0;
+}

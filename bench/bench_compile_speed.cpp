@@ -1,0 +1,101 @@
+//===- bench/bench_compile_speed.cpp - compiler throughput microbenchmarks --===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side microbenchmarks (google-benchmark) of the prototype
+/// compiler's own phases — the "rapid prototyping" side of the paper's
+/// claims. Measures wall time of lexing+parsing, lowering, the NIR
+/// transformation stage, and the full compile of the SWE benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "lower/Lowering.h"
+#include "transform/Transforms.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+const std::string &sweSrc() {
+  static const std::string Src = sweSource(64, 2);
+  return Src;
+}
+
+void BM_LexAndParse(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    frontend::ast::ASTContext ACtx;
+    frontend::Lexer Lexer(sweSrc(), Diags);
+    frontend::Parser Parser(Lexer.lexAll(), ACtx, Diags);
+    auto Unit = Parser.parseProgram();
+    benchmark::DoNotOptimize(Unit);
+  }
+}
+BENCHMARK(BM_LexAndParse);
+
+void BM_SemanticLowering(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  frontend::ast::ASTContext ACtx;
+  frontend::Lexer Lexer(sweSrc(), Diags);
+  frontend::Parser Parser(Lexer.lexAll(), ACtx, Diags);
+  auto Unit = Parser.parseProgram();
+  for (auto _ : State) {
+    nir::NIRContext NCtx;
+    DiagnosticEngine D2;
+    auto Lowered = lower::lowerProgram(*Unit, NCtx, D2);
+    benchmark::DoNotOptimize(Lowered);
+  }
+}
+BENCHMARK(BM_SemanticLowering);
+
+void BM_NIRTransformations(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  frontend::ast::ASTContext ACtx;
+  nir::NIRContext NCtx;
+  frontend::Lexer Lexer(sweSrc(), Diags);
+  frontend::Parser Parser(Lexer.lexAll(), ACtx, Diags);
+  auto Unit = Parser.parseProgram();
+  auto Lowered = lower::lowerProgram(*Unit, NCtx, Diags);
+  for (auto _ : State) {
+    DiagnosticEngine D2;
+    const auto *Opt = transform::optimize(Lowered->Program, NCtx, D2);
+    benchmark::DoNotOptimize(Opt);
+  }
+}
+BENCHMARK(BM_NIRTransformations);
+
+void BM_FullCompile(benchmark::State &State) {
+  for (auto _ : State) {
+    Compilation C(CompileOptions::forProfile(Profile::F90Y));
+    bool OK = C.compile(sweSrc());
+    benchmark::DoNotOptimize(OK);
+  }
+}
+BENCHMARK(BM_FullCompile);
+
+void BM_PECompileOnly(benchmark::State &State) {
+  // Isolate back-end node-compiler time: full compile minus reuse of the
+  // front half is hard to carve out exactly, so compile the Figure 12
+  // single-statement program (back-end dominated).
+  const std::string Src = figure12Source(64);
+  for (auto _ : State) {
+    Compilation C(CompileOptions::forProfile(Profile::F90Y));
+    bool OK = C.compile(Src);
+    benchmark::DoNotOptimize(OK);
+  }
+}
+BENCHMARK(BM_PECompileOnly);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+//===- bench/bench_swe_gflops.cpp - E1: the Section 6 performance table -----===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Section 6 performance comparison on the SWE
+/// benchmark:
+///
+///   "A hand-coded *Lisp version of SWE running under fieldwise mode
+///    peaked at 1.89 gigaflops. The slicewise CM Fortran compiler (v1.1)
+///    reached an extrapolated 2.79 gigaflops. The prototype Fortran-90-Y
+///    compiler ... attained a competitive untuned peak rate of 2.99
+///    gigaflops."
+///
+/// Also prints the per-pass ablation rows (blocking / chaining / dual
+/// issue / madd / spill scheduling toggled off one at a time).
+///
+/// Usage: bench_swe_gflops [N] [steps]   (default 512 6)
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Fieldwise.h"
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  double GFlops = 0;
+  double PaperGFlops = 0;
+  runtime::CycleLedger Ledger;
+};
+
+uint64_t referenceFlops(const std::string &Src) {
+  CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y);
+  Compilation C(Opts);
+  if (!C.compile(Src)) {
+    std::fprintf(stderr, "compile failed:\n%s", C.diags().str().c_str());
+    std::exit(1);
+  }
+  DiagnosticEngine Diags;
+  interp::Interpreter Interp(Diags);
+  if (!Interp.run(C.artifacts().RawNIR)) {
+    std::fprintf(stderr, "reference run failed:\n%s",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  return Interp.flopCount();
+}
+
+Row runProfile(const std::string &Name, const std::string &Src,
+               const CompileOptions &Opts, uint64_t Flops, double Paper,
+               bool OverlapComm = false) {
+  Compilation C(Opts);
+  if (!C.compile(Src)) {
+    std::fprintf(stderr, "compile failed (%s):\n%s", Name.c_str(),
+                 C.diags().str().c_str());
+    std::exit(1);
+  }
+  Execution Exec(Opts.Costs);
+  Exec.executor().setOverlapCommCompute(OverlapComm);
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  if (!Report) {
+    std::fprintf(stderr, "run failed (%s):\n%s", Name.c_str(),
+                 Exec.diags().str().c_str());
+    std::exit(1);
+  }
+  Row R;
+  R.Name = Name;
+  R.GFlops = Report->gflopsFor(Flops);
+  R.PaperGFlops = Paper;
+  R.Ledger = Report->Ledger;
+  return R;
+}
+
+void printRow(const Row &R) {
+  double Total = R.Ledger.total();
+  auto Pct = [&](double C) { return Total > 0 ? 100.0 * C / Total : 0.0; };
+  std::printf("  %-28s %8.2f", R.Name.c_str(), R.GFlops);
+  if (R.PaperGFlops > 0)
+    std::printf(" %8.2f", R.PaperGFlops);
+  else
+    std::printf("        -");
+  if (Total > 0)
+    std::printf("   (node %4.1f%%, call %4.1f%%, comm %4.1f%%, host %4.1f%%)",
+                Pct(R.Ledger.NodeCycles), Pct(R.Ledger.CallCycles),
+                Pct(R.Ledger.CommCycles), Pct(R.Ledger.HostCycles));
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int64_t N = argc > 1 ? std::atoll(argv[1]) : 512;
+  int64_t Steps = argc > 2 ? std::atoll(argv[2]) : 6;
+  std::string Src = sweSource(N, Steps);
+  cm2::CostModel Machine; // Full 2048-PE slicewise CM-2 at 7 MHz.
+
+  std::printf("E1: SWE sustained GFLOPS (paper Section 6)\n");
+  std::printf("grid %lldx%lld, %lld timesteps, %u PEs at %.1f MHz\n\n",
+              static_cast<long long>(N), static_cast<long long>(N),
+              static_cast<long long>(Steps), Machine.NumPEs,
+              Machine.ClockMHz);
+
+  uint64_t Flops = referenceFlops(Src);
+  std::printf("useful flops (reference interpreter): %llu\n\n",
+              static_cast<unsigned long long>(Flops));
+
+  std::printf("  %-28s %8s %8s\n", "configuration", "GFLOPS", "paper");
+
+  // The *Lisp fieldwise baseline.
+  {
+    CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, Machine);
+    Compilation C(Opts);
+    if (!C.compile(Src))
+      return 1;
+    DiagnosticEngine Diags;
+    baselines::FieldwiseReport FW =
+        baselines::runFieldwise(C.artifacts().RawNIR, Machine, Diags);
+    Row R;
+    R.Name = "*Lisp (fieldwise)";
+    R.GFlops = FW.gflops(Machine);
+    R.PaperGFlops = 1.89;
+    printRow(R);
+  }
+
+  printRow(runProfile("CM Fortran v1.1 (slicewise)", Src,
+                      CompileOptions::forProfile(Profile::CMFStyle, Machine),
+                      Flops, 2.79));
+  printRow(runProfile("Fortran-90-Y", Src,
+                      CompileOptions::forProfile(Profile::F90Y, Machine),
+                      Flops, 2.99));
+
+  std::printf("\nablation (one optimization off at a time):\n");
+  printRow(runProfile("F90-Y / naive node code", Src,
+                      CompileOptions::forProfile(Profile::Naive, Machine),
+                      Flops, 0));
+  {
+    CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
+    O.Transforms.Blocking = false;
+    printRow(runProfile("F90-Y - blocking", Src, O, Flops, 0));
+  }
+  {
+    CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
+    O.Backend.PE.Chaining = false;
+    printRow(runProfile("F90-Y - chaining", Src, O, Flops, 0));
+  }
+  {
+    CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
+    O.Backend.PE.DualIssue = false;
+    printRow(runProfile("F90-Y - dual issue", Src, O, Flops, 0));
+  }
+  {
+    CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
+    O.Backend.PE.MaddFusion = false;
+    printRow(runProfile("F90-Y - multiply-add", Src, O, Flops, 0));
+  }
+  {
+    CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
+    O.Backend.PE.CSE = false;
+    printRow(runProfile("F90-Y - CSE", Src, O, Flops, 0));
+  }
+
+  std::printf("\nextension (paper Section 5.3.2, \"pipeline communication "
+              "and computation\"):\n");
+  printRow(runProfile("F90-Y + comm overlap", Src,
+                      CompileOptions::forProfile(Profile::F90Y, Machine),
+                      Flops, 0, /*OverlapComm=*/true));
+  return 0;
+}

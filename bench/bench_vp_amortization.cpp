@@ -1,0 +1,100 @@
+//===- bench/bench_vp_amortization.cpp - E5: call-overhead amortization -----===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6 explanation of Fortran-90-Y's performance:
+/// "the PEAC subroutine calling time and the overhead of receiving
+/// pointers and data from the front-end FIFO is amortized over more
+/// floating point computations, in longer virtual subgrid loops."
+///
+/// This sweep varies the grid size (hence the VP ratio = subgrid length
+/// per PE) and reports sustained GFLOPS for blocked vs per-statement
+/// compilation, plus the call-overhead share. Blocking matters most at
+/// small VP ratios; both converge toward the compute/comm bound as VP
+/// grows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+struct Sample {
+  double GFlops = 0;
+  double CallShare = 0;
+};
+
+Sample measure(const std::string &Src, Profile P,
+               const cm2::CostModel &Machine, uint64_t Flops) {
+  CompileOptions Opts = CompileOptions::forProfile(P, Machine);
+  Compilation C(Opts);
+  if (!C.compile(Src)) {
+    std::fprintf(stderr, "compile failed\n%s", C.diags().str().c_str());
+    std::exit(1);
+  }
+  Execution Exec(Opts.Costs);
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  if (!Report) {
+    std::fprintf(stderr, "run failed\n%s", Exec.diags().str().c_str());
+    std::exit(1);
+  }
+  Sample S;
+  S.GFlops = Report->gflopsFor(Flops);
+  S.CallShare = 100.0 * Report->Ledger.CallCycles / Report->Ledger.total();
+  return S;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E5: VP-ratio sweep - PEAC call overhead amortization "
+              "(SWE, 2048 PEs)\n\n");
+  std::printf("  %6s %6s | %21s | %21s | %7s\n", "grid", "VP",
+              "blocked (F90-Y)", "per-stmt (CMF-style)", "gain");
+  std::printf("  %6s %6s | %10s %10s | %10s %10s |\n", "", "", "GFLOPS",
+              "call%", "GFLOPS", "call%");
+
+  for (int64_t N : {64, 128, 256, 512, 1024}) {
+    cm2::CostModel Machine;
+    std::string Src = sweSource(N, 2);
+
+    // Reference flop count.
+    CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, Machine);
+    Compilation C(Opts);
+    if (!C.compile(Src))
+      return 1;
+    DiagnosticEngine Diags;
+    interp::Interpreter Interp(Diags);
+    if (!Interp.run(C.artifacts().RawNIR))
+      return 1;
+    uint64_t Flops = Interp.flopCount();
+
+    int64_t VP = N * N / Machine.NumPEs;
+    if (VP < 1)
+      VP = 1;
+    Sample B = measure(Src, Profile::F90Y, Machine, Flops);
+    Sample P = measure(Src, Profile::CMFStyle, Machine, Flops);
+    std::printf("  %6lld %6lld | %10.2f %9.1f%% | %10.2f %9.1f%% | %6.2fx\n",
+                static_cast<long long>(N), static_cast<long long>(VP),
+                B.GFlops, B.CallShare, P.GFlops, P.CallShare,
+                B.GFlops / P.GFlops);
+  }
+  std::printf("\n(Two effects, both from the paper's Section 6: the FIFO "
+              "call overhead is\namortized over longer virtual subgrid "
+              "loops - the call%% column falls with\nVP - while blocking's "
+              "cross-statement register reuse keeps paying at every\n"
+              "VP ratio, so the blocked compiler stays ahead even when "
+              "calls are cheap.)\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+! Paper Figure 10: blocking with parallel masked assignment.
+! Try:  f90yc -emit-blocked examples/programs/fig10.f90
+!       f90yc -emit-peac    examples/programs/fig10.f90
+program fig10
+integer, array(32,32) :: a, b
+integer, dimension(32) :: c
+integer n
+n = 7
+a = n
+b(1:32:2,:) = a(1:32:2,:)
+c = n+1
+b(2:32:2,:) = 5*a(2:32:2,:)
+print *, 'b(1,1) b(2,1):', b(1,1), b(2,1)
+end

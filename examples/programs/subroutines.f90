@@ -1,0 +1,20 @@
+! SUBROUTINE units integrate into a single imperative action (paper 4.1).
+! Run:  f90yc -stats examples/programs/subroutines.f90
+subroutine smooth(src, dst)
+real src(48,48), dst(48,48)
+dst = 0.25*(cshift(src,1,1) + cshift(src,-1,1) &
+          + cshift(src,1,2) + cshift(src,-1,2))
+end subroutine smooth
+
+program relax
+real a(48,48), b(48,48)
+real e
+integer i, j, t
+forall (i=1:48, j=1:48) a(i,j) = real(mod(i*j, 13))
+do t = 1, 3
+  call smooth(a, b)
+  call smooth(b, a)
+end do
+e = sum(a*a)
+print *, 'energy:', e
+end program relax

@@ -1,0 +1,62 @@
+! The shallow-water equations benchmark (paper Section 6), reduced grid.
+! Compile and run:  f90yc -stats examples/programs/swe.f90
+program swe
+integer, parameter :: n = 64
+integer, parameter :: nsteps = 4
+real u(n,n), v(n,n), p(n,n)
+real unew(n,n), vnew(n,n), pnew(n,n)
+real uold(n,n), vold(n,n), pold(n,n)
+real cu(n,n), cv(n,n), z(n,n), h(n,n)
+real dt, dx, dy, fsdx, fsdy, tdts8, tdtsdx, tdtsdy
+real pi, tpi, di, dj
+integer i, j, t
+
+dt = 90.0
+dx = 100000.0
+dy = 100000.0
+fsdx = 4.0/dx
+fsdy = 4.0/dy
+pi = 3.1415926535
+tpi = pi + pi
+di = tpi/real(n)
+dj = tpi/real(n)
+
+forall (i=1:n, j=1:n) p(i,j) = 50000.0 &
+    + 5000.0*(sin(real(i)*di)*cos(real(j)*dj))
+forall (i=1:n, j=1:n) u(i,j) = 10.0*sin(real(i)*di)
+forall (i=1:n, j=1:n) v(i,j) = 10.0*cos(real(j)*dj)
+
+uold = u
+vold = v
+pold = p
+tdts8 = dt/8.0
+tdtsdx = dt/dx
+tdtsdy = dt/dy
+
+do t = 1, nsteps
+  cu = 0.5*(p + cshift(p, -1, 1))*u
+  cv = 0.5*(p + cshift(p, -1, 2))*v
+  z = (fsdx*(v - cshift(v, -1, 1)) - fsdy*(u - cshift(u, -1, 2))) &
+    / (p + cshift(p, -1, 1) + cshift(p, -1, 2) &
+     + cshift(cshift(p, -1, 1), -1, 2))
+  h = p + 0.25*(u*u + cshift(u, 1, 1)*cshift(u, 1, 1) &
+              + v*v + cshift(v, 1, 2)*cshift(v, 1, 2))
+  unew = uold + tdts8*(z + cshift(z, 1, 2)) &
+         *(cv + cshift(cv, -1, 1) + cshift(cv, 1, 2) &
+         + cshift(cshift(cv, -1, 1), 1, 2)) &
+       - tdtsdx*(h - cshift(h, -1, 1))
+  vnew = vold - tdts8*(z + cshift(z, 1, 1)) &
+         *(cu + cshift(cu, -1, 2) + cshift(cu, 1, 1) &
+         + cshift(cshift(cu, -1, 2), 1, 1)) &
+       - tdtsdy*(h - cshift(h, -1, 2))
+  pnew = pold - tdtsdx*(cshift(cu, 1, 1) - cu) &
+              - tdtsdy*(cshift(cv, 1, 2) - cv)
+  uold = u
+  vold = v
+  pold = p
+  u = unew
+  v = vnew
+  p = pnew
+end do
+print *, 'mean p:', sum(p)/real(n*n)
+end program swe

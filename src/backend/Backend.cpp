@@ -1,0 +1,496 @@
+//===- backend/Backend.cpp - CM2/NIR compiler (host/node partitioner) -------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Backend.h"
+
+#include "lower/Lowering.h"
+#include "nir/Printer.h"
+#include "transform/Phases.h"
+
+using namespace f90y;
+using namespace f90y::backend;
+using namespace f90y::host;
+namespace N = f90y::nir;
+
+std::string CompiledProgram::peacListing() const {
+  std::string Out;
+  for (const peac::Routine &R : Program.Routines) {
+    Out += R.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+class FECompiler {
+public:
+  FECompiler(const BackendOptions &Opts, DiagnosticEngine &Diags)
+      : Opts(Opts), Diags(Diags) {}
+
+  std::optional<CompiledProgram> run(const N::ProgramImp *Program) {
+    CompiledProgram Out;
+    Out.Program.Name = Program->getName();
+    Routines = &Out.Program.Routines;
+    std::unique_ptr<HostStmt> Body = compileImp(Program->getBody());
+    if (Failed)
+      return std::nullopt;
+    Out.Program.Body = Body ? std::move(Body)
+                            : std::make_unique<SeqStmt>(
+                                  std::vector<std::unique_ptr<HostStmt>>{});
+    return Out;
+  }
+
+private:
+  const BackendOptions &Opts;
+  DiagnosticEngine &Diags;
+  std::vector<peac::Routine> *Routines = nullptr;
+  N::DomainEnv Domains;
+  N::ElemTypeInference Types;
+  bool SawTopScope = false;
+  bool Failed = false;
+
+  void error(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(SourceLocation(), Msg);
+    Failed = true;
+  }
+
+  static runtime::ElemKind elemKindOfType(const N::Type *T) {
+    switch (T->getKind()) {
+    case N::Type::Kind::Integer32:
+      return runtime::ElemKind::Int;
+    case N::Type::Kind::Logical32:
+      return runtime::ElemKind::Bool;
+    default:
+      return runtime::ElemKind::Real;
+    }
+  }
+
+  /// Sizes and lower bounds of a shape, resolved through the domain
+  /// environment.
+  bool shapeGeometry(const N::Shape *S, std::vector<int64_t> &Sizes,
+                     std::vector<int64_t> &Los,
+                     std::vector<bool> *Serial = nullptr) {
+    std::vector<N::ShapeExtent> Exts;
+    if (!N::shapeExtents(S, Domains, Exts))
+      return false;
+    Sizes.clear();
+    Los.clear();
+    for (const N::ShapeExtent &E : Exts) {
+      Sizes.push_back(E.size());
+      Los.push_back(E.Lo);
+      if (Serial)
+        Serial->push_back(E.Serial);
+    }
+    return true;
+  }
+
+  /// Geometry (sizes, los) of the array named \p Id, from its declared
+  /// dfield type.
+  bool arrayGeometry(const std::string &Id, std::vector<int64_t> &Sizes,
+                     std::vector<int64_t> &Los) {
+    const auto *FT = dyn_cast_or_null<N::DFieldType>(Types.lookup(Id));
+    if (!FT)
+      return false;
+    return shapeGeometry(FT->getShape(), Sizes, Los);
+  }
+
+  std::unique_ptr<HostStmt> seqOf(std::vector<std::unique_ptr<HostStmt>> V) {
+    if (V.size() == 1)
+      return std::move(V[0]);
+    return std::make_unique<SeqStmt>(std::move(V));
+  }
+
+  std::unique_ptr<HostStmt> compileImp(const N::Imp *I);
+  std::unique_ptr<HostStmt> compileMove(const N::MoveImp *M);
+  std::unique_ptr<HostStmt> compileComputationMove(const N::MoveImp *M);
+  std::unique_ptr<HostStmt> compileCommClause(const N::MoveClause &C);
+  std::unique_ptr<HostStmt> compileHostClause(const N::MoveClause &C);
+
+  /// Expands a field action into zero-based SectionDims over the array's
+  /// declared geometry.
+  bool expandSection(const std::string &Id, const N::FieldAction *F,
+                     std::vector<runtime::CmRuntime::SectionDim> &Out) {
+    std::vector<int64_t> Sizes, Los;
+    if (!arrayGeometry(Id, Sizes, Los))
+      return false;
+    Out.clear();
+    if (isa<N::EverywhereAction>(F)) {
+      for (size_t D = 0; D < Sizes.size(); ++D)
+        Out.push_back({0, 1, Sizes[D]});
+      return true;
+    }
+    const auto *Sec = dyn_cast<N::SectionAction>(F);
+    if (!Sec)
+      return false;
+    for (size_t D = 0; D < Sec->getTriplets().size(); ++D) {
+      const N::SectionTriplet &T = Sec->getTriplets()[D];
+      if (T.All) {
+        Out.push_back({0, 1, Sizes[D]});
+        continue;
+      }
+      int64_t Lo = Los[D], Hi = Los[D] + Sizes[D] - 1;
+      Out.push_back({T.Lo - Lo, T.Stride, T.count(Lo, Hi)});
+    }
+    return true;
+  }
+};
+
+std::unique_ptr<HostStmt>
+FECompiler::compileComputationMove(const N::MoveImp *M) {
+  std::string Domain = transform::computationDomainOf(M, Types);
+  if (Domain.empty()) {
+    error("cannot determine the domain of a computation phase");
+    return nullptr;
+  }
+  const N::Shape *S = Domains.lookup(Domain);
+  std::vector<int64_t> Sizes, Los;
+  std::vector<bool> Serial;
+  if (!S || !shapeGeometry(S, Sizes, Los, &Serial)) {
+    error("cannot resolve the shape of domain '" + Domain + "'");
+    return nullptr;
+  }
+  for (bool B : Serial)
+    if (B) {
+      error("computation phase over a serial domain");
+      return nullptr;
+    }
+
+  unsigned Index = static_cast<unsigned>(Routines->size());
+  std::optional<PEResult> PE =
+      backend::compileComputation(M, Domain, Types, Opts.PE, Index, Diags);
+  if (!PE) {
+    Failed = true;
+    return nullptr;
+  }
+  Routines->push_back(std::move(PE->Routine));
+  return std::make_unique<CallPeacStmt>(Index, std::move(PE->Args),
+                                        std::move(Sizes), std::move(Los));
+}
+
+std::unique_ptr<HostStmt>
+FECompiler::compileCommClause(const N::MoveClause &C) {
+  const auto *GuardConst = dyn_cast_or_null<N::ScalarConstValue>(C.Guard);
+  bool Unguarded = !C.Guard || (GuardConst && GuardConst->isBool() &&
+                                GuardConst->getBool());
+  if (!Unguarded) {
+    error("masked communication is not supported by the CM runtime model");
+    return nullptr;
+  }
+
+  // Reduction: dst SVar, src FCNCALL(red, [AVAR everywhere]).
+  if (const auto *SV = dyn_cast<N::SVarValue>(C.Dst)) {
+    const auto *F = dyn_cast<N::FcnCallValue>(C.Src);
+    const auto *Arg =
+        F && !F->getArgs().empty()
+            ? dyn_cast<N::AVarValue>(F->getArgs()[0])
+            : nullptr;
+    if (!F || !lower::isReductionIntrinsic(F->getCallee()) || !Arg ||
+        !isa<N::EverywhereAction>(Arg->getAction())) {
+      error("unsupported scalar communication pattern: " +
+            N::printValue(C.Src));
+      return nullptr;
+    }
+    runtime::ReduceOp Op;
+    const std::string &Name = F->getCallee();
+    if (Name == "sum")
+      Op = runtime::ReduceOp::Sum;
+    else if (Name == "product")
+      Op = runtime::ReduceOp::Product;
+    else if (Name == "maxval")
+      Op = runtime::ReduceOp::Max;
+    else if (Name == "minval")
+      Op = runtime::ReduceOp::Min;
+    else if (Name == "count")
+      Op = runtime::ReduceOp::Count;
+    else if (Name == "any")
+      Op = runtime::ReduceOp::Any;
+    else
+      Op = runtime::ReduceOp::All;
+    return std::make_unique<ReduceStmt>(SV->getId(), Op, Arg->getId());
+  }
+
+  const auto *DstAV = dyn_cast<N::AVarValue>(C.Dst);
+  if (!DstAV) {
+    error("unsupported communication destination");
+    return nullptr;
+  }
+
+  // Shift: dst everywhere, src FCNCALL(cshift|eoshift, [AVAR, s, d]);
+  // or a partial reduction FCNCALL(red, [AVAR, dim]).
+  if (const auto *F = dyn_cast<N::FcnCallValue>(C.Src)) {
+    if (lower::isReductionIntrinsic(F->getCallee()) &&
+        F->getArgs().size() == 2) {
+      const auto *Arg = dyn_cast<N::AVarValue>(F->getArgs()[0]);
+      const auto *Dm = dyn_cast<N::ScalarConstValue>(F->getArgs()[1]);
+      if (!Arg || !isa<N::EverywhereAction>(Arg->getAction()) || !Dm ||
+          !isa<N::EverywhereAction>(DstAV->getAction())) {
+        error("unsupported partial-reduction pattern: " +
+              N::printValue(C.Src));
+        return nullptr;
+      }
+      runtime::ReduceOp Op;
+      const std::string &Name = F->getCallee();
+      if (Name == "sum")
+        Op = runtime::ReduceOp::Sum;
+      else if (Name == "product")
+        Op = runtime::ReduceOp::Product;
+      else if (Name == "maxval")
+        Op = runtime::ReduceOp::Max;
+      else if (Name == "minval")
+        Op = runtime::ReduceOp::Min;
+      else if (Name == "count")
+        Op = runtime::ReduceOp::Count;
+      else if (Name == "any")
+        Op = runtime::ReduceOp::Any;
+      else
+        Op = runtime::ReduceOp::All;
+      return std::make_unique<ReduceDimStmt>(
+          DstAV->getId(), Op, Arg->getId(),
+          static_cast<unsigned>(Dm->getInt()));
+    }
+    if (F->getCallee() == "cshift" || F->getCallee() == "eoshift") {
+      const auto *Arg = dyn_cast<N::AVarValue>(F->getArgs()[0]);
+      const auto *Sh = dyn_cast<N::ScalarConstValue>(F->getArgs()[1]);
+      const auto *Dm = dyn_cast<N::ScalarConstValue>(F->getArgs()[2]);
+      if (!Arg || !isa<N::EverywhereAction>(Arg->getAction()) || !Sh ||
+          !Dm || !isa<N::EverywhereAction>(DstAV->getAction())) {
+        error("unsupported shift pattern: " + N::printValue(C.Src));
+        return nullptr;
+      }
+      return std::make_unique<CShiftStmt>(
+          DstAV->getId(), Arg->getId(),
+          static_cast<unsigned>(Dm->getInt()), Sh->getInt(),
+          F->getCallee() == "eoshift");
+    }
+    if (F->getCallee() == "transpose") {
+      const auto *Arg = dyn_cast<N::AVarValue>(F->getArgs()[0]);
+      if (!Arg || !isa<N::EverywhereAction>(Arg->getAction()) ||
+          !isa<N::EverywhereAction>(DstAV->getAction())) {
+        error("unsupported transpose pattern");
+        return nullptr;
+      }
+      return std::make_unique<TransposeStmt>(DstAV->getId(), Arg->getId());
+    }
+    if (F->getCallee() == "spread") {
+      const auto *Arg = dyn_cast<N::AVarValue>(F->getArgs()[0]);
+      const auto *Dm = dyn_cast<N::ScalarConstValue>(F->getArgs()[1]);
+      if (!Arg || !isa<N::EverywhereAction>(Arg->getAction()) || !Dm ||
+          !isa<N::EverywhereAction>(DstAV->getAction())) {
+        error("unsupported spread pattern");
+        return nullptr;
+      }
+      return std::make_unique<SpreadStmt>(
+          DstAV->getId(), Arg->getId(),
+          static_cast<unsigned>(Dm->getInt()));
+    }
+    error("unsupported communication primitive '" + F->getCallee() + "'");
+    return nullptr;
+  }
+
+  // Misaligned section copy: both sides bare AVARs.
+  if (const auto *SrcAV = dyn_cast<N::AVarValue>(C.Src)) {
+    std::vector<runtime::CmRuntime::SectionDim> DstSec, SrcSec;
+    if (!expandSection(DstAV->getId(), DstAV->getAction(), DstSec) ||
+        !expandSection(SrcAV->getId(), SrcAV->getAction(), SrcSec)) {
+      error("cannot expand section geometry");
+      return nullptr;
+    }
+    return std::make_unique<SectionCopyStmt>(DstAV->getId(), DstSec,
+                                             SrcAV->getId(), SrcSec);
+  }
+
+  error("misaligned-section expressions are not supported by this "
+        "prototype (only direct section-to-section copies); rewrite with "
+        "a temporary");
+  return nullptr;
+}
+
+std::unique_ptr<HostStmt>
+FECompiler::compileHostClause(const N::MoveClause &C) {
+  const N::Value *Guard = C.Guard;
+  if (const auto *GC = dyn_cast_or_null<N::ScalarConstValue>(Guard))
+    if (GC->isBool() && GC->getBool())
+      Guard = nullptr;
+  if (const auto *SV = dyn_cast<N::SVarValue>(C.Dst))
+    return std::make_unique<ScalarAssignStmt>(SV->getId(), C.Src, Guard);
+  const auto *AV = cast<N::AVarValue>(C.Dst);
+  const auto *Sub = cast<N::SubscriptAction>(AV->getAction());
+  return std::make_unique<ElementMoveStmt>(AV->getId(), Sub->getIndices(),
+                                           C.Src, Guard);
+}
+
+std::unique_ptr<HostStmt> FECompiler::compileMove(const N::MoveImp *M) {
+  switch (transform::classifyAction(M)) {
+  case transform::PhaseKind::Computation:
+    return compileComputationMove(M);
+  case transform::PhaseKind::Communication: {
+    std::vector<std::unique_ptr<HostStmt>> Stmts;
+    for (const N::MoveClause &C : M->getClauses()) {
+      auto S = compileCommClause(C);
+      if (!S)
+        return nullptr;
+      Stmts.push_back(std::move(S));
+    }
+    return seqOf(std::move(Stmts));
+  }
+  case transform::PhaseKind::HostScalar: {
+    std::vector<std::unique_ptr<HostStmt>> Stmts;
+    for (const N::MoveClause &C : M->getClauses())
+      Stmts.push_back(compileHostClause(C));
+    return seqOf(std::move(Stmts));
+  }
+  case transform::PhaseKind::Structured:
+    break;
+  }
+  error("unclassifiable MOVE reached the back end");
+  return nullptr;
+}
+
+std::unique_ptr<HostStmt> FECompiler::compileImp(const N::Imp *I) {
+  if (Failed)
+    return nullptr;
+  switch (I->getKind()) {
+  case N::Imp::Kind::Program:
+    return compileImp(cast<N::ProgramImp>(I)->getBody());
+  case N::Imp::Kind::Sequentially:
+  case N::Imp::Kind::Concurrently: {
+    const auto &Actions =
+        isa<N::SequentiallyImp>(I)
+            ? cast<N::SequentiallyImp>(I)->getActions()
+            : cast<N::ConcurrentlyImp>(I)->getActions();
+    std::vector<std::unique_ptr<HostStmt>> Stmts;
+    for (const N::Imp *A : Actions) {
+      auto S = compileImp(A);
+      if (Failed)
+        return nullptr;
+      if (S)
+        Stmts.push_back(std::move(S));
+    }
+    return seqOf(std::move(Stmts));
+  }
+  case N::Imp::Kind::Move:
+    return compileMove(cast<N::MoveImp>(I));
+  case N::Imp::Kind::IfThenElse: {
+    const auto *If = cast<N::IfThenElseImp>(I);
+    auto Then = compileImp(If->getThen());
+    auto Else = compileImp(If->getElse());
+    if (Failed)
+      return nullptr;
+    if (!Then)
+      Then = std::make_unique<SeqStmt>(
+          std::vector<std::unique_ptr<HostStmt>>{});
+    return std::make_unique<host::IfStmt>(If->getCond(), std::move(Then),
+                                          std::move(Else));
+  }
+  case N::Imp::Kind::While: {
+    const auto *W = cast<N::WhileImp>(I);
+    auto Body = compileImp(W->getBody());
+    if (Failed)
+      return nullptr;
+    if (!Body)
+      Body = std::make_unique<SeqStmt>(
+          std::vector<std::unique_ptr<HostStmt>>{});
+    return std::make_unique<host::WhileStmt>(W->getCond(), std::move(Body));
+  }
+  case N::Imp::Kind::WithDecl: {
+    const auto *WD = cast<N::WithDeclImp>(I);
+    Types.addDecl(WD->getDecl());
+    std::vector<AllocScopeStmt::FieldAlloc> Fields;
+    std::vector<AllocScopeStmt::ScalarAlloc> Scalars;
+    bool Bad = false;
+    forEachBinding(WD->getDecl(), [&](const std::string &Id,
+                                      const N::Type *Ty, const N::Value *) {
+      if (const auto *FT = dyn_cast<N::DFieldType>(Ty)) {
+        AllocScopeStmt::FieldAlloc F;
+        F.Name = Id;
+        if (!shapeGeometry(FT->getShape(), F.Extents, F.Los)) {
+          Bad = true;
+          return;
+        }
+        F.Kind = elemKindOfType(FT->getUltimateElementType());
+        Fields.push_back(std::move(F));
+        return;
+      }
+      Scalars.push_back({Id, elemKindOfType(Ty)});
+    });
+    if (Bad) {
+      error("cannot resolve an array shape at allocation");
+      return nullptr;
+    }
+    bool KeepAlive = !SawTopScope;
+    SawTopScope = true;
+    auto Body = compileImp(WD->getBody());
+    if (Failed)
+      return nullptr;
+    if (!Body)
+      Body = std::make_unique<SeqStmt>(
+          std::vector<std::unique_ptr<HostStmt>>{});
+    return std::make_unique<AllocScopeStmt>(std::move(Fields),
+                                            std::move(Scalars),
+                                            std::move(Body), KeepAlive);
+  }
+  case N::Imp::Kind::WithDomain: {
+    const auto *WD = cast<N::WithDomainImp>(I);
+    const N::Shape *Old = Domains.bind(WD->getName(), WD->getShape());
+    auto Body = compileImp(WD->getBody());
+    Domains.restore(WD->getName(), Old);
+    return Body;
+  }
+  case N::Imp::Kind::Skip:
+    return nullptr;
+  case N::Imp::Kind::Do: {
+    const auto *D = cast<N::DoImp>(I);
+    const auto *Ref = dyn_cast<N::DomainRefShape>(D->getIterSpace());
+    if (!Ref) {
+      error("DO over an anonymous shape (lowering always names loop "
+            "domains)");
+      return nullptr;
+    }
+    std::vector<int64_t> Sizes, Los;
+    std::vector<bool> Serial;
+    if (!shapeGeometry(D->getIterSpace(), Sizes, Los, &Serial)) {
+      error("cannot resolve a DO iteration space");
+      return nullptr;
+    }
+    std::vector<int64_t> His(Sizes.size());
+    bool AnySerial = false;
+    for (size_t K = 0; K < Sizes.size(); ++K) {
+      His[K] = Los[K] + Sizes[K] - 1;
+      AnySerial |= Serial[K];
+    }
+    auto Body = compileImp(D->getBody());
+    if (Failed)
+      return nullptr;
+    if (!Body)
+      Body = std::make_unique<SeqStmt>(
+          std::vector<std::unique_ptr<HostStmt>>{});
+    if (AnySerial)
+      return std::make_unique<SerialDoStmt>(Ref->getName(), Los, His,
+                                            std::move(Body));
+    return std::make_unique<ParallelLoopStmt>(Ref->getName(), Los, His,
+                                              std::move(Body));
+  }
+  case N::Imp::Kind::Call: {
+    const auto *C = cast<N::CallImp>(I);
+    if (C->getCallee() != "print") {
+      error("unknown runtime procedure '" + C->getCallee() + "'");
+      return nullptr;
+    }
+    return std::make_unique<host::PrintStmt>(C->getArgs());
+  }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+std::optional<CompiledProgram>
+backend::compileProgram(const N::ProgramImp *Program,
+                        const BackendOptions &Opts, DiagnosticEngine &Diags) {
+  return FECompiler(Opts, Diags).run(Program);
+}

@@ -1,0 +1,52 @@
+//===- backend/Backend.h - CM2/NIR compiler ----------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CM2/NIR compiler (paper Section 5.1): models the CM/2 host and
+/// nodes together as a single machine, cuts blocked computation phases out
+/// as PEAC node procedures (via the PE/NIR compiler), and patches the
+/// remainder program into host code plus CM runtime calls (the FE/NIR
+/// compiler's job, folded into the same walk here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_BACKEND_BACKEND_H
+#define F90Y_BACKEND_BACKEND_H
+
+#include "backend/PECompiler.h"
+#include "host/HostIR.h"
+#include "nir/Imperative.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace f90y {
+namespace backend {
+
+/// Whole-backend options (PE optimizations plus future host knobs).
+struct BackendOptions {
+  PEOptions PE;
+};
+
+/// A compiled program: host code plus PEAC routines.
+struct CompiledProgram {
+  host::HostProgram Program;
+
+  /// All PEAC routines rendered Figure 12 style.
+  std::string peacListing() const;
+};
+
+/// Compiles a (transformed) NIR program for the CM/2. Returns std::nullopt
+/// with diagnostics when the program uses constructs outside the
+/// prototype's machine model.
+std::optional<CompiledProgram> compileProgram(const nir::ProgramImp *Program,
+                                              const BackendOptions &Opts,
+                                              DiagnosticEngine &Diags);
+
+} // namespace backend
+} // namespace f90y
+
+#endif // F90Y_BACKEND_BACKEND_H

@@ -1,0 +1,65 @@
+//===- baselines/Fieldwise.h - *Lisp fieldwise baseline -----------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-coded *Lisp / fieldwise-mode baseline of paper Section 6. In
+/// fieldwise mode the machine presents its full set of bit-serial
+/// processors (64K on a complete CM-2); every elemental operation is a
+/// memory-to-memory field operation broadcast from the sequencer, with no
+/// register reuse between operations — exactly the cost structure this
+/// model charges.
+///
+/// Functional results come from the reference interpreter (fieldwise
+/// execution is semantically just NIR evaluation); timing comes from a
+/// static cycle analysis of the *unoptimized* NIR over the fieldwise cost
+/// constants. Programs whose timing depends on data (WHILE loops) are
+/// reported as untimeable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_BASELINES_FIELDWISE_H
+#define F90Y_BASELINES_FIELDWISE_H
+
+#include "cm2/CostModel.h"
+#include "nir/Imperative.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace f90y {
+namespace baselines {
+
+/// Result of one fieldwise execution.
+struct FieldwiseReport {
+  bool OK = false;
+  bool Timeable = true; ///< False when a WHILE made timing data-dependent.
+  double Cycles = 0;
+  uint64_t Flops = 0; ///< Useful flops (from the reference interpreter).
+  std::string Output;
+
+  double seconds(const cm2::CostModel &Costs) const {
+    return Costs.seconds(Cycles);
+  }
+  double gflops(const cm2::CostModel &Costs) const {
+    double S = seconds(Costs);
+    return S > 0 ? static_cast<double>(Flops) / S / 1e9 : 0.0;
+  }
+};
+
+/// Executes \p Program (raw, untransformed NIR) under the fieldwise model.
+FieldwiseReport runFieldwise(const nir::ProgramImp *Program,
+                             const cm2::CostModel &Costs,
+                             DiagnosticEngine &Diags);
+
+/// The static cycle analysis alone (no functional execution).
+double fieldwiseCycles(const nir::ProgramImp *Program,
+                       const cm2::CostModel &Costs, bool &Timeable);
+
+} // namespace baselines
+} // namespace f90y
+
+#endif // F90Y_BASELINES_FIELDWISE_H

@@ -1,0 +1,77 @@
+//===- driver/Driver.cpp - Fortran-90-Y compiler driver ----------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "frontend/Inline.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "lower/Lowering.h"
+
+using namespace f90y;
+using namespace f90y::driver;
+
+CompileOptions CompileOptions::forProfile(Profile P, cm2::CostModel Costs) {
+  CompileOptions O;
+  O.Costs = Costs;
+  switch (P) {
+  case Profile::F90Y:
+    break; // Everything defaults to on.
+  case Profile::CMFStyle:
+    O.Transforms.Blocking = false;
+    break;
+  case Profile::Naive:
+    O.Transforms.Blocking = false;
+    O.Backend.PE.Chaining = false;
+    O.Backend.PE.DualIssue = false;
+    O.Backend.PE.MaddFusion = false;
+    O.Backend.PE.CSE = false;
+    O.Backend.PE.SpillScheduling = false;
+    break;
+  }
+  O.Backend.PE.VectorRegs = O.Costs.VectorRegs;
+  return O;
+}
+
+bool Compilation::compile(const std::string &Source) {
+  frontend::Lexer Lexer(Source, Diags);
+  frontend::Parser Parser(Lexer.lexAll(), ACtx, Diags);
+  auto File = Parser.parseSourceFile();
+  if (!File)
+    return false;
+
+  auto Unit = frontend::integrateProcedures(*File, ACtx, Diags);
+  if (!Unit)
+    return false;
+
+  auto Lowered = lower::lowerProgram(*Unit, NCtx, Diags);
+  if (!Lowered)
+    return false;
+  Arts.RawNIR = Lowered->Program;
+
+  Arts.OptimizedNIR =
+      transform::optimize(Arts.RawNIR, NCtx, Diags, Opts.Transforms);
+  if (Diags.hasErrors())
+    return false;
+
+  auto Compiled =
+      backend::compileProgram(Arts.OptimizedNIR, Opts.Backend, Diags);
+  if (!Compiled)
+    return false;
+  Arts.Compiled = std::move(*Compiled);
+  return true;
+}
+
+std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
+  RT.ledger().reset();
+  if (!Exec.run(Program))
+    return std::nullopt;
+  RunReport Report;
+  Report.Ledger = RT.ledger();
+  Report.Output = Exec.output();
+  Report.ClockMHz = Costs.ClockMHz;
+  return Report;
+}

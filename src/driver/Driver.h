@@ -1,0 +1,128 @@
+//===- driver/Driver.h - Fortran-90-Y compiler driver -------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the Fortran-90-Y prototype: compiles
+/// Fortran-90 source through the full pipeline
+///
+///   lexer -> parser -> semantic lowering (NIR) -> NIR transformations ->
+///   CM2/NIR back end (FE host code + PE PEAC routines)
+///
+/// and executes the result on the simulated CM/2, reporting sustained
+/// performance from the machine's cycle ledger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_DRIVER_DRIVER_H
+#define F90Y_DRIVER_DRIVER_H
+
+#include "backend/Backend.h"
+#include "cm2/CostModel.h"
+#include "frontend/AST.h"
+#include "host/HostExecutor.h"
+#include "nir/NIRContext.h"
+#include "support/Diagnostics.h"
+#include "transform/Transforms.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace f90y {
+namespace driver {
+
+/// Named optimization profiles used throughout the benchmarks.
+enum class Profile {
+  F90Y,     ///< The paper's prototype: full transformations + node opts.
+  CMFStyle, ///< Per-statement compilation (no domain blocking), good node
+            ///< code: the CM Fortran v1.1 stand-in.
+  Naive     ///< Per-statement, no chaining/dual-issue/madd/CSE: the naive
+            ///< encoding of paper Figure 12.
+};
+
+/// Full pipeline configuration.
+struct CompileOptions {
+  transform::TransformOptions Transforms;
+  backend::BackendOptions Backend;
+  cm2::CostModel Costs;
+
+  static CompileOptions forProfile(Profile P, cm2::CostModel Costs = {});
+};
+
+/// What the compiler produced for one source unit. NIR nodes are owned by
+/// the Compilation object.
+struct Artifacts {
+  const nir::ProgramImp *RawNIR = nullptr;
+  const nir::ProgramImp *OptimizedNIR = nullptr;
+  backend::CompiledProgram Compiled;
+};
+
+/// One compilation: owns every AST/NIR node referenced by its artifacts.
+class Compilation {
+public:
+  explicit Compilation(CompileOptions Opts) : Opts(std::move(Opts)) {}
+
+  /// Compiles \p Source; false (with diagnostics) on any front-end,
+  /// lowering, transformation, or back-end error.
+  bool compile(const std::string &Source);
+
+  const Artifacts &artifacts() const { return Arts; }
+  const CompileOptions &options() const { return Opts; }
+  DiagnosticEngine &diags() { return Diags; }
+  nir::NIRContext &nirContext() { return NCtx; }
+
+private:
+  CompileOptions Opts;
+  DiagnosticEngine Diags;
+  frontend::ast::ASTContext ACtx;
+  nir::NIRContext NCtx;
+  Artifacts Arts;
+};
+
+/// Performance account of one simulated execution.
+struct RunReport {
+  runtime::CycleLedger Ledger;
+  std::string Output;
+  double ClockMHz = 7.0;
+
+  double seconds() const { return Ledger.total() / (ClockMHz * 1e6); }
+  double gflops() const {
+    double S = seconds();
+    return S > 0 ? static_cast<double>(Ledger.Flops) / S / 1e9 : 0.0;
+  }
+  /// Sustained GFLOPS against an externally fixed useful-flop count (the
+  /// usual benchmark convention: algorithmic flops / machine time).
+  double gflopsFor(uint64_t UsefulFlops) const {
+    double S = seconds();
+    return S > 0 ? static_cast<double>(UsefulFlops) / S / 1e9 : 0.0;
+  }
+};
+
+/// Executes a compiled program on the simulated CM/2. The execution object
+/// keeps the runtime and host executor alive for post-run inspection.
+class Execution {
+public:
+  explicit Execution(const cm2::CostModel &Costs)
+      : Costs(Costs), RT(this->Costs), Exec(RT, Diags) {}
+
+  host::HostExecutor &executor() { return Exec; }
+  runtime::CmRuntime &runtime() { return RT; }
+  DiagnosticEngine &diags() { return Diags; }
+
+  /// Runs \p Program; nullopt on a simulated runtime error.
+  std::optional<RunReport> run(const host::HostProgram &Program);
+
+private:
+  cm2::CostModel Costs;
+  DiagnosticEngine Diags;
+  runtime::CmRuntime RT;
+  host::HostExecutor Exec;
+};
+
+} // namespace driver
+} // namespace f90y
+
+#endif // F90Y_DRIVER_DRIVER_H

@@ -1,0 +1,162 @@
+//===- driver/Workloads.cpp - Benchmark Fortran-90 sources -------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Workloads.h"
+
+using namespace f90y;
+
+static std::string replaceAll(std::string S, const std::string &From,
+                              const std::string &To) {
+  size_t Pos = 0;
+  while ((Pos = S.find(From, Pos)) != std::string::npos) {
+    S.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return S;
+}
+
+std::string driver::sweSource(int64_t N, int64_t Steps) {
+  std::string Src = R"f90(
+program swe
+integer, parameter :: n = @N@
+integer, parameter :: nsteps = @S@
+real u(n,n), v(n,n), p(n,n)
+real unew(n,n), vnew(n,n), pnew(n,n)
+real uold(n,n), vold(n,n), pold(n,n)
+real cu(n,n), cv(n,n), z(n,n), h(n,n)
+real dt, dx, dy, fsdx, fsdy, tdts8, tdtsdx, tdtsdy
+real pi, tpi, di, dj
+integer i, j, t
+
+dt = 90.0
+dx = 100000.0
+dy = 100000.0
+fsdx = 4.0/dx
+fsdy = 4.0/dy
+pi = 3.1415926535
+tpi = pi + pi
+di = tpi/real(n)
+dj = tpi/real(n)
+
+! Initial height and velocity fields (smooth periodic features).
+forall (i=1:n, j=1:n) p(i,j) = 50000.0 &
+    + 5000.0*(sin(real(i)*di)*cos(real(j)*dj))
+forall (i=1:n, j=1:n) u(i,j) = 10.0*sin(real(i)*di)
+forall (i=1:n, j=1:n) v(i,j) = 10.0*cos(real(j)*dj)
+
+uold = u
+vold = v
+pold = p
+tdts8 = dt/8.0
+tdtsdx = dt/dx
+tdtsdy = dt/dy
+
+do t = 1, nsteps
+  ! Mass fluxes.
+  cu = 0.5*(p + cshift(p, -1, 1))*u
+  cv = 0.5*(p + cshift(p, -1, 2))*v
+  ! Potential vorticity (the paper's Figure 12 excerpt shape).
+  z = (fsdx*(v - cshift(v, -1, 1)) - fsdy*(u - cshift(u, -1, 2))) &
+    / (p + cshift(p, -1, 1) + cshift(p, -1, 2) &
+     + cshift(cshift(p, -1, 1), -1, 2))
+  ! Bernoulli function.
+  h = p + 0.25*(u*u + cshift(u, 1, 1)*cshift(u, 1, 1) &
+              + v*v + cshift(v, 1, 2)*cshift(v, 1, 2))
+  ! Time update (leapfrog body).
+  unew = uold + tdts8*(z + cshift(z, 1, 2)) &
+         *(cv + cshift(cv, -1, 1) + cshift(cv, 1, 2) &
+         + cshift(cshift(cv, -1, 1), 1, 2)) &
+       - tdtsdx*(h - cshift(h, -1, 1))
+  vnew = vold - tdts8*(z + cshift(z, 1, 1)) &
+         *(cu + cshift(cu, -1, 2) + cshift(cu, 1, 1) &
+         + cshift(cshift(cu, -1, 2), 1, 1)) &
+       - tdtsdy*(h - cshift(h, -1, 2))
+  pnew = pold - tdtsdx*(cshift(cu, 1, 1) - cu) &
+              - tdtsdy*(cshift(cv, 1, 2) - cv)
+  ! Rotate time levels.
+  uold = u
+  vold = v
+  pold = p
+  u = unew
+  v = vnew
+  p = pnew
+end do
+end program swe
+)f90";
+  Src = replaceAll(Src, "@N@", std::to_string(N));
+  Src = replaceAll(Src, "@S@", std::to_string(Steps));
+  return Src;
+}
+
+std::string driver::figure9Source() {
+  return R"f90(
+program fig9
+integer, array(64,64) :: a, b
+integer, dimension(64) :: c
+integer i, j
+forall (i=1:64, j=1:64) a(i,j) = b(i,j) + j
+do 10 i=1,64
+   c(i) = a(i,i)
+10 continue
+b = a
+end
+)f90";
+}
+
+std::string driver::figure10Source() {
+  return R"f90(
+program fig10
+integer, array(32,32) :: a, b
+integer, dimension(32) :: c
+integer n
+n = 7
+a = n
+b(1:32:2,:) = a(1:32:2,:)
+c = n+1
+b(2:32:2,:) = 5*a(2:32:2,:)
+end
+)f90";
+}
+
+std::string driver::figure12Source(int64_t N) {
+  std::string Src = R"f90(
+program fig12
+integer, parameter :: n = @N@
+real u(n,n), v(n,n), p(n,n), z(n,n)
+real fsdx, fsdy
+integer i, j
+fsdx = 0.00004
+fsdy = 0.00004
+forall (i=1:n, j=1:n) u(i,j) = real(i) + 0.25*real(j)
+forall (i=1:n, j=1:n) v(i,j) = real(i) - 0.5*real(j)
+forall (i=1:n, j=1:n) p(i,j) = 50000.0 + real(i*j)
+z = (fsdx*(v - cshift(v, -1, 1)) - fsdy*(u - cshift(u, -1, 2))) &
+  / (p + cshift(p, -1, 1))
+end
+)f90";
+  return replaceAll(Src, "@N@", std::to_string(N));
+}
+
+std::string driver::heatSource(int64_t N, int64_t Steps) {
+  std::string Src = R"f90(
+program heat
+integer, parameter :: n = @N@
+integer, parameter :: nsteps = @S@
+real u(n,n), unew(n,n)
+integer i, j, t
+forall (i=1:n, j=1:n) u(i,j) = 0.0
+forall (i=1:n, j=1:n) u(i,j) = real(mod(i*j, 17))
+do t = 1, nsteps
+  unew = 0.25*(cshift(u,1,1) + cshift(u,-1,1) &
+             + cshift(u,1,2) + cshift(u,-1,2))
+  u = unew
+end do
+end program heat
+)f90";
+  Src = replaceAll(Src, "@N@", std::to_string(N));
+  Src = replaceAll(Src, "@S@", std::to_string(Steps));
+  return Src;
+}

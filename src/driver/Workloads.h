@@ -1,0 +1,49 @@
+//===- driver/Workloads.h - Benchmark Fortran-90 sources ----------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fortran-90 source generators for the paper's workloads: the SWE
+/// ("shallow-water equations") benchmark of Section 6 — "a series of
+/// circular shifts interspersed with blocks of local computation" — and
+/// the example programs of Figures 9, 10, and 12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_DRIVER_WORKLOADS_H
+#define F90Y_DRIVER_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+
+namespace f90y {
+namespace driver {
+
+/// The SWE benchmark on an N x N grid for the given number of timesteps:
+/// a Sadourny-style staggered-grid update built from CSHIFTs and local
+/// computation (the Figure 12 excerpt is the z-field statement).
+std::string sweSource(int64_t N, int64_t Steps);
+
+/// Figure 9's program: a FORALL over a 2-d domain, a serial diagonal
+/// extraction, and a like-shape copy.
+std::string figure9Source();
+
+/// Figure 10's program: whole-array and disjoint strided-section masked
+/// assignments over a common 32x32 shape.
+std::string figure10Source();
+
+/// A program whose single statement is the Figure 12 SWE excerpt
+///   z = (fsdx*(v-cshift(v,-1,1)) - fsdy*(u-cshift(u,-1,2)))
+///       / (p + cshift(p,-1,1))
+/// over an N x N grid.
+std::string figure12Source(int64_t N);
+
+/// Jacobi heat diffusion: the canonical neighborhood stencil.
+std::string heatSource(int64_t N, int64_t Steps);
+
+} // namespace driver
+} // namespace f90y
+
+#endif // F90Y_DRIVER_WORKLOADS_H

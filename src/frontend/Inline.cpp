@@ -1,0 +1,463 @@
+//===- frontend/Inline.cpp - Procedure integration ----------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Inline.h"
+
+#include <map>
+#include <set>
+
+using namespace f90y;
+using namespace f90y::frontend;
+using namespace f90y::frontend::ast;
+
+namespace {
+
+/// Name substitution: dummy/local name -> replacement. Identifier targets
+/// rename directly; expression targets substitute in value positions and
+/// are rejected in store positions by the pre-check.
+struct Subst {
+  std::map<std::string, const Expr *> Map;
+
+  const Expr *lookup(const std::string &Name) const {
+    auto It = Map.find(Name);
+    return It == Map.end() ? nullptr : It->second;
+  }
+};
+
+/// Collects names assigned anywhere in a statement list (assignment
+/// targets, WHERE targets, FORALL targets, loop variables).
+void collectAssignedNames(const Stmt *S, std::set<std::string> &Out) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    if (const auto *Id = dyn_cast<IdentExpr>(A->getLHS()))
+      Out.insert(Id->getName());
+    else if (const auto *Ref = dyn_cast<ArrayRefExpr>(A->getLHS()))
+      Out.insert(Ref->getName());
+    return;
+  }
+  case Stmt::Kind::Block:
+    for (const Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+      collectAssignedNames(Sub, Out);
+    return;
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    collectAssignedNames(If->getThen(), Out);
+    if (If->getElse())
+      collectAssignedNames(If->getElse(), Out);
+    return;
+  }
+  case Stmt::Kind::DoLoop: {
+    const auto *D = cast<DoLoopStmt>(S);
+    Out.insert(D->getVar());
+    collectAssignedNames(D->getBody(), Out);
+    return;
+  }
+  case Stmt::Kind::DoWhile:
+    collectAssignedNames(cast<DoWhileStmt>(S)->getBody(), Out);
+    return;
+  case Stmt::Kind::Where: {
+    const auto *W = cast<WhereStmt>(S);
+    for (const AssignStmt *A : W->getThenAssigns())
+      collectAssignedNames(A, Out);
+    for (const AssignStmt *A : W->getElseAssigns())
+      collectAssignedNames(A, Out);
+    return;
+  }
+  case Stmt::Kind::Forall: {
+    const auto *F = cast<ForallStmt>(S);
+    for (const ForallIndex &I : F->getIndices())
+      Out.insert(I.Var);
+    collectAssignedNames(F->getBody(), Out);
+    return;
+  }
+  case Stmt::Kind::Call:
+    // Conservative: every actual of a nested call may be written.
+    for (const Expr *A : cast<CallStmt>(S)->getArgs()) {
+      if (const auto *Id = dyn_cast<IdentExpr>(A))
+        Out.insert(Id->getName());
+      else if (const auto *Ref = dyn_cast<ArrayRefExpr>(A))
+        Out.insert(Ref->getName());
+    }
+    return;
+  case Stmt::Kind::Print:
+  case Stmt::Kind::Continue:
+    return;
+  }
+}
+
+class Integrator {
+public:
+  Integrator(const SourceFile &File, ASTContext &Ctx,
+             DiagnosticEngine &Diags)
+      : File(File), Ctx(Ctx), Diags(Diags) {}
+
+  std::optional<ProgramUnit> run() {
+    ProgramUnit Out;
+    Out.Name = File.Main.Name;
+    Out.Decls = File.Main.Decls;
+    for (const EntityDecl &D : Out.Decls)
+      KnownArrays[D.Name] = D.isArray();
+    NewDecls = &Out.Decls;
+    Out.Body = integrateBody(File.Main.Body);
+    if (Failed)
+      return std::nullopt;
+    return Out;
+  }
+
+private:
+  const SourceFile &File;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<EntityDecl> *NewDecls = nullptr;
+  std::map<std::string, bool> KnownArrays; ///< Name -> is-array, caller side.
+  std::set<std::string> ActiveCalls;       ///< Recursion detection.
+  unsigned InlineCounter = 0;
+  bool Failed = false;
+
+  void error(SourceLocation Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    Failed = true;
+  }
+
+  const SubroutineUnit *findSub(const std::string &Name) {
+    for (const SubroutineUnit &S : File.Subroutines)
+      if (S.Name == Name)
+        return &S;
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Cloning with substitution
+  //===------------------------------------------------------------------===//
+
+  const Expr *cloneExpr(const Expr *E, const Subst &S) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::RealLit:
+    case Expr::Kind::LogicalLit:
+    case Expr::Kind::StringLit:
+      return E; // Immutable leaves are shareable.
+    case Expr::Kind::Ident: {
+      const auto *Id = cast<IdentExpr>(E);
+      if (const Expr *R = S.lookup(Id->getName()))
+        return R;
+      return E;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return Ctx.makeAt<BinaryExpr>(E->getLoc(), B->getOp(),
+                                    cloneExpr(B->getLHS(), S),
+                                    cloneExpr(B->getRHS(), S));
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      return Ctx.makeAt<UnaryExpr>(E->getLoc(), U->getOp(),
+                                   cloneExpr(U->getOperand(), S));
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      std::vector<const Expr *> Args;
+      for (const Expr *A : C->getArgs())
+        Args.push_back(cloneExpr(A, S));
+      return Ctx.makeAt<CallExpr>(E->getLoc(), C->getCallee(), Args,
+                                  C->getKeywords());
+    }
+    case Expr::Kind::ArrayRef: {
+      const auto *R = cast<ArrayRefExpr>(E);
+      std::string Name = R->getName();
+      if (const Expr *Repl = S.lookup(Name)) {
+        const auto *Id = dyn_cast<IdentExpr>(Repl);
+        if (!Id) {
+          error(E->getLoc(),
+                "array dummy '" + Name +
+                    "' must be associated with a whole-array actual");
+          return E;
+        }
+        Name = Id->getName();
+      }
+      std::vector<DimSelector> Dims;
+      for (const DimSelector &D : R->getDims()) {
+        DimSelector ND = D;
+        if (ND.Index)
+          ND.Index = cloneExpr(ND.Index, S);
+        if (ND.Lo)
+          ND.Lo = cloneExpr(ND.Lo, S);
+        if (ND.Hi)
+          ND.Hi = cloneExpr(ND.Hi, S);
+        if (ND.Stride)
+          ND.Stride = cloneExpr(ND.Stride, S);
+        Dims.push_back(ND);
+      }
+      return Ctx.makeAt<ArrayRefExpr>(E->getLoc(), Name, Dims);
+    }
+    }
+    return E;
+  }
+
+  const Stmt *cloneStmt(const Stmt *St, const Subst &S) {
+    switch (St->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(St);
+      return Ctx.makeAt<AssignStmt>(St->getLoc(),
+                                    cloneExpr(A->getLHS(), S),
+                                    cloneExpr(A->getRHS(), S));
+    }
+    case Stmt::Kind::Block: {
+      std::vector<const Stmt *> Stmts;
+      for (const Stmt *Sub : cast<BlockStmt>(St)->getStmts())
+        Stmts.push_back(cloneStmt(Sub, S));
+      return Ctx.make<BlockStmt>(Stmts);
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(St);
+      return Ctx.makeAt<IfStmt>(
+          St->getLoc(), cloneExpr(If->getCond(), S),
+          cloneStmt(If->getThen(), S),
+          If->getElse() ? cloneStmt(If->getElse(), S) : nullptr);
+    }
+    case Stmt::Kind::DoLoop: {
+      const auto *D = cast<DoLoopStmt>(St);
+      std::string Var = D->getVar();
+      if (const Expr *R = S.lookup(Var)) {
+        const auto *Id = dyn_cast<IdentExpr>(R);
+        if (!Id) {
+          error(St->getLoc(), "loop variable '" + Var +
+                                  "' associated with a non-variable");
+          return St;
+        }
+        Var = Id->getName();
+      }
+      return Ctx.makeAt<DoLoopStmt>(
+          St->getLoc(), Var, cloneExpr(D->getLo(), S),
+          cloneExpr(D->getHi(), S),
+          D->getStep() ? cloneExpr(D->getStep(), S) : nullptr,
+          cloneStmt(D->getBody(), S));
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto *D = cast<DoWhileStmt>(St);
+      return Ctx.makeAt<DoWhileStmt>(St->getLoc(),
+                                     cloneExpr(D->getCond(), S),
+                                     cloneStmt(D->getBody(), S));
+    }
+    case Stmt::Kind::Where: {
+      const auto *W = cast<WhereStmt>(St);
+      auto CloneArm = [&](const std::vector<const AssignStmt *> &In) {
+        std::vector<const AssignStmt *> Out;
+        for (const AssignStmt *A : In)
+          Out.push_back(cast<AssignStmt>(cloneStmt(A, S)));
+        return Out;
+      };
+      return Ctx.makeAt<WhereStmt>(St->getLoc(),
+                                   cloneExpr(W->getMask(), S),
+                                   CloneArm(W->getThenAssigns()),
+                                   CloneArm(W->getElseAssigns()));
+    }
+    case Stmt::Kind::Forall: {
+      const auto *F = cast<ForallStmt>(St);
+      std::vector<ForallIndex> Indices;
+      for (const ForallIndex &I : F->getIndices()) {
+        ForallIndex NI;
+        NI.Var = I.Var;
+        if (const Expr *R = S.lookup(I.Var)) {
+          const auto *Id = dyn_cast<IdentExpr>(R);
+          if (Id)
+            NI.Var = Id->getName();
+        }
+        NI.Lo = cloneExpr(I.Lo, S);
+        NI.Hi = cloneExpr(I.Hi, S);
+        NI.Stride = I.Stride ? cloneExpr(I.Stride, S) : nullptr;
+        Indices.push_back(NI);
+      }
+      return Ctx.makeAt<ForallStmt>(
+          St->getLoc(), Indices,
+          cast<AssignStmt>(cloneStmt(F->getBody(), S)));
+    }
+    case Stmt::Kind::Print: {
+      const auto *P = cast<PrintStmt>(St);
+      std::vector<const Expr *> Items;
+      for (const Expr *I : P->getItems())
+        Items.push_back(cloneExpr(I, S));
+      return Ctx.makeAt<PrintStmt>(St->getLoc(), Items);
+    }
+    case Stmt::Kind::Continue:
+      return St;
+    case Stmt::Kind::Call: {
+      const auto *C = cast<CallStmt>(St);
+      std::vector<const Expr *> Args;
+      for (const Expr *A : C->getArgs())
+        Args.push_back(cloneExpr(A, S));
+      return Ctx.makeAt<CallStmt>(St->getLoc(), C->getCallee(), Args);
+    }
+    }
+    return St;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Call integration
+  //===------------------------------------------------------------------===//
+
+  std::vector<const Stmt *> integrateCall(const CallStmt *C) {
+    const SubroutineUnit *Sub = findSub(C->getCallee());
+    if (!Sub) {
+      error(C->getLoc(), "CALL of unknown subroutine '" + C->getCallee() +
+                             "'");
+      return {};
+    }
+    if (ActiveCalls.count(Sub->Name)) {
+      error(C->getLoc(), "recursive CALL of subroutine '" + Sub->Name +
+                             "' is not supported");
+      return {};
+    }
+    if (C->getArgs().size() != Sub->Params.size()) {
+      error(C->getLoc(), "subroutine '" + Sub->Name + "' expects " +
+                             std::to_string(Sub->Params.size()) +
+                             " arguments, got " +
+                             std::to_string(C->getArgs().size()));
+      return {};
+    }
+
+    std::set<std::string> Assigned;
+    for (const Stmt *S : Sub->Body)
+      collectAssignedNames(S, Assigned);
+
+    Subst S;
+    std::set<std::string> ParamSet(Sub->Params.begin(), Sub->Params.end());
+    for (size_t I = 0; I < Sub->Params.size(); ++I) {
+      const std::string &Dummy = Sub->Params[I];
+      const Expr *Actual = C->getArgs()[I];
+      if (!isa<IdentExpr>(Actual) && Assigned.count(Dummy)) {
+        error(C->getLoc(),
+              "subroutine '" + Sub->Name + "' assigns dummy '" + Dummy +
+                  "', so the actual argument must be a variable");
+        return {};
+      }
+      S.Map[Dummy] = Actual;
+    }
+
+    // Rename locals (non-parameter declarations) and append them to the
+    // caller's declaration list. Declarations may reference earlier
+    // locals (PARAMETER bounds), so the substitution grows in order and
+    // applies to bound/init expressions.
+    unsigned Id = InlineCounter++;
+    for (const EntityDecl &D : Sub->Decls) {
+      if (ParamSet.count(D.Name))
+        continue;
+      EntityDecl Renamed = D;
+      Renamed.Name = D.Name + ".inl" + std::to_string(Id);
+      for (auto &[Lo, Hi] : Renamed.Dims) {
+        if (Lo)
+          Lo = cloneExpr(Lo, S);
+        Hi = cloneExpr(Hi, S);
+      }
+      if (Renamed.Init)
+        Renamed.Init = cloneExpr(Renamed.Init, S);
+      S.Map[D.Name] = Ctx.makeAt<IdentExpr>(D.Loc, Renamed.Name);
+      NewDecls->push_back(Renamed);
+      KnownArrays[Renamed.Name] = Renamed.isArray();
+    }
+
+    // Dummy/actual kind agreement (array dummy needs array actual).
+    for (size_t I = 0; I < Sub->Params.size(); ++I) {
+      const EntityDecl *DummyDecl = nullptr;
+      for (const EntityDecl &D : Sub->Decls)
+        if (D.Name == Sub->Params[I])
+          DummyDecl = &D;
+      if (!DummyDecl)
+        continue; // Parser already diagnosed.
+      if (const auto *Id2 = dyn_cast<IdentExpr>(C->getArgs()[I])) {
+        auto It = KnownArrays.find(Id2->getName());
+        bool ActualIsArray = It != KnownArrays.end() && It->second;
+        if (DummyDecl->isArray() != ActualIsArray) {
+          error(C->getLoc(), "argument '" + Id2->getName() +
+                                 "' does not match the array/scalar kind "
+                                 "of dummy '" + DummyDecl->Name + "'");
+          return {};
+        }
+      } else if (DummyDecl->isArray()) {
+        error(C->getLoc(), "array dummy '" + DummyDecl->Name +
+                               "' requires a whole-array actual argument");
+        return {};
+      }
+    }
+
+    // Clone the body under the substitution, then integrate nested CALLs.
+    ActiveCalls.insert(Sub->Name);
+    std::vector<const Stmt *> Cloned;
+    for (const Stmt *St : Sub->Body)
+      Cloned.push_back(cloneStmt(St, S));
+    std::vector<const Stmt *> Flat = integrateBody(Cloned);
+    ActiveCalls.erase(Sub->Name);
+    return Flat;
+  }
+
+  const Stmt *integrateStmt(const Stmt *St);
+
+  std::vector<const Stmt *>
+  integrateBody(const std::vector<const Stmt *> &Body) {
+    std::vector<const Stmt *> Out;
+    for (const Stmt *St : Body) {
+      if (Failed)
+        break;
+      if (const auto *C = dyn_cast<CallStmt>(St)) {
+        std::vector<const Stmt *> Sub = integrateCall(C);
+        Out.insert(Out.end(), Sub.begin(), Sub.end());
+        continue;
+      }
+      Out.push_back(integrateStmt(St));
+    }
+    return Out;
+  }
+};
+
+const Stmt *Integrator::integrateStmt(const Stmt *St) {
+  // Statements with nested bodies may contain CALLs.
+  switch (St->getKind()) {
+  case Stmt::Kind::Block: {
+    std::vector<const Stmt *> Stmts =
+        integrateBody(cast<BlockStmt>(St)->getStmts());
+    return Ctx.make<BlockStmt>(Stmts);
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(St);
+    const Stmt *Then = integrateStmt(If->getThen());
+    const Stmt *Else = If->getElse() ? integrateStmt(If->getElse()) : nullptr;
+    if (Then == If->getThen() && Else == If->getElse())
+      return St;
+    return Ctx.makeAt<IfStmt>(St->getLoc(), If->getCond(), Then, Else);
+  }
+  case Stmt::Kind::DoLoop: {
+    const auto *D = cast<DoLoopStmt>(St);
+    const Stmt *Body = integrateStmt(D->getBody());
+    if (Body == D->getBody())
+      return St;
+    return Ctx.makeAt<DoLoopStmt>(St->getLoc(), D->getVar(), D->getLo(),
+                                  D->getHi(), D->getStep(), Body);
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(St);
+    const Stmt *Body = integrateStmt(D->getBody());
+    if (Body == D->getBody())
+      return St;
+    return Ctx.makeAt<DoWhileStmt>(St->getLoc(), D->getCond(), Body);
+  }
+  case Stmt::Kind::Call: {
+    // A CALL as a nested single statement (e.g. "if (x) call f(...)").
+    std::vector<const Stmt *> Sub = integrateCall(cast<CallStmt>(St));
+    return Ctx.make<BlockStmt>(Sub);
+  }
+  default:
+    return St;
+  }
+}
+
+} // namespace
+
+std::optional<ProgramUnit>
+frontend::integrateProcedures(const SourceFile &File, ASTContext &Ctx,
+                              DiagnosticEngine &Diags) {
+  return Integrator(File, Ctx, Diags).run();
+}

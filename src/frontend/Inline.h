@@ -1,0 +1,46 @@
+//===- frontend/Inline.h - Procedure integration ------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Procedure integration: resolves CALL statements by substituting the
+/// called SUBROUTINE's body into the caller, so each compiled unit is a
+/// single imperative action ("Each complete procedural unit or main
+/// program compiles to a single imperative action", paper Section 4.1).
+///
+/// Semantics: Fortran argument association is by reference. Integration
+/// substitutes dummy names with the actual arguments:
+///  - identifier actuals (scalars, whole arrays) associate directly;
+///  - expression/constant actuals are allowed only for dummies the
+///    subroutine never assigns (a write would update a temporary);
+///  - subroutine locals are renamed (name.inl<k>) and appended to the
+///    caller's declarations;
+///  - nested CALLs integrate recursively; recursion is rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_FRONTEND_INLINE_H
+#define F90Y_FRONTEND_INLINE_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace f90y {
+namespace frontend {
+
+/// Integrates every CALL in \p File's main program, returning the flat
+/// unit. Returns std::nullopt (with diagnostics) on unknown subroutines,
+/// arity/kind mismatches, writes through non-associable actuals, or
+/// recursion.
+std::optional<ast::ProgramUnit>
+integrateProcedures(const ast::SourceFile &File, ast::ASTContext &Ctx,
+                    DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace f90y
+
+#endif // F90Y_FRONTEND_INLINE_H

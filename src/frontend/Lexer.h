@@ -1,0 +1,62 @@
+//===- frontend/Lexer.h - Fortran-90 lexer -----------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free-form Fortran-90 lexer. Handles case folding, '!' comments, '&'
+/// continuation lines, numeric statement labels, dot operators (.and.,
+/// .true., .lt., ...), and both symbolic (==) and dotted (.eq.) relational
+/// spellings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_FRONTEND_LEXER_H
+#define F90Y_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace f90y {
+namespace frontend {
+
+/// Lexes an entire source buffer into a token vector (ending with
+/// EndOfFile). Errors (bad characters, unterminated strings) are reported
+/// to the diagnostic engine; lexing continues after them.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer. Consecutive EndOfStatement tokens are
+  /// collapsed; continuations never produce EndOfStatement.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+  bool AtStatementStart = true;
+
+  SourceLocation loc() const { return SourceLocation(Line, Col); }
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipHorizontalSpaceAndComments();
+
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+  Token lexDotted();
+  Token lexString(char Quote);
+};
+
+} // namespace frontend
+} // namespace f90y
+
+#endif // F90Y_FRONTEND_LEXER_H

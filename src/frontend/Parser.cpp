@@ -1,0 +1,902 @@
+//===- frontend/Parser.cpp - Fortran-90 parser -----------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cstdlib>
+
+using namespace f90y;
+using namespace f90y::frontend;
+using namespace f90y::frontend::ast;
+
+const char *ast::binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Pow:
+    return "**";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "/=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::And:
+    return ".and.";
+  case BinOp::Or:
+    return ".or.";
+  }
+  return "?";
+}
+
+Parser::Parser(std::vector<Token> Tokens, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // EndOfFile sentinel.
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = peek();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(peek().Loc, std::string("expected ") + tokenKindName(K) +
+                              " in " + Context + ", found " +
+                              tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::skipToStatementEnd() {
+  while (!check(TokenKind::EndOfStatement) && !check(TokenKind::EndOfFile))
+    consume();
+  accept(TokenKind::EndOfStatement);
+}
+
+void Parser::expectEndOfStatement(const char *Context) {
+  if (accept(TokenKind::EndOfStatement) || check(TokenKind::EndOfFile))
+    return;
+  Diags.error(peek().Loc,
+              std::string("expected end of statement after ") + Context);
+  skipToStatementEnd();
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::atTypeDeclaration() const {
+  switch (peek().Kind) {
+  case TokenKind::KwInteger:
+  case TokenKind::KwReal:
+  case TokenKind::KwLogical:
+  case TokenKind::KwDouble:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::vector<std::pair<const Expr *, const Expr *>> Parser::parseArraySpec() {
+  std::vector<std::pair<const Expr *, const Expr *>> Dims;
+  expect(TokenKind::LParen, "array specification");
+  do {
+    const Expr *First = parseExpr();
+    if (accept(TokenKind::Colon)) {
+      const Expr *Hi = parseExpr();
+      Dims.emplace_back(First, Hi);
+    } else {
+      Dims.emplace_back(nullptr, First); // Lower bound defaults to 1.
+    }
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "array specification");
+  return Dims;
+}
+
+void Parser::parseDeclarationStmt(std::vector<EntityDecl> &Decls) {
+  SourceLocation Loc = peek().Loc;
+  TypeSpec Ty;
+  switch (consume().Kind) {
+  case TokenKind::KwInteger:
+    Ty = TypeSpec::Integer;
+    break;
+  case TokenKind::KwReal:
+    Ty = TypeSpec::Real;
+    break;
+  case TokenKind::KwLogical:
+    Ty = TypeSpec::Logical;
+    break;
+  case TokenKind::KwDouble:
+    expect(TokenKind::KwPrecision, "DOUBLE PRECISION declaration");
+    Ty = TypeSpec::DoublePrecision;
+    break;
+  default:
+    Diags.error(Loc, "expected type specifier");
+    skipToStatementEnd();
+    return;
+  }
+
+  // Attribute list: , DIMENSION(spec) / , ARRAY(spec) / , PARAMETER.
+  std::vector<std::pair<const Expr *, const Expr *>> AttrDims;
+  bool IsParameter = false;
+  while (accept(TokenKind::Comma)) {
+    if (accept(TokenKind::KwDimension) || accept(TokenKind::KwArray)) {
+      AttrDims = parseArraySpec();
+    } else if (accept(TokenKind::KwParameter)) {
+      IsParameter = true;
+    } else {
+      Diags.error(peek().Loc, "unknown declaration attribute");
+      skipToStatementEnd();
+      return;
+    }
+  }
+  accept(TokenKind::ColonColon); // '::' is optional in entity-decl style.
+
+  // Entity list.
+  do {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected entity name in declaration");
+      skipToStatementEnd();
+      return;
+    }
+    Token Name = consume();
+    EntityDecl D;
+    D.Name = Name.Text;
+    D.Ty = Ty;
+    D.Loc = Name.Loc;
+    D.IsParameter = IsParameter;
+    D.Dims = AttrDims;
+    if (check(TokenKind::LParen))
+      D.Dims = parseArraySpec();
+    if (accept(TokenKind::Equal))
+      D.Init = parseExpr();
+    if (D.isArray())
+      ArrayNames.insert(D.Name);
+    else
+      ScalarNames.insert(D.Name);
+    Decls.push_back(std::move(D));
+  } while (accept(TokenKind::Comma));
+  expectEndOfStatement("declaration");
+}
+
+void Parser::parseParameterStmt(std::vector<EntityDecl> &Decls) {
+  consume(); // PARAMETER
+  expect(TokenKind::LParen, "PARAMETER statement");
+  do {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected name in PARAMETER statement");
+      skipToStatementEnd();
+      return;
+    }
+    Token Name = consume();
+    expect(TokenKind::Equal, "PARAMETER statement");
+    const Expr *Init = parseExpr();
+    bool Found = false;
+    for (EntityDecl &D : Decls) {
+      if (D.Name == Name.Text) {
+        D.Init = Init;
+        D.IsParameter = true;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found) {
+      // Implicit typing: integer for i-n, real otherwise.
+      EntityDecl D;
+      D.Name = Name.Text;
+      char C = Name.Text.empty() ? 'x' : Name.Text[0];
+      D.Ty = (C >= 'i' && C <= 'n') ? TypeSpec::Integer : TypeSpec::Real;
+      D.Init = Init;
+      D.IsParameter = true;
+      D.Loc = Name.Loc;
+      ScalarNames.insert(D.Name);
+      Decls.push_back(std::move(D));
+    }
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "PARAMETER statement");
+  expectEndOfStatement("PARAMETER statement");
+}
+
+//===----------------------------------------------------------------------===//
+// Program structure
+//===----------------------------------------------------------------------===//
+
+void Parser::parseSpecificationPart(std::vector<EntityDecl> &Decls) {
+  while (true) {
+    if (accept(TokenKind::EndOfStatement))
+      continue;
+    if (atTypeDeclaration()) {
+      parseDeclarationStmt(Decls);
+      continue;
+    }
+    if (check(TokenKind::KwParameter)) {
+      parseParameterStmt(Decls);
+      continue;
+    }
+    break;
+  }
+}
+
+std::optional<ProgramUnit> Parser::parseProgram() {
+  auto File = parseSourceFile();
+  if (!File)
+    return std::nullopt;
+  if (!File->Subroutines.empty()) {
+    Diags.error(File->Subroutines[0].Loc,
+                "subroutine units require parseSourceFile");
+    return std::nullopt;
+  }
+  return File->Main;
+}
+
+std::optional<SourceFile> Parser::parseSourceFile() {
+  SourceFile File;
+  File.Main.Name = "main";
+  bool SawMain = false;
+
+  while (true) {
+    accept(TokenKind::EndOfStatement);
+    if (check(TokenKind::EndOfFile))
+      break;
+
+    if (check(TokenKind::KwSubroutine)) {
+      // Units have independent name spaces; snapshot the symbol tables.
+      std::set<std::string> SavedArrays = ArrayNames;
+      std::set<std::string> SavedScalars = ScalarNames;
+      ArrayNames.clear();
+      ScalarNames.clear();
+      auto Sub = parseSubroutine();
+      ArrayNames = std::move(SavedArrays);
+      ScalarNames = std::move(SavedScalars);
+      if (!Sub)
+        return std::nullopt;
+      File.Subroutines.push_back(std::move(*Sub));
+      continue;
+    }
+
+    if (SawMain) {
+      Diags.error(peek().Loc, "only one main program unit is allowed");
+      return std::nullopt;
+    }
+    SawMain = true;
+
+    if (accept(TokenKind::KwProgram)) {
+      if (check(TokenKind::Identifier))
+        File.Main.Name = consume().Text;
+      else
+        Diags.error(peek().Loc, "expected program name after PROGRAM");
+      expectEndOfStatement("PROGRAM statement");
+    }
+    parseSpecificationPart(File.Main.Decls);
+    File.Main.Body =
+        parseBlockUntil({TokenKind::KwEnd, TokenKind::EndOfFile});
+    if (accept(TokenKind::KwEnd)) {
+      accept(TokenKind::KwProgram);
+      if (check(TokenKind::Identifier))
+        consume();
+      expectEndOfStatement("END");
+    } else {
+      Diags.error(peek().Loc, "expected END at end of program");
+    }
+  }
+
+  if (!SawMain)
+    Diags.error(peek().Loc, "source file has no main program unit");
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return File;
+}
+
+std::optional<SubroutineUnit> Parser::parseSubroutine() {
+  SubroutineUnit Sub;
+  Sub.Loc = consume().Loc; // SUBROUTINE
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected subroutine name");
+    return std::nullopt;
+  }
+  Sub.Name = consume().Text;
+  if (accept(TokenKind::LParen)) {
+    if (!check(TokenKind::RParen)) {
+      do {
+        if (!check(TokenKind::Identifier)) {
+          Diags.error(peek().Loc, "expected dummy argument name");
+          return std::nullopt;
+        }
+        Sub.Params.push_back(consume().Text);
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "SUBROUTINE statement");
+  }
+  expectEndOfStatement("SUBROUTINE statement");
+
+  parseSpecificationPart(Sub.Decls);
+  Sub.Body = parseBlockUntil({TokenKind::KwEnd, TokenKind::EndOfFile});
+  if (accept(TokenKind::KwEnd)) {
+    if (accept(TokenKind::KwSubroutine))
+      if (check(TokenKind::Identifier))
+        consume();
+    expectEndOfStatement("END SUBROUTINE");
+  } else {
+    Diags.error(peek().Loc, "expected END at end of subroutine");
+    return std::nullopt;
+  }
+
+  // Every dummy argument must be declared.
+  for (const std::string &P : Sub.Params) {
+    bool Declared = false;
+    for (const EntityDecl &D : Sub.Decls)
+      Declared |= D.Name == P;
+    if (!Declared)
+      Diags.error(Sub.Loc, "dummy argument '" + P +
+                               "' of subroutine '" + Sub.Name +
+                               "' is not declared");
+  }
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Sub;
+}
+
+std::vector<const Stmt *>
+Parser::parseBlockUntil(const std::vector<TokenKind> &Terminators,
+                        int64_t UntilLabel) {
+  std::vector<const Stmt *> Stmts;
+  while (true) {
+    if (accept(TokenKind::EndOfStatement))
+      continue;
+    if (check(TokenKind::EndOfFile))
+      return Stmts;
+    bool AtTerminator = false;
+    for (TokenKind K : Terminators)
+      if (check(K))
+        AtTerminator = true;
+    // "ELSE IF"/"END IF"/"END DO"/"END WHERE" two-token spellings.
+    if (check(TokenKind::KwEnd)) {
+      TokenKind Next = peek(1).Kind;
+      for (TokenKind K : Terminators) {
+        if ((K == TokenKind::KwEndIf && Next == TokenKind::KwIf) ||
+            (K == TokenKind::KwEndDo && Next == TokenKind::KwDo) ||
+            (K == TokenKind::KwEndWhere && Next == TokenKind::KwWhere))
+          AtTerminator = true;
+      }
+    }
+    if (check(TokenKind::KwElse) && peek(1).Kind == TokenKind::KwIf) {
+      for (TokenKind K : Terminators)
+        if (K == TokenKind::KwElseIf)
+          AtTerminator = true;
+    }
+    if (AtTerminator)
+      return Stmts;
+
+    // Labeled terminator of a DO loop ("10 CONTINUE" or any labeled stmt).
+    if (UntilLabel != 0 && peek().Label == UntilLabel) {
+      if (check(TokenKind::KwContinue)) {
+        consume();
+        expectEndOfStatement("CONTINUE");
+        return Stmts;
+      }
+      // The labeled statement itself is the last statement of the loop.
+      const Stmt *Last = parseStatement();
+      if (Last)
+        Stmts.push_back(Last);
+      return Stmts;
+    }
+
+    const Stmt *S = parseStatement();
+    if (S)
+      Stmts.push_back(S);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+const Stmt *Parser::parseStatement() {
+  switch (peek().Kind) {
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwDo:
+    return parseDo();
+  case TokenKind::KwWhere:
+    return parseWhere();
+  case TokenKind::KwForall:
+    return parseForall();
+  case TokenKind::KwPrint:
+    return parsePrint();
+  case TokenKind::KwContinue: {
+    SourceLocation Loc = consume().Loc;
+    expectEndOfStatement("CONTINUE");
+    return Ctx.makeAt<ContinueStmt>(Loc);
+  }
+  case TokenKind::KwCall: {
+    SourceLocation Loc = consume().Loc;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected subroutine name after CALL");
+      skipToStatementEnd();
+      return nullptr;
+    }
+    std::string Callee = consume().Text;
+    std::vector<const Expr *> Args;
+    if (accept(TokenKind::LParen)) {
+      if (!check(TokenKind::RParen)) {
+        do
+          Args.push_back(parseExpr());
+        while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "CALL statement");
+    }
+    expectEndOfStatement("CALL statement");
+    return Ctx.makeAt<CallStmt>(Loc, Callee, Args);
+  }
+  case TokenKind::Identifier:
+    return parseAssignmentLike();
+  default:
+    Diags.error(peek().Loc, std::string("unexpected ") +
+                                tokenKindName(peek().Kind) +
+                                " at start of statement");
+    skipToStatementEnd();
+    return nullptr;
+  }
+}
+
+const Stmt *Parser::parseAssignmentLike() {
+  SourceLocation Loc = peek().Loc;
+  const Expr *LHS = parsePrimary();
+  if (!LHS)
+    return nullptr;
+  if (!isa<IdentExpr>(LHS) && !isa<ArrayRefExpr>(LHS)) {
+    Diags.error(Loc, "left-hand side of assignment must be a variable or "
+                     "array reference");
+    skipToStatementEnd();
+    return nullptr;
+  }
+  if (!expect(TokenKind::Equal, "assignment")) {
+    skipToStatementEnd();
+    return nullptr;
+  }
+  const Expr *RHS = parseExpr();
+  expectEndOfStatement("assignment");
+  return Ctx.makeAt<AssignStmt>(Loc, LHS, RHS);
+}
+
+const Stmt *Parser::parseIf() {
+  SourceLocation Loc = consume().Loc; // IF
+  expect(TokenKind::LParen, "IF statement");
+  const Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "IF statement");
+
+  if (!check(TokenKind::KwThen)) {
+    // Single-statement logical IF: IF (cond) stmt.
+    const Stmt *Then = parseStatement();
+    return Ctx.makeAt<IfStmt>(Loc, Cond, Then, nullptr);
+  }
+  consume(); // THEN
+  expectEndOfStatement("IF ... THEN");
+
+  std::vector<const Stmt *> ThenStmts = parseBlockUntil(
+      {TokenKind::KwElse, TokenKind::KwElseIf, TokenKind::KwEndIf});
+  const Stmt *Then = Ctx.make<BlockStmt>(ThenStmts);
+
+  const Stmt *Else = nullptr;
+  if (check(TokenKind::KwElseIf) ||
+      (check(TokenKind::KwElse) && peek(1).Kind == TokenKind::KwIf)) {
+    if (check(TokenKind::KwElseIf)) {
+      // Rewrite "ELSEIF (c) THEN" as a nested IF by faking the IF token.
+      Tokens[Pos].Kind = TokenKind::KwIf;
+    } else {
+      consume(); // ELSE, leaving IF as the current token.
+    }
+    Else = parseIf();
+    return Ctx.makeAt<IfStmt>(Loc, Cond, Then, Else);
+  }
+  if (accept(TokenKind::KwElse)) {
+    expectEndOfStatement("ELSE");
+    std::vector<const Stmt *> ElseStmts =
+        parseBlockUntil({TokenKind::KwEndIf});
+    Else = Ctx.make<BlockStmt>(ElseStmts);
+  }
+  if (accept(TokenKind::KwEndIf)) {
+    // "ENDIF" single token.
+  } else if (accept(TokenKind::KwEnd)) {
+    expect(TokenKind::KwIf, "END IF");
+  } else {
+    Diags.error(peek().Loc, "expected END IF");
+  }
+  expectEndOfStatement("END IF");
+  return Ctx.makeAt<IfStmt>(Loc, Cond, Then, Else);
+}
+
+const Stmt *Parser::parseDo() {
+  SourceLocation Loc = consume().Loc; // DO
+
+  if (accept(TokenKind::KwWhile)) {
+    expect(TokenKind::LParen, "DO WHILE");
+    const Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "DO WHILE");
+    expectEndOfStatement("DO WHILE");
+    std::vector<const Stmt *> Body = parseBlockUntil({TokenKind::KwEndDo});
+    if (accept(TokenKind::KwEndDo)) {
+    } else if (accept(TokenKind::KwEnd)) {
+      expect(TokenKind::KwDo, "END DO");
+    }
+    expectEndOfStatement("END DO");
+    return Ctx.makeAt<DoWhileStmt>(Loc, Cond, Ctx.make<BlockStmt>(Body));
+  }
+
+  int64_t Label = 0;
+  if (check(TokenKind::IntLiteral))
+    Label = std::stoll(consume().Text);
+
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected loop variable in DO statement");
+    skipToStatementEnd();
+    return nullptr;
+  }
+  std::string Var = consume().Text;
+  expect(TokenKind::Equal, "DO statement");
+  const Expr *Lo = parseExpr();
+  expect(TokenKind::Comma, "DO statement");
+  const Expr *Hi = parseExpr();
+  const Expr *Step = nullptr;
+  if (accept(TokenKind::Comma))
+    Step = parseExpr();
+  expectEndOfStatement("DO statement");
+
+  std::vector<const Stmt *> Body;
+  if (Label != 0) {
+    Body = parseBlockUntil({TokenKind::EndOfFile}, Label);
+  } else {
+    Body = parseBlockUntil({TokenKind::KwEndDo});
+    if (accept(TokenKind::KwEndDo)) {
+    } else if (accept(TokenKind::KwEnd)) {
+      expect(TokenKind::KwDo, "END DO");
+    } else {
+      Diags.error(peek().Loc, "expected END DO");
+    }
+    expectEndOfStatement("END DO");
+  }
+  return Ctx.makeAt<DoLoopStmt>(Loc, Var, Lo, Hi, Step,
+                                Ctx.make<BlockStmt>(Body));
+}
+
+const Stmt *Parser::parseWhere() {
+  SourceLocation Loc = consume().Loc; // WHERE
+  expect(TokenKind::LParen, "WHERE statement");
+  const Expr *Mask = parseExpr();
+  expect(TokenKind::RParen, "WHERE statement");
+
+  auto CollectAssigns = [&](std::vector<const Stmt *> Stmts,
+                            std::vector<const AssignStmt *> &Out) {
+    for (const Stmt *S : Stmts) {
+      if (const auto *A = dyn_cast<AssignStmt>(S))
+        Out.push_back(A);
+      else
+        Diags.error(S->getLoc(),
+                    "only assignments are allowed inside WHERE");
+    }
+  };
+
+  // Single-statement WHERE: WHERE (mask) a = b.
+  if (!check(TokenKind::EndOfStatement)) {
+    const Stmt *S = parseAssignmentLike();
+    std::vector<const AssignStmt *> Then;
+    if (S)
+      CollectAssigns({S}, Then);
+    return Ctx.makeAt<WhereStmt>(Loc, Mask, Then,
+                                 std::vector<const AssignStmt *>{});
+  }
+  expectEndOfStatement("WHERE");
+
+  std::vector<const AssignStmt *> Then, Else;
+  CollectAssigns(parseBlockUntil(
+                     {TokenKind::KwElsewhere, TokenKind::KwEndWhere}),
+                 Then);
+  if (accept(TokenKind::KwElsewhere)) {
+    expectEndOfStatement("ELSEWHERE");
+    CollectAssigns(parseBlockUntil({TokenKind::KwEndWhere}), Else);
+  }
+  if (accept(TokenKind::KwEndWhere)) {
+  } else if (accept(TokenKind::KwEnd)) {
+    expect(TokenKind::KwWhere, "END WHERE");
+  } else {
+    Diags.error(peek().Loc, "expected END WHERE");
+  }
+  expectEndOfStatement("END WHERE");
+  return Ctx.makeAt<WhereStmt>(Loc, Mask, Then, Else);
+}
+
+const Stmt *Parser::parseForall() {
+  SourceLocation Loc = consume().Loc; // FORALL
+  expect(TokenKind::LParen, "FORALL statement");
+  std::vector<ForallIndex> Indices;
+  do {
+    ForallIndex Idx;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected index name in FORALL");
+      skipToStatementEnd();
+      return nullptr;
+    }
+    Idx.Var = consume().Text;
+    expect(TokenKind::Equal, "FORALL index");
+    Idx.Lo = parseExpr();
+    expect(TokenKind::Colon, "FORALL index");
+    Idx.Hi = parseExpr();
+    if (accept(TokenKind::Colon))
+      Idx.Stride = parseExpr();
+    Indices.push_back(Idx);
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "FORALL statement");
+
+  const Stmt *S = parseAssignmentLike();
+  const auto *A = dyn_cast_or_null<AssignStmt>(S);
+  if (!A) {
+    Diags.error(Loc, "FORALL body must be a single assignment");
+    return nullptr;
+  }
+  return Ctx.makeAt<ForallStmt>(Loc, Indices, A);
+}
+
+const Stmt *Parser::parsePrint() {
+  SourceLocation Loc = consume().Loc; // PRINT
+  expect(TokenKind::Star, "PRINT statement");
+  std::vector<const Expr *> Items;
+  while (accept(TokenKind::Comma))
+    Items.push_back(parseExpr());
+  expectEndOfStatement("PRINT statement");
+  return Ctx.makeAt<PrintStmt>(Loc, Items);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *Parser::parseExpr() { return parseOr(); }
+
+const Expr *Parser::parseOr() {
+  const Expr *L = parseAnd();
+  while (check(TokenKind::DotOr)) {
+    SourceLocation Loc = consume().Loc;
+    const Expr *R = parseAnd();
+    L = Ctx.makeAt<BinaryExpr>(Loc, BinOp::Or, L, R);
+  }
+  return L;
+}
+
+const Expr *Parser::parseAnd() {
+  const Expr *L = parseNot();
+  while (check(TokenKind::DotAnd)) {
+    SourceLocation Loc = consume().Loc;
+    const Expr *R = parseNot();
+    L = Ctx.makeAt<BinaryExpr>(Loc, BinOp::And, L, R);
+  }
+  return L;
+}
+
+const Expr *Parser::parseNot() {
+  if (check(TokenKind::DotNot)) {
+    SourceLocation Loc = consume().Loc;
+    const Expr *Operand = parseNot();
+    return Ctx.makeAt<UnaryExpr>(Loc, UnOp::Not, Operand);
+  }
+  return parseComparison();
+}
+
+const Expr *Parser::parseComparison() {
+  const Expr *L = parseAdditive();
+  BinOp Op;
+  switch (peek().Kind) {
+  case TokenKind::EqEq:
+    Op = BinOp::Eq;
+    break;
+  case TokenKind::SlashEq:
+    Op = BinOp::Ne;
+    break;
+  case TokenKind::Less:
+    Op = BinOp::Lt;
+    break;
+  case TokenKind::LessEq:
+    Op = BinOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinOp::Gt;
+    break;
+  case TokenKind::GreaterEq:
+    Op = BinOp::Ge;
+    break;
+  default:
+    return L;
+  }
+  SourceLocation Loc = consume().Loc;
+  const Expr *R = parseAdditive();
+  return Ctx.makeAt<BinaryExpr>(Loc, Op, L, R);
+}
+
+const Expr *Parser::parseAdditive() {
+  const Expr *L = parseMultiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinOp Op = check(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+    SourceLocation Loc = consume().Loc;
+    const Expr *R = parseMultiplicative();
+    L = Ctx.makeAt<BinaryExpr>(Loc, Op, L, R);
+  }
+  return L;
+}
+
+const Expr *Parser::parseMultiplicative() {
+  const Expr *L = parseUnary();
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    BinOp Op = check(TokenKind::Star) ? BinOp::Mul : BinOp::Div;
+    SourceLocation Loc = consume().Loc;
+    const Expr *R = parseUnary();
+    L = Ctx.makeAt<BinaryExpr>(Loc, Op, L, R);
+  }
+  return L;
+}
+
+const Expr *Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLocation Loc = consume().Loc;
+    // In Fortran, -a**b parses as -(a**b).
+    const Expr *Operand = parseUnary();
+    return Ctx.makeAt<UnaryExpr>(Loc, UnOp::Neg, Operand);
+  }
+  if (accept(TokenKind::Plus))
+    return parseUnary();
+  return parsePower();
+}
+
+const Expr *Parser::parsePower() {
+  const Expr *Base = parsePrimary();
+  if (check(TokenKind::StarStar)) {
+    SourceLocation Loc = consume().Loc;
+    // '**' is right-associative; the exponent may carry a unary minus.
+    const Expr *Exp = parseUnary();
+    return Ctx.makeAt<BinaryExpr>(Loc, BinOp::Pow, Base, Exp);
+  }
+  return Base;
+}
+
+ast::DimSelector Parser::parseDimSelector() {
+  DimSelector Sel;
+  // Forms: expr | expr:expr | expr:expr:expr | : | :expr | expr: ...
+  if (check(TokenKind::Colon)) {
+    consume();
+    Sel.IsSection = true;
+    if (!check(TokenKind::Comma) && !check(TokenKind::RParen) &&
+        !check(TokenKind::Colon))
+      Sel.Hi = parseExpr();
+    if (accept(TokenKind::Colon))
+      Sel.Stride = parseExpr();
+    return Sel;
+  }
+  const Expr *First = parseExpr();
+  if (!check(TokenKind::Colon)) {
+    Sel.Index = First;
+    return Sel;
+  }
+  consume(); // ':'
+  Sel.IsSection = true;
+  Sel.Lo = First;
+  if (!check(TokenKind::Comma) && !check(TokenKind::RParen) &&
+      !check(TokenKind::Colon))
+    Sel.Hi = parseExpr();
+  if (accept(TokenKind::Colon))
+    Sel.Stride = parseExpr();
+  return Sel;
+}
+
+const Expr *Parser::parsePrimary() {
+  const Token &T = peek();
+  switch (T.Kind) {
+  case TokenKind::IntLiteral: {
+    Token Lit = consume();
+    return Ctx.makeAt<IntLitExpr>(Lit.Loc, std::stoll(Lit.Text));
+  }
+  case TokenKind::RealLiteral: {
+    Token Lit = consume();
+    return Ctx.makeAt<RealLitExpr>(Lit.Loc, std::strtod(Lit.Text.c_str(),
+                                                        nullptr),
+                                   /*Double=*/false);
+  }
+  case TokenKind::DoubleLiteral: {
+    Token Lit = consume();
+    return Ctx.makeAt<RealLitExpr>(Lit.Loc, std::strtod(Lit.Text.c_str(),
+                                                        nullptr),
+                                   /*Double=*/true);
+  }
+  case TokenKind::DotTrue: {
+    Token Lit = consume();
+    return Ctx.makeAt<LogicalLitExpr>(Lit.Loc, true);
+  }
+  case TokenKind::DotFalse: {
+    Token Lit = consume();
+    return Ctx.makeAt<LogicalLitExpr>(Lit.Loc, false);
+  }
+  case TokenKind::StringLiteral: {
+    Token Lit = consume();
+    return Ctx.makeAt<StringLitExpr>(Lit.Loc, Lit.Text);
+  }
+  case TokenKind::LParen: {
+    consume();
+    const Expr *E = parseExpr();
+    expect(TokenKind::RParen, "parenthesized expression");
+    return E;
+  }
+  // Fortran has no reserved words: a type keyword in expression position is
+  // an intrinsic reference ("real(n)").
+  case TokenKind::KwReal:
+  case TokenKind::KwInteger:
+  case TokenKind::KwLogical:
+  case TokenKind::Identifier: {
+    Token Name = consume();
+    if (!check(TokenKind::LParen))
+      return Ctx.makeAt<IdentExpr>(Name.Loc, Name.Text);
+    consume(); // '('
+    if (ArrayNames.count(Name.Text)) {
+      std::vector<DimSelector> Dims;
+      if (!check(TokenKind::RParen)) {
+        do
+          Dims.push_back(parseDimSelector());
+        while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "array reference");
+      return Ctx.makeAt<ArrayRefExpr>(Name.Loc, Name.Text, Dims);
+    }
+    // Intrinsic or function call. Keyword arguments (DIM=1, SHIFT=-1) keep
+    // their keyword spelling so the lowering phase can place them
+    // positionally per-intrinsic.
+    std::vector<const Expr *> Args;
+    std::vector<std::string> Keywords;
+    if (!check(TokenKind::RParen)) {
+      do {
+        std::string Keyword;
+        if (check(TokenKind::Identifier) &&
+            peek(1).Kind == TokenKind::Equal) {
+          Keyword = consume().Text;
+          consume(); // '='
+        }
+        Args.push_back(parseExpr());
+        Keywords.push_back(Keyword);
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "function reference");
+    return Ctx.makeAt<CallExpr>(Name.Loc, Name.Text, Args, Keywords);
+  }
+  default:
+    Diags.error(T.Loc, std::string("unexpected ") + tokenKindName(T.Kind) +
+                           " in expression");
+    consume();
+    return Ctx.makeAt<IntLitExpr>(T.Loc, 0);
+  }
+}

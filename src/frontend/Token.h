@@ -1,0 +1,107 @@
+//===- frontend/Token.h - Fortran-90 tokens ----------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Fortran-90 lexer. Fortran is case
+/// insensitive; identifier and keyword spellings are canonicalized to
+/// lowercase by the lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_FRONTEND_TOKEN_H
+#define F90Y_FRONTEND_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace f90y {
+namespace frontend {
+
+enum class TokenKind {
+  EndOfFile,
+  EndOfStatement, ///< Newline or ';' separating statements.
+  Identifier,
+  IntLiteral,
+  RealLiteral,   ///< Default-real literal (single precision).
+  DoubleLiteral, ///< Double-precision literal (d-exponent).
+  StringLiteral,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  ColonColon,
+  Equal,
+  Plus,
+  Minus,
+  Star,
+  StarStar,
+  Slash,
+  EqEq,
+  SlashEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  // Dot-delimited operators and literals (.and., .true., ...).
+  DotAnd,
+  DotOr,
+  DotNot,
+  DotEqv,
+  DotTrue,
+  DotFalse,
+  // Keywords (recognized from identifiers by the parser where contextual
+  // treatment is required, but common statement keywords get kinds).
+  KwProgram,
+  KwEnd,
+  KwInteger,
+  KwReal,
+  KwDouble,
+  KwPrecision,
+  KwLogical,
+  KwParameter,
+  KwDimension,
+  KwArray,
+  KwDo,
+  KwContinue,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwElseIf,
+  KwEndIf,
+  KwEndDo,
+  KwWhere,
+  KwElsewhere,
+  KwEndWhere,
+  KwForall,
+  KwWhile,
+  KwPrint,
+  KwCall,
+  KwSubroutine
+};
+
+/// A lexed token. `Text` holds the canonical (lowercased) spelling for
+/// identifiers and keywords, the raw spelling for literals.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  SourceLocation Loc;
+
+  /// Statement label (e.g. the 10 of "10 CONTINUE"); 0 when absent. Only
+  /// meaningful on the first token of a statement.
+  int64_t Label = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Human-readable name of \p K for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+} // namespace frontend
+} // namespace f90y
+
+#endif // F90Y_FRONTEND_TOKEN_H

@@ -1,0 +1,575 @@
+//===- host/HostExecutor.cpp - Front-end execution ---------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/HostExecutor.h"
+
+#include "lower/Lowering.h"
+#include "nir/Printer.h"
+#include "peac/Executor.h"
+
+#include <cmath>
+
+using namespace f90y;
+using namespace f90y::host;
+using interp::RtVal;
+namespace N = f90y::nir;
+
+std::optional<RtVal> HostExecutor::getScalar(const std::string &Name) const {
+  auto It = Scalars.find(Name);
+  if (It == Scalars.end())
+    return std::nullopt;
+  return It->second;
+}
+
+int HostExecutor::fieldHandle(const std::string &Name) const {
+  auto It = FieldHandles.find(Name);
+  return It == FieldHandles.end() ? -1 : It->second;
+}
+
+void HostExecutor::beginPendingComm(double Cycles, const std::string &Dst,
+                                    const std::string &Src) {
+  if (!OverlapCommCompute)
+    return;
+  // The data network serializes with itself: a new transfer waits for the
+  // previous one.
+  flushPendingComm();
+  PendingCommCycles = Cycles;
+  PendingCommFields.insert(Dst);
+  PendingCommFields.insert(Src);
+}
+
+void HostExecutor::overlapAgainstPending(
+    double Cycles, const std::set<std::string> &Touched) {
+  if (!OverlapCommCompute || PendingCommCycles <= 0)
+    return;
+  for (const std::string &F : Touched) {
+    if (PendingCommFields.count(F)) {
+      flushPendingComm(); // Dependent: the computation waits.
+      return;
+    }
+  }
+  double Saved = Cycles < PendingCommCycles ? Cycles : PendingCommCycles;
+  RT.ledger().OverlappedCycles += Saved;
+  PendingCommCycles -= Saved;
+  if (PendingCommCycles <= 0)
+    flushPendingComm();
+}
+
+bool HostExecutor::run(const HostProgram &Prog) {
+  Program = &Prog;
+  Output.clear();
+  Failed = false;
+  Scalars.clear();
+  ScalarKinds.clear();
+  FieldHandles.clear();
+  LoopCoords.clear();
+  flushPendingComm();
+  exec(Prog.Body.get());
+  return !Failed;
+}
+
+RtVal HostExecutor::convertFor(RtVal V, runtime::ElemKind K) {
+  switch (K) {
+  case runtime::ElemKind::Int:
+    return RtVal::makeInt(V.asInt());
+  case runtime::ElemKind::Real:
+    return RtVal::makeReal(V.asReal());
+  case runtime::ElemKind::Bool:
+    return RtVal::makeBool(V.asBool());
+  }
+  return V;
+}
+
+RtVal HostExecutor::evalScalar(const N::Value *V) {
+  if (Failed)
+    return RtVal::makeInt(0);
+  switch (V->getKind()) {
+  case N::Value::Kind::Binary: {
+    const auto *B = cast<N::BinaryValue>(V);
+    RtVal L = evalScalar(B->getLHS());
+    RtVal R = evalScalar(B->getRHS());
+    return interp::applyBinary(B->getOp(), L, R, nullptr);
+  }
+  case N::Value::Kind::Unary: {
+    const auto *U = cast<N::UnaryValue>(V);
+    return interp::applyUnary(U->getOp(), evalScalar(U->getOperand()),
+                              nullptr);
+  }
+  case N::Value::Kind::SVar: {
+    auto It = Scalars.find(cast<N::SVarValue>(V)->getId());
+    if (It == Scalars.end()) {
+      error("host read of unallocated scalar '" +
+            cast<N::SVarValue>(V)->getId() + "'");
+      return RtVal::makeInt(0);
+    }
+    return It->second;
+  }
+  case N::Value::Kind::ScalarConst: {
+    const auto *C = cast<N::ScalarConstValue>(V);
+    if (C->isInt())
+      return RtVal::makeInt(C->getInt());
+    if (C->isBool())
+      return RtVal::makeBool(C->getBool());
+    return RtVal::makeReal(C->getFloat());
+  }
+  case N::Value::Kind::StrConst:
+    error("string constant in host scalar expression");
+    return RtVal::makeInt(0);
+  case N::Value::Kind::LocalCoord: {
+    const auto *LC = cast<N::LocalCoordValue>(V);
+    auto It = LoopCoords.find(LC->getDomain());
+    if (It == LoopCoords.end() || LC->getDim() > It->second.size()) {
+      error("host reference to coordinates of domain '" + LC->getDomain() +
+            "' outside its loop");
+      return RtVal::makeInt(0);
+    }
+    return RtVal::makeInt(It->second[LC->getDim() - 1]);
+  }
+  case N::Value::Kind::AVar: {
+    const auto *AV = cast<N::AVarValue>(V);
+    const auto *Sub = dyn_cast<N::SubscriptAction>(AV->getAction());
+    if (!Sub) {
+      error("host scalar evaluation of whole array '" + AV->getId() + "'");
+      return RtVal::makeInt(0);
+    }
+    int Handle = fieldHandle(AV->getId());
+    if (Handle < 0) {
+      error("host read of unallocated array '" + AV->getId() + "'");
+      return RtVal::makeInt(0);
+    }
+    const runtime::PeArray &A = RT.field(Handle);
+    std::vector<int64_t> Coord(Sub->getIndices().size());
+    for (size_t D = 0; D < Coord.size(); ++D) {
+      int64_t Idx = evalScalar(Sub->getIndices()[D]).asInt();
+      int64_t Zero = Idx - A.Geo->Los[D];
+      if (Zero < 0 || Zero >= A.Geo->Extents[D]) {
+        error("subscript " + std::to_string(Idx) + " out of bounds for '" +
+              AV->getId() + "'");
+        return RtVal::makeInt(0);
+      }
+      Coord[D] = Zero;
+    }
+    double Raw = RT.readElement(Handle, Coord);
+    switch (A.Kind) {
+    case runtime::ElemKind::Int:
+      return RtVal::makeInt(static_cast<int64_t>(Raw));
+    case runtime::ElemKind::Bool:
+      return RtVal::makeBool(Raw != 0);
+    case runtime::ElemKind::Real:
+      return RtVal::makeReal(Raw);
+    }
+    return RtVal::makeReal(Raw);
+  }
+  case N::Value::Kind::FcnCall: {
+    const auto *F = cast<N::FcnCallValue>(V);
+    const std::string &Name = F->getCallee();
+    if (lower::isReductionIntrinsic(Name)) {
+      const auto *AV = dyn_cast<N::AVarValue>(F->getArgs()[0]);
+      if (!AV || !isa<N::EverywhereAction>(AV->getAction())) {
+        error("host reduction over a non-canonical argument");
+        return RtVal::makeInt(0);
+      }
+      int Handle = fieldHandle(AV->getId());
+      if (Handle < 0) {
+        error("host reduction over unallocated array '" + AV->getId() + "'");
+        return RtVal::makeInt(0);
+      }
+      runtime::ReduceOp Op;
+      if (Name == "sum")
+        Op = runtime::ReduceOp::Sum;
+      else if (Name == "product")
+        Op = runtime::ReduceOp::Product;
+      else if (Name == "maxval")
+        Op = runtime::ReduceOp::Max;
+      else if (Name == "minval")
+        Op = runtime::ReduceOp::Min;
+      else if (Name == "count")
+        Op = runtime::ReduceOp::Count;
+      else if (Name == "any")
+        Op = runtime::ReduceOp::Any;
+      else
+        Op = runtime::ReduceOp::All;
+      double R = RT.reduce(Op, Handle);
+      if (Name == "count")
+        return RtVal::makeInt(static_cast<int64_t>(R));
+      if (Name == "any" || Name == "all")
+        return RtVal::makeBool(R != 0);
+      if (RT.field(Handle).Kind == runtime::ElemKind::Int)
+        return RtVal::makeInt(static_cast<int64_t>(R));
+      return RtVal::makeReal(R);
+    }
+    if (Name == "merge") {
+      RtVal M = evalScalar(F->getArgs()[2]);
+      return evalScalar(F->getArgs()[M.asBool() ? 0 : 1]);
+    }
+    error("host evaluation of primitive '" + Name + "'");
+    return RtVal::makeInt(0);
+  }
+  }
+  return RtVal::makeInt(0);
+}
+
+void HostExecutor::execCallPeac(const CallPeacStmt *S) {
+  const peac::Routine &R = Program->Routines[S->routineIndex()];
+  const runtime::Geometry *Geo = RT.getGeometry(S->extents(), S->los());
+
+  peac::ExecArgs Args;
+  Args.NumPEs = static_cast<unsigned>(Geo->GridPEs);
+  Args.SubgridElems = Geo->SubgridElems;
+  for (const PeacArgSpec &A : S->args()) {
+    switch (A.K) {
+    case PeacArgSpec::Kind::FieldPtr: {
+      int Handle = fieldHandle(A.Field);
+      if (Handle < 0) {
+        error("PEAC argument references unallocated array '" + A.Field +
+              "'");
+        return;
+      }
+      runtime::PeArray &F = RT.field(Handle);
+      if (F.Geo != Geo) {
+        error("PEAC argument '" + A.Field +
+              "' has a different geometry than the computation block");
+        return;
+      }
+      Args.Ptrs.push_back(
+          {F.Data.data(), static_cast<size_t>(Geo->PaddedSubgrid), 0});
+      break;
+    }
+    case PeacArgSpec::Kind::CoordPtr: {
+      int Handle = RT.coordField(Geo, A.Dim);
+      runtime::PeArray &F = RT.field(Handle);
+      Args.Ptrs.push_back(
+          {F.Data.data(), static_cast<size_t>(Geo->PaddedSubgrid), 0});
+      break;
+    }
+    case PeacArgSpec::Kind::Scalar:
+      Args.Scalars.push_back(evalScalar(A.Scalar).asReal());
+      break;
+    }
+  }
+  if (Failed)
+    return;
+
+  peac::ExecResult Res = peac::execute(R, Args, RT.costs());
+  runtime::CycleLedger &L = RT.ledger();
+  L.NodeCycles += Res.NodeCycles;
+  L.CallCycles += Res.CallCycles;
+  L.Flops += Res.Flops;
+
+  if (OverlapCommCompute) {
+    std::set<std::string> Touched;
+    for (const PeacArgSpec &A : S->args())
+      if (A.K == PeacArgSpec::Kind::FieldPtr)
+        Touched.insert(A.Field);
+    overlapAgainstPending(Res.NodeCycles + Res.CallCycles, Touched);
+  }
+}
+
+void HostExecutor::exec(const HostStmt *S) {
+  if (Failed || !S)
+    return;
+  runtime::CycleLedger &L = RT.ledger();
+
+  switch (S->getKind()) {
+  case HostStmt::Kind::Seq:
+    for (const auto &Sub : cast<SeqStmt>(S)->stmts())
+      exec(Sub.get());
+    return;
+  case HostStmt::Kind::AllocScope: {
+    const auto *A = cast<AllocScopeStmt>(S);
+    for (const auto &F : A->fields()) {
+      const runtime::Geometry *Geo = RT.getGeometry(F.Extents, F.Los);
+      int Handle = RT.allocField(Geo, F.Kind);
+      FieldHandles[F.Name] = Handle;
+      auto Preset = PresetArrays.find(F.Name);
+      if (Preset != PresetArrays.end()) {
+        // Seed row-major values through element writes (free of charge:
+        // test scaffolding, not program execution).
+        double SavedComm = L.CommCycles;
+        std::vector<int64_t> Coord(F.Extents.size(), 0);
+        size_t I = 0;
+        bool Done = F.Extents.empty();
+        while (!Done && I < Preset->second.size()) {
+          RT.writeElement(Handle, Coord, Preset->second[I++]);
+          size_t K = F.Extents.size();
+          Done = true;
+          while (K-- > 0) {
+            if (++Coord[K] < F.Extents[K]) {
+              Done = false;
+              break;
+            }
+            Coord[K] = 0;
+          }
+        }
+        L.CommCycles = SavedComm;
+      }
+      L.HostCycles += RT.costs().HostStatementCycles;
+    }
+    for (const auto &Sc : A->scalars()) {
+      RtVal V = convertFor(RtVal::makeInt(0), Sc.Kind);
+      auto Preset = PresetScalars.find(Sc.Name);
+      if (Preset != PresetScalars.end())
+        V = convertFor(Preset->second, Sc.Kind);
+      Scalars[Sc.Name] = V;
+      ScalarKinds[Sc.Name] = Sc.Kind;
+    }
+    exec(A->body());
+    // Free transformation temporaries on scope exit; top-level (keep-
+    // alive) allocations survive for post-run inspection.
+    if (!A->keepAlive()) {
+      for (const auto &F : A->fields()) {
+        auto It = FieldHandles.find(F.Name);
+        if (It != FieldHandles.end()) {
+          RT.freeField(It->second);
+          FieldHandles.erase(It);
+        }
+      }
+    }
+    return;
+  }
+  case HostStmt::Kind::ScalarAssign: {
+    const auto *A = cast<ScalarAssignStmt>(S);
+    flushPendingComm(); // Host expressions may read any field element.
+    L.HostCycles += RT.costs().HostStatementCycles;
+    if (A->guard() && !evalScalar(A->guard()).asBool())
+      return;
+    RtVal V = evalScalar(A->expr());
+    auto KindIt = ScalarKinds.find(A->name());
+    if (KindIt == ScalarKinds.end()) {
+      error("host write to unallocated scalar '" + A->name() + "'");
+      return;
+    }
+    Scalars[A->name()] = convertFor(V, KindIt->second);
+    return;
+  }
+  case HostStmt::Kind::ElementMove: {
+    const auto *M = cast<ElementMoveStmt>(S);
+    flushPendingComm();
+    L.HostCycles += RT.costs().HostStatementCycles;
+    if (M->guard() && !evalScalar(M->guard()).asBool())
+      return;
+    int Handle = fieldHandle(M->array());
+    if (Handle < 0) {
+      error("element store to unallocated array '" + M->array() + "'");
+      return;
+    }
+    const runtime::PeArray &A = RT.field(Handle);
+    std::vector<int64_t> Coord(M->indices().size());
+    for (size_t D = 0; D < Coord.size(); ++D) {
+      int64_t Idx = evalScalar(M->indices()[D]).asInt();
+      int64_t Zero = Idx - A.Geo->Los[D];
+      if (Zero < 0 || Zero >= A.Geo->Extents[D]) {
+        error("subscript " + std::to_string(Idx) + " out of bounds for '" +
+              M->array() + "'");
+        return;
+      }
+      Coord[D] = Zero;
+    }
+    double V = evalScalar(M->expr()).asReal();
+    if (A.Kind == runtime::ElemKind::Int)
+      V = std::trunc(V);
+    else if (A.Kind == runtime::ElemKind::Bool)
+      V = V != 0 ? 1 : 0;
+    if (Deferred)
+      Deferred->push_back({Handle, Coord, V});
+    else
+      RT.writeElement(Handle, Coord, V);
+    return;
+  }
+  case HostStmt::Kind::CallPeac:
+    execCallPeac(cast<CallPeacStmt>(S));
+    return;
+  case HostStmt::Kind::CShift: {
+    const auto *C = cast<CShiftStmt>(S);
+    int Dst = fieldHandle(C->dst()), Src = fieldHandle(C->src());
+    if (Dst < 0 || Src < 0) {
+      error("shift references an unallocated array");
+      return;
+    }
+    double Before = L.CommCycles;
+    if (C->isEndOff())
+      RT.eoshift(Dst, Src, C->dim(), C->shift());
+    else
+      RT.cshift(Dst, Src, C->dim(), C->shift());
+    beginPendingComm(L.CommCycles - Before, C->dst(), C->src());
+    return;
+  }
+  case HostStmt::Kind::SectionCopy: {
+    const auto *C = cast<SectionCopyStmt>(S);
+    int Dst = fieldHandle(C->dst()), Src = fieldHandle(C->src());
+    if (Dst < 0 || Src < 0) {
+      error("section copy references an unallocated array");
+      return;
+    }
+    double Before = L.CommCycles;
+    RT.sectionCopy(Dst, C->dstSec(), Src, C->srcSec());
+    beginPendingComm(L.CommCycles - Before, C->dst(), C->src());
+    return;
+  }
+  case HostStmt::Kind::Transpose: {
+    const auto *T = cast<TransposeStmt>(S);
+    int Dst = fieldHandle(T->dst()), Src = fieldHandle(T->src());
+    if (Dst < 0 || Src < 0) {
+      error("transpose references an unallocated array");
+      return;
+    }
+    double Before = L.CommCycles;
+    RT.transpose(Dst, Src);
+    beginPendingComm(L.CommCycles - Before, T->dst(), T->src());
+    return;
+  }
+  case HostStmt::Kind::Reduce: {
+    const auto *R = cast<ReduceStmt>(S);
+    flushPendingComm(); // The front end consumes the result immediately.
+    int Src = fieldHandle(R->src());
+    if (Src < 0) {
+      error("reduction over unallocated array '" + R->src() + "'");
+      return;
+    }
+    double V = RT.reduce(R->op(), Src);
+    auto KindIt = ScalarKinds.find(R->dstScalar());
+    if (KindIt == ScalarKinds.end()) {
+      error("reduction into unallocated scalar '" + R->dstScalar() + "'");
+      return;
+    }
+    Scalars[R->dstScalar()] = convertFor(RtVal::makeReal(V), KindIt->second);
+    return;
+  }
+  case HostStmt::Kind::ReduceDim: {
+    const auto *R = cast<ReduceDimStmt>(S);
+    int Dst = fieldHandle(R->dst()), Src = fieldHandle(R->src());
+    if (Dst < 0 || Src < 0) {
+      error("partial reduction references an unallocated array");
+      return;
+    }
+    double Before = L.CommCycles;
+    RT.reduceAlongDim(R->op(), Dst, Src, R->dim());
+    beginPendingComm(L.CommCycles - Before, R->dst(), R->src());
+    return;
+  }
+  case HostStmt::Kind::Spread: {
+    const auto *Sp = cast<SpreadStmt>(S);
+    int Dst = fieldHandle(Sp->dst()), Src = fieldHandle(Sp->src());
+    if (Dst < 0 || Src < 0) {
+      error("spread references an unallocated array");
+      return;
+    }
+    double Before = L.CommCycles;
+    RT.spreadAlongDim(Dst, Src, Sp->dim());
+    beginPendingComm(L.CommCycles - Before, Sp->dst(), Sp->src());
+    return;
+  }
+  case HostStmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    flushPendingComm(); // Conditions may read reduced/loaded state.
+    L.HostCycles += RT.costs().HostStatementCycles;
+    if (evalScalar(If->cond()).asBool())
+      exec(If->thenStmt());
+    else
+      exec(If->elseStmt());
+    return;
+  }
+  case HostStmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    flushPendingComm();
+    uint64_t Iterations = 0;
+    while (!Failed && evalScalar(W->cond()).asBool()) {
+      L.HostCycles += RT.costs().HostStatementCycles;
+      exec(W->body());
+      if (++Iterations > 100000000ull) {
+        error("host WHILE exceeded the iteration bound");
+        return;
+      }
+    }
+    return;
+  }
+  case HostStmt::Kind::SerialDo:
+  case HostStmt::Kind::ParallelLoop: {
+    bool Parallel = S->getKind() == HostStmt::Kind::ParallelLoop;
+    const std::string &Domain =
+        Parallel ? cast<ParallelLoopStmt>(S)->domain()
+                 : cast<SerialDoStmt>(S)->domain();
+    const std::vector<int64_t> &Los = Parallel
+                                          ? cast<ParallelLoopStmt>(S)->los()
+                                          : cast<SerialDoStmt>(S)->los();
+    const std::vector<int64_t> &His = Parallel
+                                          ? cast<ParallelLoopStmt>(S)->his()
+                                          : cast<SerialDoStmt>(S)->his();
+    const HostStmt *Body = Parallel ? cast<ParallelLoopStmt>(S)->body()
+                                    : cast<SerialDoStmt>(S)->body();
+
+    std::vector<DeferredWrite> Writes;
+    std::vector<DeferredWrite> *Saved = Deferred;
+    if (Parallel)
+      Deferred = &Writes;
+
+    std::vector<int64_t> Coord = Los;
+    bool Empty = false;
+    for (size_t D = 0; D < Los.size(); ++D)
+      if (His[D] < Los[D])
+        Empty = true;
+    while (!Empty && !Failed) {
+      LoopCoords[Domain] = Coord;
+      L.HostCycles += RT.costs().HostStatementCycles;
+      exec(Body);
+      size_t K = Coord.size();
+      bool Done = true;
+      while (K-- > 0) {
+        if (++Coord[K] <= His[K]) {
+          Done = false;
+          break;
+        }
+        Coord[K] = Los[K];
+      }
+      if (Done)
+        break;
+    }
+    LoopCoords.erase(Domain);
+    if (Parallel) {
+      Deferred = Saved;
+      if (Deferred) {
+        for (DeferredWrite &W : Writes)
+          Deferred->push_back(std::move(W));
+      } else {
+        for (const DeferredWrite &W : Writes)
+          RT.writeElement(W.Handle, W.Coord, W.V);
+      }
+    }
+    return;
+  }
+  case HostStmt::Kind::Print: {
+    const auto *P = cast<PrintStmt>(S);
+    flushPendingComm();
+    L.HostCycles += RT.costs().HostStatementCycles;
+    std::string Line;
+    bool First = true;
+    for (const N::Value *Item : P->items()) {
+      if (!First)
+        Line += ' ';
+      First = false;
+      if (const auto *Str = dyn_cast<N::StrConstValue>(Item)) {
+        Line += Str->getStr();
+        continue;
+      }
+      if (const auto *AV = dyn_cast<N::AVarValue>(Item)) {
+        if (isa<N::EverywhereAction>(AV->getAction())) {
+          int Handle = fieldHandle(AV->getId());
+          if (Handle < 0) {
+            error("PRINT of unallocated array '" + AV->getId() + "'");
+            return;
+          }
+          Line += RT.renderField(Handle);
+          continue;
+        }
+      }
+      Line += evalScalar(Item).str();
+    }
+    Output += Line;
+    Output += '\n';
+    return;
+  }
+  }
+}

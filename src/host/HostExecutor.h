@@ -1,0 +1,118 @@
+//===- host/HostExecutor.h - Front-end execution -------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled HostProgram against a CM runtime instance: the
+/// simulated SPARC front end. Scalar expressions evaluate host-side; PEAC
+/// dispatches run on the simulated PE set; communication goes through the
+/// CM runtime; all time lands in the runtime's cycle ledger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_HOST_HOSTEXECUTOR_H
+#define F90Y_HOST_HOSTEXECUTOR_H
+
+#include "host/HostIR.h"
+#include "interp/RtValue.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <optional>
+#include <string>
+
+namespace f90y {
+namespace host {
+
+/// Runs host programs. The runtime (and its ledger) is owned by the
+/// caller so benchmarks can inspect cycle categories afterwards.
+class HostExecutor {
+public:
+  HostExecutor(runtime::CmRuntime &RT, DiagnosticEngine &Diags)
+      : RT(RT), Diags(Diags) {}
+
+  /// Executes \p Program to completion; false on a runtime error.
+  bool run(const HostProgram &Program);
+
+  /// Enables the Section 5.3.2 extension model: communication may proceed
+  /// concurrently with subsequent PEAC computation that touches none of
+  /// the fields in flight. Hidden cycles accumulate in the ledger's
+  /// OverlappedCycles. Off by default (the paper's strict
+  /// virtual-processor model).
+  void setOverlapCommCompute(bool On) { OverlapCommCompute = On; }
+
+  const std::string &output() const { return Output; }
+
+  /// Post-run inspection (top-level allocations are kept alive).
+  std::optional<interp::RtVal> getScalar(const std::string &Name) const;
+  /// Field handle of a (still-allocated) array, or -1.
+  int fieldHandle(const std::string &Name) const;
+
+  /// Pre-run seeds, mirroring the reference interpreter's hooks.
+  void presetScalar(const std::string &Name, interp::RtVal V) {
+    PresetScalars[Name] = V;
+  }
+  void presetArray(const std::string &Name, std::vector<double> Values) {
+    PresetArrays[Name] = std::move(Values);
+  }
+
+private:
+  runtime::CmRuntime &RT;
+  DiagnosticEngine &Diags;
+  const HostProgram *Program = nullptr;
+  std::string Output;
+  bool Failed = false;
+
+  std::map<std::string, interp::RtVal> Scalars;
+  std::map<std::string, runtime::ElemKind> ScalarKinds;
+  std::map<std::string, int> FieldHandles;
+  std::map<std::string, std::vector<int64_t>> LoopCoords;
+
+  std::map<std::string, interp::RtVal> PresetScalars;
+  std::map<std::string, std::vector<double>> PresetArrays;
+
+  struct DeferredWrite {
+    int Handle;
+    std::vector<int64_t> Coord;
+    double V;
+  };
+  std::vector<DeferredWrite> *Deferred = nullptr;
+
+  // Section 5.3.2 overlap model state: cycles of the communication still
+  // in flight, and the fields it involves.
+  bool OverlapCommCompute = false;
+  double PendingCommCycles = 0;
+  std::set<std::string> PendingCommFields;
+
+  /// Serializes against any in-flight communication.
+  void flushPendingComm() {
+    PendingCommCycles = 0;
+    PendingCommFields.clear();
+  }
+  /// Starts tracking a communication of \p Cycles involving the fields.
+  void beginPendingComm(double Cycles, const std::string &Dst,
+                        const std::string &Src);
+  /// Overlaps \p Cycles of node work against in-flight communication if
+  /// the touched fields are disjoint from it.
+  void overlapAgainstPending(double Cycles,
+                             const std::set<std::string> &Touched);
+
+  void error(const std::string &Msg) {
+    if (!Failed)
+      Diags.error(SourceLocation(), Msg);
+    Failed = true;
+  }
+
+  void exec(const HostStmt *S);
+  void execCallPeac(const CallPeacStmt *S);
+  interp::RtVal evalScalar(const nir::Value *V);
+  interp::RtVal convertFor(interp::RtVal V, runtime::ElemKind K);
+};
+
+} // namespace host
+} // namespace f90y
+
+#endif // F90Y_HOST_HOSTEXECUTOR_H

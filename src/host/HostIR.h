@@ -1,0 +1,425 @@
+//===- host/HostIR.h - Front-end (host) intermediate code ---------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host side of a compiled program: what the FE/NIR compiler produces
+/// for the SPARC front end (paper Section 5.2). DO- and MOVE-constructs
+/// over serial shapes become explicit iteration; declarative constructs
+/// become memory allocations; communication intrinsics become CM runtime
+/// library calls; and for each computation block the host pushes PEAC
+/// procedure arguments over the IFIFO to the processors.
+///
+/// The prototype's host model is a simple memory-to-memory one ("the
+/// current front-end semantic implementation uses a simple memory-to-
+/// memory load/store model"), so host statements reference NIR value trees
+/// for their scalar expressions and evaluate them directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_HOST_HOSTIR_H
+#define F90Y_HOST_HOSTIR_H
+
+#include "nir/Imperative.h"
+#include "peac/Peac.h"
+#include "runtime/CmRuntime.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace f90y {
+namespace host {
+
+/// One argument pushed over the IFIFO to a PEAC routine.
+struct PeacArgSpec {
+  enum class Kind {
+    FieldPtr, ///< Base pointer of a named field's subgrids.
+    CoordPtr, ///< Pointer to the coordinate subgrid along a dimension.
+    Scalar    ///< A scalar value, evaluated host-side at call time.
+  };
+  Kind K = Kind::FieldPtr;
+  std::string Field;              ///< FieldPtr: array name.
+  unsigned Dim = 0;               ///< CoordPtr: 1-based dimension.
+  const nir::Value *Scalar = nullptr; ///< Scalar: host expression.
+};
+
+/// Base class of host statements.
+class HostStmt {
+public:
+  enum class Kind {
+    Seq,
+    AllocScope,
+    ScalarAssign,
+    ElementMove,
+    CallPeac,
+    CShift,
+    SectionCopy,
+    Transpose,
+    Reduce,
+    ReduceDim,
+    Spread,
+    If,
+    While,
+    SerialDo,
+    ParallelLoop,
+    Print
+  };
+
+  Kind getKind() const { return K; }
+  virtual ~HostStmt() = default;
+
+protected:
+  explicit HostStmt(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+class SeqStmt : public HostStmt {
+public:
+  explicit SeqStmt(std::vector<std::unique_ptr<HostStmt>> Stmts)
+      : HostStmt(Kind::Seq), Stmts(std::move(Stmts)) {}
+  const std::vector<std::unique_ptr<HostStmt>> &stmts() const {
+    return Stmts;
+  }
+  static bool classof(const HostStmt *S) { return S->getKind() == Kind::Seq; }
+
+private:
+  std::vector<std::unique_ptr<HostStmt>> Stmts;
+};
+
+/// Declarative NIR becomes memory allocation: fields on the CM heap,
+/// scalars in host memory; freed on scope exit.
+class AllocScopeStmt : public HostStmt {
+public:
+  struct FieldAlloc {
+    std::string Name;
+    std::vector<int64_t> Extents;
+    std::vector<int64_t> Los;
+    runtime::ElemKind Kind = runtime::ElemKind::Real;
+  };
+  struct ScalarAlloc {
+    std::string Name;
+    runtime::ElemKind Kind = runtime::ElemKind::Real;
+  };
+
+  AllocScopeStmt(std::vector<FieldAlloc> Fields,
+                 std::vector<ScalarAlloc> Scalars,
+                 std::unique_ptr<HostStmt> Body, bool KeepAlive = false)
+      : HostStmt(Kind::AllocScope), Fields(std::move(Fields)),
+        Scalars(std::move(Scalars)), Body(std::move(Body)),
+        KeepAlive(KeepAlive) {}
+
+  const std::vector<FieldAlloc> &fields() const { return Fields; }
+  const std::vector<ScalarAlloc> &scalars() const { return Scalars; }
+  const HostStmt *body() const { return Body.get(); }
+  /// Top-level scopes stay allocated after the run for inspection;
+  /// transformation temporaries inside loops are freed on scope exit.
+  bool keepAlive() const { return KeepAlive; }
+
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::AllocScope;
+  }
+
+private:
+  std::vector<FieldAlloc> Fields;
+  std::vector<ScalarAlloc> Scalars;
+  std::unique_ptr<HostStmt> Body;
+  bool KeepAlive;
+};
+
+class ScalarAssignStmt : public HostStmt {
+public:
+  ScalarAssignStmt(std::string Name, const nir::Value *Expr,
+                   const nir::Value *Guard)
+      : HostStmt(Kind::ScalarAssign), Name(std::move(Name)), Expr(Expr),
+        Guard(Guard) {}
+  const std::string &name() const { return Name; }
+  const nir::Value *expr() const { return Expr; }
+  const nir::Value *guard() const { return Guard; } ///< May be null.
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::ScalarAssign;
+  }
+
+private:
+  std::string Name;
+  const nir::Value *Expr;
+  const nir::Value *Guard;
+};
+
+/// Single-element array store (serial-loop bodies): the indices, guard,
+/// and source are host scalar expressions; the store goes through the
+/// runtime's element access.
+class ElementMoveStmt : public HostStmt {
+public:
+  ElementMoveStmt(std::string Array, std::vector<const nir::Value *> Indices,
+                  const nir::Value *Expr, const nir::Value *Guard)
+      : HostStmt(Kind::ElementMove), Array(std::move(Array)),
+        Indices(std::move(Indices)), Expr(Expr), Guard(Guard) {}
+  const std::string &array() const { return Array; }
+  const std::vector<const nir::Value *> &indices() const { return Indices; }
+  const nir::Value *expr() const { return Expr; }
+  const nir::Value *guard() const { return Guard; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::ElementMove;
+  }
+
+private:
+  std::string Array;
+  std::vector<const nir::Value *> Indices;
+  const nir::Value *Expr;
+  const nir::Value *Guard;
+};
+
+/// Dispatch of one PEAC computation block over a statement geometry.
+class CallPeacStmt : public HostStmt {
+public:
+  CallPeacStmt(unsigned RoutineIndex, std::vector<PeacArgSpec> Args,
+               std::vector<int64_t> Extents, std::vector<int64_t> Los)
+      : HostStmt(Kind::CallPeac), RoutineIndex(RoutineIndex),
+        Args(std::move(Args)), Extents(std::move(Extents)),
+        Los(std::move(Los)) {}
+  unsigned routineIndex() const { return RoutineIndex; }
+  const std::vector<PeacArgSpec> &args() const { return Args; }
+  const std::vector<int64_t> &extents() const { return Extents; }
+  const std::vector<int64_t> &los() const { return Los; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::CallPeac;
+  }
+
+private:
+  unsigned RoutineIndex;
+  std::vector<PeacArgSpec> Args;
+  std::vector<int64_t> Extents;
+  std::vector<int64_t> Los;
+};
+
+/// cshift/eoshift runtime call.
+class CShiftStmt : public HostStmt {
+public:
+  CShiftStmt(std::string Dst, std::string Src, unsigned Dim, int64_t Shift,
+             bool EndOff)
+      : HostStmt(Kind::CShift), Dst(std::move(Dst)), Src(std::move(Src)),
+        Dim(Dim), Shift(Shift), EndOff(EndOff) {}
+  const std::string &dst() const { return Dst; }
+  const std::string &src() const { return Src; }
+  unsigned dim() const { return Dim; }
+  int64_t shift() const { return Shift; }
+  bool isEndOff() const { return EndOff; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::CShift;
+  }
+
+private:
+  std::string Dst, Src;
+  unsigned Dim;
+  int64_t Shift;
+  bool EndOff;
+};
+
+/// Misaligned section-to-section copy through the runtime.
+class SectionCopyStmt : public HostStmt {
+public:
+  SectionCopyStmt(std::string Dst,
+                  std::vector<runtime::CmRuntime::SectionDim> DstSec,
+                  std::string Src,
+                  std::vector<runtime::CmRuntime::SectionDim> SrcSec)
+      : HostStmt(Kind::SectionCopy), Dst(std::move(Dst)),
+        DstSec(std::move(DstSec)), Src(std::move(Src)),
+        SrcSec(std::move(SrcSec)) {}
+  const std::string &dst() const { return Dst; }
+  const std::string &src() const { return Src; }
+  const std::vector<runtime::CmRuntime::SectionDim> &dstSec() const {
+    return DstSec;
+  }
+  const std::vector<runtime::CmRuntime::SectionDim> &srcSec() const {
+    return SrcSec;
+  }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::SectionCopy;
+  }
+
+private:
+  std::string Dst;
+  std::vector<runtime::CmRuntime::SectionDim> DstSec;
+  std::string Src;
+  std::vector<runtime::CmRuntime::SectionDim> SrcSec;
+};
+
+class TransposeStmt : public HostStmt {
+public:
+  TransposeStmt(std::string Dst, std::string Src)
+      : HostStmt(Kind::Transpose), Dst(std::move(Dst)), Src(std::move(Src)) {}
+  const std::string &dst() const { return Dst; }
+  const std::string &src() const { return Src; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::Transpose;
+  }
+
+private:
+  std::string Dst, Src;
+};
+
+class ReduceStmt : public HostStmt {
+public:
+  ReduceStmt(std::string DstScalar, runtime::ReduceOp Op, std::string Src)
+      : HostStmt(Kind::Reduce), DstScalar(std::move(DstScalar)), Op(Op),
+        Src(std::move(Src)) {}
+  const std::string &dstScalar() const { return DstScalar; }
+  runtime::ReduceOp op() const { return Op; }
+  const std::string &src() const { return Src; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::Reduce;
+  }
+
+private:
+  std::string DstScalar;
+  runtime::ReduceOp Op;
+  std::string Src;
+};
+
+/// Partial reduction along one dimension into a rank-reduced field.
+class ReduceDimStmt : public HostStmt {
+public:
+  ReduceDimStmt(std::string Dst, runtime::ReduceOp Op, std::string Src,
+                unsigned Dim)
+      : HostStmt(Kind::ReduceDim), Dst(std::move(Dst)), Op(Op),
+        Src(std::move(Src)), Dim(Dim) {}
+  const std::string &dst() const { return Dst; }
+  runtime::ReduceOp op() const { return Op; }
+  const std::string &src() const { return Src; }
+  unsigned dim() const { return Dim; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::ReduceDim;
+  }
+
+private:
+  std::string Dst;
+  runtime::ReduceOp Op;
+  std::string Src;
+  unsigned Dim;
+};
+
+/// Broadcast along a new dimension (F90 SPREAD) through the runtime.
+class SpreadStmt : public HostStmt {
+public:
+  SpreadStmt(std::string Dst, std::string Src, unsigned Dim)
+      : HostStmt(Kind::Spread), Dst(std::move(Dst)), Src(std::move(Src)),
+        Dim(Dim) {}
+  const std::string &dst() const { return Dst; }
+  const std::string &src() const { return Src; }
+  unsigned dim() const { return Dim; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::Spread;
+  }
+
+private:
+  std::string Dst, Src;
+  unsigned Dim;
+};
+
+class IfStmt : public HostStmt {
+public:
+  IfStmt(const nir::Value *Cond, std::unique_ptr<HostStmt> Then,
+         std::unique_ptr<HostStmt> Else)
+      : HostStmt(Kind::If), Cond(Cond), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  const nir::Value *cond() const { return Cond; }
+  const HostStmt *thenStmt() const { return Then.get(); }
+  const HostStmt *elseStmt() const { return Else.get(); } ///< May be null.
+  static bool classof(const HostStmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  const nir::Value *Cond;
+  std::unique_ptr<HostStmt> Then, Else;
+};
+
+class WhileStmt : public HostStmt {
+public:
+  WhileStmt(const nir::Value *Cond, std::unique_ptr<HostStmt> Body)
+      : HostStmt(Kind::While), Cond(Cond), Body(std::move(Body)) {}
+  const nir::Value *cond() const { return Cond; }
+  const HostStmt *body() const { return Body.get(); }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::While;
+  }
+
+private:
+  const nir::Value *Cond;
+  std::unique_ptr<HostStmt> Body;
+};
+
+/// Explicit host iteration over a serial shape; the body sees the current
+/// coordinates through the named domain.
+class SerialDoStmt : public HostStmt {
+public:
+  SerialDoStmt(std::string Domain, std::vector<int64_t> Los,
+               std::vector<int64_t> His, std::unique_ptr<HostStmt> Body)
+      : HostStmt(Kind::SerialDo), Domain(std::move(Domain)),
+        Los(std::move(Los)), His(std::move(His)), Body(std::move(Body)) {}
+  const std::string &domain() const { return Domain; }
+  const std::vector<int64_t> &los() const { return Los; }
+  const std::vector<int64_t> &his() const { return His; }
+  const HostStmt *body() const { return Body.get(); }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::SerialDo;
+  }
+
+private:
+  std::string Domain;
+  std::vector<int64_t> Los, His;
+  std::unique_ptr<HostStmt> Body;
+};
+
+/// Host-side iteration over a *parallel* shape (the general-FORALL
+/// fallback): writes are deferred until all iterations complete. Executed
+/// element-by-element through the router.
+class ParallelLoopStmt : public HostStmt {
+public:
+  ParallelLoopStmt(std::string Domain, std::vector<int64_t> Los,
+                   std::vector<int64_t> His, std::unique_ptr<HostStmt> Body)
+      : HostStmt(Kind::ParallelLoop), Domain(std::move(Domain)),
+        Los(std::move(Los)), His(std::move(His)), Body(std::move(Body)) {}
+  const std::string &domain() const { return Domain; }
+  const std::vector<int64_t> &los() const { return Los; }
+  const std::vector<int64_t> &his() const { return His; }
+  const HostStmt *body() const { return Body.get(); }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::ParallelLoop;
+  }
+
+private:
+  std::string Domain;
+  std::vector<int64_t> Los, His;
+  std::unique_ptr<HostStmt> Body;
+};
+
+class PrintStmt : public HostStmt {
+public:
+  explicit PrintStmt(std::vector<const nir::Value *> Items)
+      : HostStmt(Kind::Print), Items(std::move(Items)) {}
+  const std::vector<const nir::Value *> &items() const { return Items; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::Print;
+  }
+
+private:
+  std::vector<const nir::Value *> Items;
+};
+
+/// A fully compiled program: host code plus the PEAC routines it
+/// dispatches.
+struct HostProgram {
+  std::string Name;
+  std::vector<peac::Routine> Routines;
+  std::unique_ptr<HostStmt> Body;
+};
+
+} // namespace host
+} // namespace f90y
+
+#endif // F90Y_HOST_HOSTIR_H

@@ -1,0 +1,41 @@
+//===- host/Printer.h - Host IR listings --------------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the FE/NIR compiler's output — host code plus runtime calls —
+/// as an assembly-flavored listing, the front-end counterpart of the
+/// PEAC listings:
+///
+///   alloc    u : 64x64 real (cm heap)
+///   call     P0vs1 over 64x64 <- ptr(u), ptr(v), scalar(...)
+///   cm_shift v <- cshift(u, dim=1, shift=-1)
+///   do       serial.0 = 1..10
+///     ...
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_HOST_PRINTER_H
+#define F90Y_HOST_PRINTER_H
+
+#include "host/HostIR.h"
+
+#include <string>
+
+namespace f90y {
+namespace host {
+
+/// Renders \p Program (host side only; the PEAC routines have their own
+/// listings via Routine::str()).
+std::string printHostProgram(const HostProgram &Program);
+
+/// Renders one statement subtree at the given indent depth.
+std::string printHostStmt(const HostStmt *S, unsigned Depth = 0);
+
+} // namespace host
+} // namespace f90y
+
+#endif // F90Y_HOST_PRINTER_H

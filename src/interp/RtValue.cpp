@@ -1,0 +1,179 @@
+//===- interp/RtValue.cpp - Runtime scalar values ---------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/RtValue.h"
+
+#include "support/StringUtil.h"
+
+#include <cmath>
+
+using namespace f90y;
+using namespace f90y::interp;
+
+std::string RtVal::str() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(I);
+  case Kind::Real:
+    return formatDouble(R);
+  case Kind::Bool:
+    return B ? "T" : "F";
+  }
+  return "?";
+}
+
+/// Fortran MOD: result has the sign of the dividend.
+static int64_t fortranMod(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  return A % B;
+}
+
+static int64_t intPow(int64_t Base, int64_t Exp) {
+  if (Exp < 0)
+    return Base == 1 ? 1 : (Base == -1 ? (Exp % 2 ? -1 : 1) : 0);
+  int64_t Acc = 1;
+  while (Exp-- > 0)
+    Acc *= Base;
+  return Acc;
+}
+
+RtVal interp::applyBinary(nir::BinaryOp Op, const RtVal &L, const RtVal &R,
+                          uint64_t *FlopCounter) {
+  using nir::BinaryOp;
+
+  // Logical connectives.
+  if (Op == BinaryOp::And)
+    return RtVal::makeBool(L.asBool() && R.asBool());
+  if (Op == BinaryOp::Or)
+    return RtVal::makeBool(L.asBool() || R.asBool());
+
+  bool BothInt = L.isInt() && R.isInt();
+
+  // Comparisons.
+  switch (Op) {
+  case BinaryOp::Eq:
+    return RtVal::makeBool(BothInt ? L.I == R.I : L.asReal() == R.asReal());
+  case BinaryOp::Ne:
+    return RtVal::makeBool(BothInt ? L.I != R.I : L.asReal() != R.asReal());
+  case BinaryOp::Lt:
+    return RtVal::makeBool(BothInt ? L.I < R.I : L.asReal() < R.asReal());
+  case BinaryOp::Le:
+    return RtVal::makeBool(BothInt ? L.I <= R.I : L.asReal() <= R.asReal());
+  case BinaryOp::Gt:
+    return RtVal::makeBool(BothInt ? L.I > R.I : L.asReal() > R.asReal());
+  case BinaryOp::Ge:
+    return RtVal::makeBool(BothInt ? L.I >= R.I : L.asReal() >= R.asReal());
+  default:
+    break;
+  }
+
+  // Arithmetic.
+  if (BothInt) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return RtVal::makeInt(L.I + R.I);
+    case BinaryOp::Sub:
+      return RtVal::makeInt(L.I - R.I);
+    case BinaryOp::Mul:
+      return RtVal::makeInt(L.I * R.I);
+    case BinaryOp::Div:
+      return RtVal::makeInt(R.I == 0 ? 0 : L.I / R.I);
+    case BinaryOp::Pow:
+      return RtVal::makeInt(intPow(L.I, R.I));
+    case BinaryOp::Mod:
+      return RtVal::makeInt(fortranMod(L.I, R.I));
+    case BinaryOp::Min:
+      return RtVal::makeInt(L.I < R.I ? L.I : R.I);
+    case BinaryOp::Max:
+      return RtVal::makeInt(L.I > R.I ? L.I : R.I);
+    default:
+      break;
+    }
+    return RtVal::makeInt(0);
+  }
+
+  double A = L.asReal(), B = R.asReal();
+  if (FlopCounter)
+    ++*FlopCounter;
+  switch (Op) {
+  case BinaryOp::Add:
+    return RtVal::makeReal(A + B);
+  case BinaryOp::Sub:
+    return RtVal::makeReal(A - B);
+  case BinaryOp::Mul:
+    return RtVal::makeReal(A * B);
+  case BinaryOp::Div:
+    return RtVal::makeReal(A / B);
+  case BinaryOp::Pow:
+    // real**smallint is a multiply chain; count it as such.
+    if (R.isInt()) {
+      if (FlopCounter && R.I > 1)
+        *FlopCounter += static_cast<uint64_t>(R.I) - 2;
+      return RtVal::makeReal(std::pow(A, static_cast<double>(R.I)));
+    }
+    return RtVal::makeReal(std::pow(A, B));
+  case BinaryOp::Mod:
+    return RtVal::makeReal(std::fmod(A, B));
+  case BinaryOp::Min:
+    return RtVal::makeReal(A < B ? A : B);
+  case BinaryOp::Max:
+    return RtVal::makeReal(A > B ? A : B);
+  default:
+    break;
+  }
+  return RtVal::makeReal(0);
+}
+
+RtVal interp::applyUnary(nir::UnaryOp Op, const RtVal &V,
+                         uint64_t *FlopCounter) {
+  using nir::UnaryOp;
+  switch (Op) {
+  case UnaryOp::Neg:
+    if (V.isInt())
+      return RtVal::makeInt(-V.I);
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(-V.asReal());
+  case UnaryOp::Not:
+    return RtVal::makeBool(!V.asBool());
+  case UnaryOp::Abs:
+    if (V.isInt())
+      return RtVal::makeInt(V.I < 0 ? -V.I : V.I);
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::fabs(V.asReal()));
+  case UnaryOp::Sqrt:
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::sqrt(V.asReal()));
+  case UnaryOp::Sin:
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::sin(V.asReal()));
+  case UnaryOp::Cos:
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::cos(V.asReal()));
+  case UnaryOp::Tan:
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::tan(V.asReal()));
+  case UnaryOp::Exp:
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::exp(V.asReal()));
+  case UnaryOp::Log:
+    if (FlopCounter)
+      ++*FlopCounter;
+    return RtVal::makeReal(std::log(V.asReal()));
+  case UnaryOp::IntToF:
+    return RtVal::makeReal(V.asReal());
+  case UnaryOp::FToInt:
+    return RtVal::makeInt(V.asInt());
+  }
+  return RtVal::makeReal(0);
+}

@@ -1,0 +1,32 @@
+//===- nir/Decl.cpp - NIR declaration domain -------------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nir/Decl.h"
+
+using namespace f90y;
+using namespace f90y::nir;
+
+void nir::forEachBinding(
+    const Decl *D, const std::function<void(const std::string &, const Type *,
+                                            const Value *)> &Fn) {
+  switch (D->getKind()) {
+  case Decl::Kind::Simple: {
+    const auto *SD = cast<SimpleDecl>(D);
+    Fn(SD->getId(), SD->getType(), nullptr);
+    return;
+  }
+  case Decl::Kind::Set: {
+    for (const Decl *Sub : cast<DeclSet>(D)->getDecls())
+      forEachBinding(Sub, Fn);
+    return;
+  }
+  case Decl::Kind::Initialized: {
+    const auto *ID = cast<InitializedDecl>(D);
+    Fn(ID->getId(), ID->getType(), ID->getInit());
+    return;
+  }
+  }
+}

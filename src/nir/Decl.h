@@ -1,0 +1,108 @@
+//===- nir/Decl.h - NIR declaration domain -----------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declaration domain of NIR (paper Figure 5):
+///
+///   DECL         id * T -> D        simple declaration
+///   DECLSET      D list -> D        multiple declarations
+///   INITIALIZED  id * T * V -> D    declaration plus initial value
+///
+/// Declarations by themselves do not define scoping; scoping is achieved by
+/// the imperative bridge operator WITH_DECL(d, I).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_NIR_DECL_H
+#define F90Y_NIR_DECL_H
+
+#include "nir/Type.h"
+#include "nir/Value.h"
+#include "support/Casting.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace f90y {
+namespace nir {
+
+/// Base class of the declaration domain.
+class Decl {
+public:
+  enum class Kind { Simple, Set, Initialized };
+
+  Kind getKind() const { return K; }
+
+  virtual ~Decl() = default;
+
+protected:
+  explicit Decl(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+/// DECL(id, T).
+class SimpleDecl : public Decl {
+public:
+  SimpleDecl(std::string Id, const Type *Ty)
+      : Decl(Kind::Simple), Id(std::move(Id)), Ty(Ty) {}
+
+  const std::string &getId() const { return Id; }
+  const Type *getType() const { return Ty; }
+
+  static bool classof(const Decl *D) { return D->getKind() == Kind::Simple; }
+
+private:
+  std::string Id;
+  const Type *Ty;
+};
+
+/// DECLSET[d1, d2, ...].
+class DeclSet : public Decl {
+public:
+  explicit DeclSet(std::vector<const Decl *> Decls)
+      : Decl(Kind::Set), Decls(std::move(Decls)) {}
+
+  const std::vector<const Decl *> &getDecls() const { return Decls; }
+
+  static bool classof(const Decl *D) { return D->getKind() == Kind::Set; }
+
+private:
+  std::vector<const Decl *> Decls;
+};
+
+/// INITIALIZED(id, T, V).
+class InitializedDecl : public Decl {
+public:
+  InitializedDecl(std::string Id, const Type *Ty, const Value *Init)
+      : Decl(Kind::Initialized), Id(std::move(Id)), Ty(Ty), Init(Init) {}
+
+  const std::string &getId() const { return Id; }
+  const Type *getType() const { return Ty; }
+  const Value *getInit() const { return Init; }
+
+  static bool classof(const Decl *D) {
+    return D->getKind() == Kind::Initialized;
+  }
+
+private:
+  std::string Id;
+  const Type *Ty;
+  const Value *Init;
+};
+
+/// Visits every (id, type, optional init) binding in \p D, flattening
+/// DECLSETs, invoking \p Fn for each.
+void forEachBinding(const Decl *D,
+                    const std::function<void(const std::string &, const Type *,
+                                             const Value *)> &Fn);
+
+} // namespace nir
+} // namespace f90y
+
+#endif // F90Y_NIR_DECL_H

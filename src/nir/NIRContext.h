@@ -1,0 +1,129 @@
+//===- nir/NIRContext.h - Ownership and factories for NIR nodes --*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NIRContext owns every node of a NIR program (shapes, types, field
+/// actions, values, declarations, imperatives) and provides the factory
+/// methods used by the lowering phase and by NIR-to-NIR transformations.
+/// Nodes are immutable once built; transformations construct new nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_NIR_NIRCONTEXT_H
+#define F90Y_NIR_NIRCONTEXT_H
+
+#include "nir/Decl.h"
+#include "nir/Imperative.h"
+#include "nir/Shape.h"
+#include "nir/Type.h"
+#include "nir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace f90y {
+namespace nir {
+
+/// Owns NIR nodes and uniques the scalar types. All factory methods return
+/// non-null pointers whose lifetime equals the context's.
+class NIRContext {
+public:
+  NIRContext();
+  ~NIRContext();
+  NIRContext(const NIRContext &) = delete;
+  NIRContext &operator=(const NIRContext &) = delete;
+
+  // Types.
+  const ScalarType *getInteger32() const { return Int32Ty.get(); }
+  const ScalarType *getLogical32() const { return Logical32Ty.get(); }
+  const ScalarType *getFloat32() const { return Float32Ty.get(); }
+  const ScalarType *getFloat64() const { return Float64Ty.get(); }
+  const ScalarType *getScalarType(Type::Kind K) const;
+  const DFieldType *getDField(const Shape *S, const Type *Elem);
+
+  // Shapes.
+  const PointShape *getPoint(int64_t V);
+  const IntervalShape *getInterval(int64_t Lo, int64_t Hi);
+  const IntervalShape *getSerialInterval(int64_t Lo, int64_t Hi);
+  const ProdDomShape *getProdDom(std::vector<const Shape *> Dims);
+  const DomainRefShape *getDomainRef(std::string Name);
+
+  // Field restrictors.
+  const EverywhereAction *getEverywhere() const { return Everywhere.get(); }
+  const SubscriptAction *getSubscript(std::vector<const Value *> Indices);
+  const SectionAction *getSection(std::vector<SectionTriplet> Triplets);
+
+  // Values.
+  const BinaryValue *getBinary(BinaryOp Op, const Value *L, const Value *R);
+  const UnaryValue *getUnary(UnaryOp Op, const Value *V);
+  const SVarValue *getSVar(std::string Id);
+  const ScalarConstValue *getIntConst(int64_t V);
+  const ScalarConstValue *getFloatConst(double V, bool Double = true);
+  const ScalarConstValue *getBoolConst(bool V);
+  const StrConstValue *getStrConst(std::string Str);
+  const FcnCallValue *getFcnCall(std::string Callee,
+                                 std::vector<const Value *> Args);
+  const AVarValue *getAVar(std::string Id, const FieldAction *Action);
+  const LocalCoordValue *getLocalCoord(std::string Domain, unsigned Dim);
+
+  /// The constant True guard used for unmasked MOVE clauses.
+  const ScalarConstValue *getTrue() { return getBoolConst(true); }
+
+  // Declarations.
+  const SimpleDecl *getDecl(std::string Id, const Type *Ty);
+  const DeclSet *getDeclSet(std::vector<const Decl *> Decls);
+  const InitializedDecl *getInitialized(std::string Id, const Type *Ty,
+                                        const Value *Init);
+
+  // Imperatives.
+  const ProgramImp *getProgram(std::string Name, const Imp *Body);
+  const SequentiallyImp *getSequentially(std::vector<const Imp *> Actions);
+  const ConcurrentlyImp *getConcurrently(std::vector<const Imp *> Actions);
+  const MoveImp *getMove(std::vector<MoveClause> Clauses);
+  const IfThenElseImp *getIfThenElse(const Value *C, const Imp *T,
+                                     const Imp *E);
+  const WhileImp *getWhile(const Value *C, const Imp *Body);
+  const WithDeclImp *getWithDecl(const Decl *D, const Imp *Body);
+  const WithDomainImp *getWithDomain(std::string Name, const Shape *S,
+                                     const Imp *Body);
+  const SkipImp *getSkip() const { return Skip.get(); }
+  const DoImp *getDo(const Shape *IterSpace, const Imp *Body);
+  const CallImp *getCall(std::string Callee, std::vector<const Value *> Args);
+
+  /// Returns a fresh domain name with the given prefix ("alpha.0",
+  /// "alpha.1", ...); used by lowering to name implicit domains.
+  std::string freshDomainName(const std::string &Prefix);
+
+private:
+  /// Type-erased owner so one vector can hold shapes, types, values,
+  /// declarations and imperatives (which share no common base).
+  struct AnyNode {
+    virtual ~AnyNode() = default;
+  };
+  template <typename T> struct NodeHolder final : AnyNode {
+    explicit NodeHolder(std::unique_ptr<T> P) : P(std::move(P)) {}
+    std::unique_ptr<T> P;
+  };
+
+  template <typename T, typename... Args> const T *make(Args &&...As) {
+    auto Node = std::make_unique<T>(std::forward<Args>(As)...);
+    const T *Raw = Node.get();
+    Nodes.push_back(std::make_unique<NodeHolder<T>>(std::move(Node)));
+    return Raw;
+  }
+
+  std::vector<std::unique_ptr<AnyNode>> Nodes;
+  std::unique_ptr<ScalarType> Int32Ty, Logical32Ty, Float32Ty, Float64Ty;
+  std::unique_ptr<EverywhereAction> Everywhere;
+  std::unique_ptr<SkipImp> Skip;
+  unsigned NextDomainId = 0;
+};
+
+} // namespace nir
+} // namespace f90y
+
+#endif // F90Y_NIR_NIRCONTEXT_H

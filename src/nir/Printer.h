@@ -1,0 +1,48 @@
+//===- nir/Printer.h - NIR pretty-printer ------------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders NIR programs in the notation the paper uses in its figures:
+///
+///   WITH_DOMAIN('alpha', interval(point 1, point 128),
+///     WITH_DECL(DECL('l', dfield(shape=domain 'alpha', element=integer_32)),
+///       MOVE[(True, (SCALAR(integer_32,'6'), AVAR('l', everywhere)))]))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_NIR_PRINTER_H
+#define F90Y_NIR_PRINTER_H
+
+#include "nir/Imperative.h"
+
+#include <string>
+
+namespace f90y {
+namespace nir {
+
+/// Renders \p S in shape notation ("interval(point 1, point 128)").
+std::string printShape(const Shape *S);
+
+/// Renders \p T in type notation ("dfield(shape=..., element=integer_32)").
+std::string printType(const Type *T);
+
+/// Renders \p V in value notation ("BINARY(Add, SVAR 'a', SVAR 'b')").
+std::string printValue(const Value *V);
+
+/// Renders \p F in field-action notation ("everywhere").
+std::string printFieldAction(const FieldAction *F);
+
+/// Renders \p D in declaration notation.
+std::string printDecl(const Decl *D);
+
+/// Renders the imperative tree rooted at \p I, indented, one construct per
+/// line where that improves readability.
+std::string printImp(const Imp *I);
+
+} // namespace nir
+} // namespace f90y
+
+#endif // F90Y_NIR_PRINTER_H

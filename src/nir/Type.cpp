@@ -1,0 +1,26 @@
+//===- nir/Type.cpp - NIR type domain --------------------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nir/Type.h"
+
+using namespace f90y;
+using namespace f90y::nir;
+
+const char *nir::typeKindName(Type::Kind K) {
+  switch (K) {
+  case Type::Kind::Integer32:
+    return "integer_32";
+  case Type::Kind::Logical32:
+    return "logical_32";
+  case Type::Kind::Float32:
+    return "float_32";
+  case Type::Kind::Float64:
+    return "float_64";
+  case Type::Kind::DField:
+    return "dfield";
+  }
+  return "<invalid-type>";
+}

@@ -1,0 +1,95 @@
+//===- nir/Type.h - NIR type domain ------------------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type domain of NIR (paper Figure 5 / Figure 6):
+///
+///   integer_32, logical_32, float_32, float_64   machine-level scalars
+///   dfield : S * T -> T                           field of elements of T
+///                                                 distributed over shape S
+///
+/// `dfield` is the bridging operator that connects the shape facet to the
+/// type facet of the semantic algebra.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_NIR_TYPE_H
+#define F90Y_NIR_TYPE_H
+
+#include "nir/Shape.h"
+#include "support/Casting.h"
+
+namespace f90y {
+namespace nir {
+
+/// Base class of the type domain.
+class Type {
+public:
+  enum class Kind { Integer32, Logical32, Float32, Float64, DField };
+
+  Kind getKind() const { return K; }
+
+  bool isScalar() const { return K != Kind::DField; }
+  bool isField() const { return K == Kind::DField; }
+  bool isFloating() const {
+    return K == Kind::Float32 || K == Kind::Float64;
+  }
+  bool isInteger() const { return K == Kind::Integer32; }
+  bool isLogical() const { return K == Kind::Logical32; }
+
+  virtual ~Type() = default;
+
+protected:
+  explicit Type(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+/// One of the four machine-level scalar types. Uniqued by NIRContext, so
+/// scalar types compare by pointer.
+class ScalarType : public Type {
+public:
+  explicit ScalarType(Kind K) : Type(K) {
+    assert(K != Kind::DField && "ScalarType cannot be a dfield");
+  }
+
+  static bool classof(const Type *T) { return T->getKind() != Kind::DField; }
+};
+
+/// dfield(S, T): a field whose shape is S and whose elements are of type T.
+/// T may itself be a dfield, which is one interpretation of the shape
+/// cross-product (paper Section 3.2).
+class DFieldType : public Type {
+public:
+  DFieldType(const Shape *S, const Type *Elem)
+      : Type(Kind::DField), S(S), Elem(Elem) {}
+
+  const Shape *getShape() const { return S; }
+  const Type *getElementType() const { return Elem; }
+
+  /// The innermost scalar element type, looking through nested dfields.
+  const Type *getUltimateElementType() const {
+    const Type *T = Elem;
+    while (const auto *F = dyn_cast<DFieldType>(T))
+      T = F->getElementType();
+    return T;
+  }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::DField; }
+
+private:
+  const Shape *S;
+  const Type *Elem;
+};
+
+/// Name of \p K as it appears in NIR listings ("integer_32", "dfield", ...).
+const char *typeKindName(Type::Kind K);
+
+} // namespace nir
+} // namespace f90y
+
+#endif // F90Y_NIR_TYPE_H

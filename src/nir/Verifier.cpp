@@ -1,0 +1,249 @@
+//===- nir/Verifier.cpp - NIR well-formedness checks -----------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nir/Verifier.h"
+
+#include "nir/Printer.h"
+
+#include <map>
+
+using namespace f90y;
+using namespace f90y::nir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  bool run(const Imp *Root) {
+    unsigned Before = Diags.errorCount();
+    visitImp(Root);
+    return Diags.errorCount() == Before;
+  }
+
+private:
+  DiagnosticEngine &Diags;
+  DomainEnv Domains;
+  std::map<std::string, const Type *> Decls;
+
+  void error(const std::string &Msg) { Diags.error(SourceLocation(), Msg); }
+
+  const Type *lookupVar(const std::string &Id) {
+    auto It = Decls.find(Id);
+    return It == Decls.end() ? nullptr : It->second;
+  }
+
+  void checkShape(const Shape *S) {
+    switch (S->getKind()) {
+    case Shape::Kind::Point:
+      return;
+    case Shape::Kind::Interval:
+    case Shape::Kind::SerialInterval: {
+      const auto *IV = cast<IntervalShape>(S);
+      if (IV->getHi() < IV->getLo())
+        error("empty interval shape [" + std::to_string(IV->getLo()) + ", " +
+              std::to_string(IV->getHi()) + "]");
+      return;
+    }
+    case Shape::Kind::ProdDom:
+      for (const Shape *Dim : cast<ProdDomShape>(S)->getDims())
+        checkShape(Dim);
+      return;
+    case Shape::Kind::DomainRef: {
+      const auto *Ref = cast<DomainRefShape>(S);
+      if (!Domains.lookup(Ref->getName()))
+        error("reference to unbound domain '" + Ref->getName() + "'");
+      return;
+    }
+    }
+  }
+
+  void checkType(const Type *T) {
+    if (const auto *F = dyn_cast<DFieldType>(T)) {
+      checkShape(F->getShape());
+      checkType(F->getElementType());
+    }
+  }
+
+  void visitFieldAction(const FieldAction *F, const std::string &ArrayId) {
+    const Type *Ty = lookupVar(ArrayId);
+    const auto *FieldTy = dyn_cast_or_null<DFieldType>(Ty);
+    int Rank = FieldTy ? rankOf(FieldTy->getShape(), Domains) : -1;
+    switch (F->getKind()) {
+    case FieldAction::Kind::Everywhere:
+      return;
+    case FieldAction::Kind::Subscript: {
+      const auto &Indices = cast<SubscriptAction>(F)->getIndices();
+      if (Rank >= 0 && static_cast<int>(Indices.size()) != Rank)
+        error("subscript of '" + ArrayId + "' has " +
+              std::to_string(Indices.size()) + " indices but rank is " +
+              std::to_string(Rank));
+      for (const Value *V : Indices)
+        visitValue(V);
+      return;
+    }
+    case FieldAction::Kind::Section: {
+      const auto &Triplets = cast<SectionAction>(F)->getTriplets();
+      if (Rank >= 0 && static_cast<int>(Triplets.size()) != Rank)
+        error("section of '" + ArrayId + "' has " +
+              std::to_string(Triplets.size()) + " triplets but rank is " +
+              std::to_string(Rank));
+      return;
+    }
+    }
+  }
+
+  void visitValue(const Value *V) {
+    switch (V->getKind()) {
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryValue>(V);
+      visitValue(B->getLHS());
+      visitValue(B->getRHS());
+      return;
+    }
+    case Value::Kind::Unary:
+      visitValue(cast<UnaryValue>(V)->getOperand());
+      return;
+    case Value::Kind::SVar: {
+      const auto *SV = cast<SVarValue>(V);
+      const Type *Ty = lookupVar(SV->getId());
+      if (!Ty)
+        error("reference to undeclared scalar '" + SV->getId() + "'");
+      else if (Ty->isField())
+        error("SVAR '" + SV->getId() + "' refers to a dfield binding");
+      return;
+    }
+    case Value::Kind::ScalarConst:
+    case Value::Kind::StrConst:
+      return;
+    case Value::Kind::FcnCall:
+      for (const Value *A : cast<FcnCallValue>(V)->getArgs())
+        visitValue(A);
+      return;
+    case Value::Kind::AVar: {
+      const auto *AV = cast<AVarValue>(V);
+      const Type *Ty = lookupVar(AV->getId());
+      if (!Ty) {
+        error("reference to undeclared array '" + AV->getId() + "'");
+        return;
+      }
+      if (!Ty->isField()) {
+        error("AVAR '" + AV->getId() + "' refers to a scalar binding");
+        return;
+      }
+      visitFieldAction(AV->getAction(), AV->getId());
+      return;
+    }
+    case Value::Kind::LocalCoord: {
+      const auto *LC = cast<LocalCoordValue>(V);
+      const Shape *S = Domains.lookup(LC->getDomain());
+      if (!S) {
+        error("local_under references unbound domain '" + LC->getDomain() +
+              "'");
+        return;
+      }
+      int Rank = rankOf(S, Domains);
+      if (Rank >= 0 &&
+          (LC->getDim() < 1 || static_cast<int>(LC->getDim()) > Rank))
+        error("local_under dimension " + std::to_string(LC->getDim()) +
+              " out of range for domain '" + LC->getDomain() + "' of rank " +
+              std::to_string(Rank));
+      return;
+    }
+    }
+  }
+
+  void visitImp(const Imp *I) {
+    switch (I->getKind()) {
+    case Imp::Kind::Program:
+      visitImp(cast<ProgramImp>(I)->getBody());
+      return;
+    case Imp::Kind::Sequentially:
+      for (const Imp *A : cast<SequentiallyImp>(I)->getActions())
+        visitImp(A);
+      return;
+    case Imp::Kind::Concurrently:
+      for (const Imp *A : cast<ConcurrentlyImp>(I)->getActions())
+        visitImp(A);
+      return;
+    case Imp::Kind::Move: {
+      for (const MoveClause &C : cast<MoveImp>(I)->getClauses()) {
+        if (C.Guard)
+          visitValue(C.Guard);
+        visitValue(C.Src);
+        if (!isa<SVarValue>(C.Dst) && !isa<AVarValue>(C.Dst)) {
+          error("MOVE destination must be an SVAR or AVAR, got " +
+                printValue(C.Dst));
+          continue;
+        }
+        visitValue(C.Dst);
+      }
+      return;
+    }
+    case Imp::Kind::IfThenElse: {
+      const auto *If = cast<IfThenElseImp>(I);
+      visitValue(If->getCond());
+      visitImp(If->getThen());
+      visitImp(If->getElse());
+      return;
+    }
+    case Imp::Kind::While: {
+      const auto *W = cast<WhileImp>(I);
+      visitValue(W->getCond());
+      visitImp(W->getBody());
+      return;
+    }
+    case Imp::Kind::WithDecl: {
+      const auto *WD = cast<WithDeclImp>(I);
+      std::vector<std::pair<std::string, const Type *>> Saved;
+      forEachBinding(WD->getDecl(), [&](const std::string &Id, const Type *Ty,
+                                        const Value *Init) {
+        checkType(Ty);
+        if (Init)
+          visitValue(Init);
+        auto It = Decls.find(Id);
+        Saved.emplace_back(Id, It == Decls.end() ? nullptr : It->second);
+        Decls[Id] = Ty;
+      });
+      visitImp(WD->getBody());
+      for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
+        if (It->second)
+          Decls[It->first] = It->second;
+        else
+          Decls.erase(It->first);
+      }
+      return;
+    }
+    case Imp::Kind::WithDomain: {
+      const auto *WD = cast<WithDomainImp>(I);
+      checkShape(WD->getShape());
+      const Shape *Old = Domains.bind(WD->getName(), WD->getShape());
+      visitImp(WD->getBody());
+      Domains.restore(WD->getName(), Old);
+      return;
+    }
+    case Imp::Kind::Skip:
+      return;
+    case Imp::Kind::Call:
+      for (const Value *A : cast<CallImp>(I)->getArgs())
+        visitValue(A);
+      return;
+    case Imp::Kind::Do: {
+      const auto *D = cast<DoImp>(I);
+      checkShape(D->getIterSpace());
+      visitImp(D->getBody());
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+bool nir::verify(const Imp *Root, DiagnosticEngine &Diags) {
+  return VerifierImpl(Diags).run(Root);
+}

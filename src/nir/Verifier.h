@@ -1,0 +1,36 @@
+//===- nir/Verifier.h - NIR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verifier for NIR programs. Run after lowering and after each
+/// transformation; a verified program satisfies:
+///
+///  - every DomainRef is bound by an enclosing WITH_DOMAIN;
+///  - every SVAR/AVAR identifier is bound by an enclosing WITH_DECL;
+///  - AVARs refer to dfield-typed bindings, SVARs to scalar bindings;
+///  - subscript/section arity matches the declared rank;
+///  - MOVE destinations are SVARs or AVARs;
+///  - every local_under names a visible domain and a dimension within rank.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_NIR_VERIFIER_H
+#define F90Y_NIR_VERIFIER_H
+
+#include "nir/Imperative.h"
+#include "support/Diagnostics.h"
+
+namespace f90y {
+namespace nir {
+
+/// Verifies the program rooted at \p Root, reporting problems to \p Diags.
+/// Returns true when no errors were reported.
+bool verify(const Imp *Root, DiagnosticEngine &Diags);
+
+} // namespace nir
+} // namespace f90y
+
+#endif // F90Y_NIR_VERIFIER_H

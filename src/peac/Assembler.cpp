@@ -1,0 +1,253 @@
+//===- peac/Assembler.cpp - PEAC textual assembler ---------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "peac/Assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace f90y;
+using namespace f90y::peac;
+
+namespace {
+
+const std::map<std::string, Opcode> &mnemonicTable() {
+  static const std::map<std::string, Opcode> Table = {
+      {"flodv", Opcode::FLodV},     {"fstrv", Opcode::FStrV},
+      {"fmovv", Opcode::FMovV},     {"faddv", Opcode::FAddV},
+      {"fsubv", Opcode::FSubV},     {"fmulv", Opcode::FMulV},
+      {"fdivv", Opcode::FDivV},     {"fminv", Opcode::FMinV},
+      {"fmaxv", Opcode::FMaxV},     {"fmodv", Opcode::FModV},
+      {"fpowv", Opcode::FPowV},     {"fmaddv", Opcode::FMAddV},
+      {"fnegv", Opcode::FNegV},     {"fabsv", Opcode::FAbsV},
+      {"fsqrtv", Opcode::FSqrtV},   {"fsinv", Opcode::FSinV},
+      {"fcosv", Opcode::FCosV},     {"ftanv", Opcode::FTanV},
+      {"fexpv", Opcode::FExpV},     {"flogv", Opcode::FLogV},
+      {"ftrncv", Opcode::FTrncV},   {"fnotv", Opcode::FNotV},
+      {"fcmpeqv", Opcode::FCmpEqV}, {"fcmpnev", Opcode::FCmpNeV},
+      {"fcmpltv", Opcode::FCmpLtV}, {"fcmplev", Opcode::FCmpLeV},
+      {"fcmpgtv", Opcode::FCmpGtV}, {"fcmpgev", Opcode::FCmpGeV},
+      {"fandv", Opcode::FAndV},     {"forv", Opcode::FOrV},
+      {"fselv", Opcode::FSelV}};
+  return Table;
+}
+
+/// Number of *source* operands of \p Op in the textual form (the final
+/// operand is the destination).
+unsigned sourceArity(Opcode Op) {
+  switch (Op) {
+  case Opcode::FLodV:
+  case Opcode::FStrV:
+  case Opcode::FMovV:
+  case Opcode::FNegV:
+  case Opcode::FAbsV:
+  case Opcode::FSqrtV:
+  case Opcode::FSinV:
+  case Opcode::FCosV:
+  case Opcode::FTanV:
+  case Opcode::FExpV:
+  case Opcode::FLogV:
+  case Opcode::FTrncV:
+  case Opcode::FNotV:
+    return 1;
+  case Opcode::FMAddV:
+  case Opcode::FSelV:
+    return 3;
+  default:
+    return 2;
+  }
+}
+
+class AsmParser {
+public:
+  AsmParser(const std::string &Text, DiagnosticEngine &Diags)
+      : Text(Text), Diags(Diags) {}
+
+  std::optional<Routine> run();
+
+private:
+  const std::string &Text;
+  DiagnosticEngine &Diags;
+  unsigned Line = 0;
+  unsigned MaxPtr = 0, MaxScalar = 0;
+  bool SawPtr = false, SawScalar = false;
+  bool Failed = false;
+
+  void error(const std::string &Msg) {
+    Diags.error(SourceLocation(Line, 1), Msg);
+    Failed = true;
+  }
+
+  std::optional<Operand> parseOperand(const std::string &Tok) {
+    if (Tok.size() >= 3 && Tok[0] == 'a' && Tok[1] == 'V') {
+      unsigned N = static_cast<unsigned>(std::atoi(Tok.c_str() + 2));
+      return Operand::vreg(N);
+    }
+    if (Tok.size() >= 3 && Tok[0] == 'a' && Tok[1] == 'S') {
+      unsigned N = static_cast<unsigned>(std::atoi(Tok.c_str() + 2));
+      SawScalar = true;
+      MaxScalar = N > MaxScalar ? N : MaxScalar;
+      return Operand::sreg(N);
+    }
+    if (!Tok.empty() && Tok[0] == '#')
+      return Operand::imm(std::strtod(Tok.c_str() + 1, nullptr));
+    if (!Tok.empty() && Tok[0] == '[') {
+      // [aPn+off]stride++
+      size_t Close = Tok.find(']');
+      if (Close == std::string::npos || Tok.compare(1, 2, "aP") != 0) {
+        error("malformed memory operand '" + Tok + "'");
+        return std::nullopt;
+      }
+      const char *P = Tok.c_str() + 3;
+      char *End = nullptr;
+      unsigned Ptr = static_cast<unsigned>(std::strtol(P, &End, 10));
+      int64_t Off = 0;
+      if (*End == '+' || *End == '-')
+        Off = std::strtoll(End, &End, 10);
+      if (static_cast<size_t>(End - Tok.c_str()) != Close) {
+        error("malformed memory operand '" + Tok + "'");
+        return std::nullopt;
+      }
+      int64_t Stride = 1;
+      std::string Tail = Tok.substr(Close + 1);
+      if (Tail.size() < 2 || Tail.substr(Tail.size() - 2) != "++") {
+        error("memory operand '" + Tok + "' missing post-increment");
+        return std::nullopt;
+      }
+      if (Tail.size() > 2)
+        Stride = std::strtoll(Tail.substr(0, Tail.size() - 2).c_str(),
+                              nullptr, 10);
+      SawPtr = true;
+      MaxPtr = Ptr > MaxPtr ? Ptr : MaxPtr;
+      return Operand::mem(Ptr, Off, Stride);
+    }
+    error("unrecognized operand '" + Tok + "'");
+    return std::nullopt;
+  }
+
+  std::optional<Instruction> parseInstr(const std::string &Part,
+                                        bool Fused) {
+    std::istringstream In(Part);
+    std::string Mnemonic;
+    In >> Mnemonic;
+    auto It = mnemonicTable().find(Mnemonic);
+    if (It == mnemonicTable().end()) {
+      error("unknown mnemonic '" + Mnemonic + "'");
+      return std::nullopt;
+    }
+    Instruction I;
+    I.Op = It->second;
+    I.FusedWithPrev = Fused;
+
+    std::vector<Operand> Ops;
+    std::string Tok;
+    while (In >> Tok) {
+      auto O = parseOperand(Tok);
+      if (!O)
+        return std::nullopt;
+      Ops.push_back(*O);
+    }
+    unsigned Srcs = sourceArity(I.Op);
+    if (Ops.size() != Srcs + 1) {
+      error("'" + Mnemonic + "' expects " + std::to_string(Srcs + 1) +
+            " operands, found " + std::to_string(Ops.size()));
+      return std::nullopt;
+    }
+    Operand Dst = Ops.back();
+    Ops.pop_back();
+    I.Srcs = Ops;
+    if (I.Op == Opcode::FStrV) {
+      if (!Dst.isMem()) {
+        error("fstrv destination must be a memory operand");
+        return std::nullopt;
+      }
+      I.HasMemDst = true;
+      I.MemDst = Dst;
+    } else {
+      if (Dst.K != Operand::Kind::VReg) {
+        error("destination must be a vector register");
+        return std::nullopt;
+      }
+      I.DstVReg = Dst.Reg;
+    }
+    return I;
+  }
+
+public:
+};
+
+std::optional<Routine> AsmParser::run() {
+  Routine R;
+  std::istringstream In(Text);
+  std::string RawLine;
+  bool SawName = false, SawJnz = false;
+  while (std::getline(In, RawLine)) {
+    ++Line;
+    // Strip comments and whitespace.
+    size_t Semi = RawLine.find(';');
+    if (Semi != std::string::npos)
+      RawLine.erase(Semi);
+    size_t Begin = RawLine.find_first_not_of(" \t\r");
+    if (Begin == std::string::npos)
+      continue;
+    size_t End = RawLine.find_last_not_of(" \t\r");
+    std::string Text = RawLine.substr(Begin, End - Begin + 1);
+
+    if (!SawName) {
+      if (Text.empty() || Text.back() != '_') {
+        error("expected a routine label ending in '_'");
+        return std::nullopt;
+      }
+      R.Name = Text.substr(0, Text.size() - 1);
+      SawName = true;
+      continue;
+    }
+    if (Text.compare(0, 3, "jnz") == 0) {
+      SawJnz = true;
+      break;
+    }
+
+    // Split on commas: fused co-issued instructions.
+    size_t Pos = 0;
+    bool First = true;
+    while (Pos <= Text.size()) {
+      size_t Comma = Text.find(',', Pos);
+      std::string Part = Text.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      auto I = parseInstr(Part, /*Fused=*/!First);
+      if (!I)
+        return std::nullopt;
+      R.Body.push_back(*I);
+      First = false;
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+  }
+  if (!SawName) {
+    error("empty PEAC text");
+    return std::nullopt;
+  }
+  if (!SawJnz) {
+    error("missing 'jnz' loop close");
+    return std::nullopt;
+  }
+  if (Failed)
+    return std::nullopt;
+  R.NumPtrArgs = SawPtr ? MaxPtr + 1 : 0;
+  R.NumScalarArgs = SawScalar ? MaxScalar + 1 : 0;
+  return R;
+}
+
+} // namespace
+
+std::optional<Routine> peac::assemble(const std::string &Text,
+                                      DiagnosticEngine &Diags) {
+  return AsmParser(Text, Diags).run();
+}

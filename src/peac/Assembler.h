@@ -1,0 +1,48 @@
+//===- peac/Assembler.h - PEAC textual assembler ------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the textual PEAC format (the Figure 12 listings emitted by
+/// Routine::str()) back into Routine objects. Round-tripping the node
+/// code makes hand-written PEAC testable against the executor and lets
+/// listings serve as golden files.
+///
+/// Accepted grammar (one routine per call):
+///
+///   <name>_
+///       <instr> [, <instr>]          ; comma = dual issue
+///       ...
+///       jnz ac2 <name>_
+///
+///   <instr>   := <mnemonic> <operand>...
+///   <operand> := aVn | aSn | #imm | [aPn+off]stride++
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_PEAC_ASSEMBLER_H
+#define F90Y_PEAC_ASSEMBLER_H
+
+#include "peac/Peac.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace f90y {
+namespace peac {
+
+/// Parses one routine from \p Text. Argument counts (NumPtrArgs,
+/// NumScalarArgs) are inferred as 1 + the highest register mentioned;
+/// spill slots are not reconstructed (hand-written PEAC addresses real
+/// pointer arguments). Returns std::nullopt with diagnostics on a syntax
+/// error.
+std::optional<Routine> assemble(const std::string &Text,
+                                DiagnosticEngine &Diags);
+
+} // namespace peac
+} // namespace f90y
+
+#endif // F90Y_PEAC_ASSEMBLER_H

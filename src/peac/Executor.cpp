@@ -1,0 +1,184 @@
+//===- peac/Executor.cpp - PEAC functional executor --------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "peac/Executor.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+using namespace f90y;
+using namespace f90y::peac;
+
+namespace {
+
+constexpr unsigned MaxWidth = 8;
+
+/// Per-PE execution state for one routine run.
+struct PEState {
+  const ExecArgs &Args;
+  unsigned PE;
+  int64_t IterBase = 0; ///< Element index of lane 0 this iteration.
+  unsigned Width;
+  std::vector<std::array<double, MaxWidth>> VRegs;
+  std::vector<std::array<double, MaxWidth>> Spill;
+
+  PEState(const ExecArgs &Args, unsigned PE, unsigned Width,
+          unsigned NumVRegs, unsigned NumSpill)
+      : Args(Args), PE(PE), Width(Width), VRegs(NumVRegs), Spill(NumSpill) {}
+
+  double *memAddr(const Operand &O, unsigned Lane, unsigned NumPtrArgs) {
+    if (O.Reg >= NumPtrArgs) {
+      // Spill slot: scratch local to the iteration.
+      return &Spill[O.Reg - NumPtrArgs][Lane];
+    }
+    const PtrBinding &B = Args.Ptrs[O.Reg];
+    size_t Elem = static_cast<size_t>(O.Offset) +
+                  static_cast<size_t>((IterBase + Lane) * O.Stride);
+    return B.Data + static_cast<size_t>(PE) * B.PEStride + B.Offset + Elem;
+  }
+
+  double read(const Operand &O, unsigned Lane, unsigned NumPtrArgs) {
+    switch (O.K) {
+    case Operand::Kind::VReg:
+      return VRegs[O.Reg][Lane];
+    case Operand::Kind::SReg:
+      return Args.Scalars[O.Reg];
+    case Operand::Kind::Imm:
+      return O.Imm;
+    case Operand::Kind::Mem:
+      return *memAddr(O, Lane, NumPtrArgs);
+    }
+    return 0;
+  }
+};
+
+double applyOp(Opcode Op, double A, double B, double C) {
+  switch (Op) {
+  case Opcode::FLodV:
+  case Opcode::FMovV:
+    return A;
+  case Opcode::FAddV:
+    return A + B;
+  case Opcode::FSubV:
+    return A - B;
+  case Opcode::FMulV:
+    return A * B;
+  case Opcode::FDivV:
+    return A / B;
+  case Opcode::FMinV:
+    return A < B ? A : B;
+  case Opcode::FMaxV:
+    return A > B ? A : B;
+  case Opcode::FModV:
+    return B == 0 ? 0 : std::fmod(A, B);
+  case Opcode::FPowV:
+    return std::pow(A, B);
+  case Opcode::FMAddV:
+    return A * B + C;
+  case Opcode::FNegV:
+    return -A;
+  case Opcode::FAbsV:
+    return std::fabs(A);
+  case Opcode::FSqrtV:
+    return std::sqrt(A);
+  case Opcode::FSinV:
+    return std::sin(A);
+  case Opcode::FCosV:
+    return std::cos(A);
+  case Opcode::FTanV:
+    return std::tan(A);
+  case Opcode::FExpV:
+    return std::exp(A);
+  case Opcode::FLogV:
+    return std::log(A);
+  case Opcode::FTrncV:
+    return std::trunc(A);
+  case Opcode::FNotV:
+    return A != 0 ? 0.0 : 1.0;
+  case Opcode::FCmpEqV:
+    return A == B ? 1.0 : 0.0;
+  case Opcode::FCmpNeV:
+    return A != B ? 1.0 : 0.0;
+  case Opcode::FCmpLtV:
+    return A < B ? 1.0 : 0.0;
+  case Opcode::FCmpLeV:
+    return A <= B ? 1.0 : 0.0;
+  case Opcode::FCmpGtV:
+    return A > B ? 1.0 : 0.0;
+  case Opcode::FCmpGeV:
+    return A >= B ? 1.0 : 0.0;
+  case Opcode::FAndV:
+    return (A != 0 && B != 0) ? 1.0 : 0.0;
+  case Opcode::FOrV:
+    return (A != 0 || B != 0) ? 1.0 : 0.0;
+  case Opcode::FSelV:
+    return A != 0 ? B : C;
+  case Opcode::FStrV:
+    return A;
+  }
+  return 0;
+}
+
+} // namespace
+
+ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
+                         const cm2::CostModel &Costs) {
+  const unsigned Width = Costs.VectorWidth;
+  assert(Width <= MaxWidth && "vector width exceeds executor lanes");
+  ExecResult Result;
+
+  const int64_t Iters =
+      Args.SubgridElems <= 0 ? 0 : (Args.SubgridElems + Width - 1) / Width;
+
+  // Static SIMD cycle account.
+  Result.NodeCycles = static_cast<double>(Iters) *
+                      R.cyclesPerIteration(Costs);
+  Result.CallCycles =
+      Costs.PeacCallCycles +
+      static_cast<double>(R.NumPtrArgs + R.NumScalarArgs + 1) *
+          Costs.IFifoPerArgCycles;
+
+  // Flops: count only real (unpadded) lanes.
+  uint64_t FlopsPerElem = 0;
+  for (const Instruction &I : R.Body)
+    FlopsPerElem += flopsPerElement(I.Op);
+  Result.Flops = FlopsPerElem *
+                 static_cast<uint64_t>(Args.SubgridElems) * Args.NumPEs;
+
+  // Functional sweep.
+  for (unsigned PE = 0; PE < Args.NumPEs; ++PE) {
+    PEState St(Args, PE, Width, /*NumVRegs=*/Costs.VectorRegs,
+               R.NumSpillSlots);
+    for (int64_t It = 0; It < Iters; ++It) {
+      St.IterBase = It * Width;
+      for (const Instruction &I : R.Body) {
+        // All lanes read before any lane writes (vector semantics; the
+        // destination register or memory may alias a source).
+        double Tmp[MaxWidth];
+        for (unsigned Lane = 0; Lane < Width; ++Lane) {
+          double A = I.Srcs.size() > 0
+                         ? St.read(I.Srcs[0], Lane, R.NumPtrArgs)
+                         : 0;
+          double B = I.Srcs.size() > 1
+                         ? St.read(I.Srcs[1], Lane, R.NumPtrArgs)
+                         : 0;
+          double C = I.Srcs.size() > 2
+                         ? St.read(I.Srcs[2], Lane, R.NumPtrArgs)
+                         : 0;
+          Tmp[Lane] = applyOp(I.Op, A, B, C);
+        }
+        for (unsigned Lane = 0; Lane < Width; ++Lane) {
+          if (I.HasMemDst)
+            *St.memAddr(I.MemDst, Lane, R.NumPtrArgs) = Tmp[Lane];
+          else
+            St.VRegs[I.DstVReg][Lane] = Tmp[Lane];
+        }
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===- peac/Executor.h - PEAC functional executor -----------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes PEAC routines over real PE memory (functionally) and accounts
+/// sequencer cycles and flops (per the cost model). Because the machine is
+/// SIMD, every PE executes the identical instruction stream; cycle cost is
+/// computed once from the routine's slot structure, while the functional
+/// sweep runs the routine over every PE's subgrid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_PEAC_EXECUTOR_H
+#define F90Y_PEAC_EXECUTOR_H
+
+#include "peac/Peac.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace f90y {
+namespace peac {
+
+/// Binding of one pointer argument to storage. PE p's subgrid base is
+/// `Data + p * PEStride + Offset`.
+struct PtrBinding {
+  double *Data = nullptr;
+  size_t PEStride = 0;
+  size_t Offset = 0;
+};
+
+/// Everything needed to run a routine.
+struct ExecArgs {
+  std::vector<PtrBinding> Ptrs;
+  std::vector<double> Scalars;
+  unsigned NumPEs = 1;
+  /// Virtual-subgrid length per PE. Storage must be padded so that
+  /// ceil(VP/width)*width elements are addressable.
+  int64_t SubgridElems = 0;
+};
+
+/// Cycle/flop account of one routine dispatch.
+struct ExecResult {
+  double NodeCycles = 0;  ///< Sequencer cycles spent in the subgrid loop.
+  double CallCycles = 0;  ///< Dispatch + IFIFO argument cycles.
+  uint64_t Flops = 0;     ///< Floating ops executed (all PEs, real lanes).
+  double totalCycles() const { return NodeCycles + CallCycles; }
+};
+
+/// Runs \p R functionally over every PE and returns the cycle account.
+/// Asserts that register numbers are within the configured file sizes.
+ExecResult execute(const Routine &R, const ExecArgs &Args,
+                   const cm2::CostModel &Costs);
+
+} // namespace peac
+} // namespace f90y
+
+#endif // F90Y_PEAC_EXECUTOR_H

@@ -1,0 +1,489 @@
+//===- runtime/CmRuntime.cpp - CM runtime system -----------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CmRuntime.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace f90y;
+using namespace f90y::runtime;
+
+const Geometry *CmRuntime::getGeometry(const std::vector<int64_t> &Extents,
+                                       const std::vector<int64_t> &Los) {
+  std::string Key;
+  for (size_t D = 0; D < Extents.size(); ++D)
+    Key += std::to_string(Los[D]) + ":" + std::to_string(Extents[D]) + "x";
+  auto It = Geometries.find(Key);
+  if (It != Geometries.end())
+    return It->second.get();
+  auto Geo = std::make_unique<Geometry>(
+      Geometry::layout(Extents, Los, Costs.NumPEs, Costs.VectorWidth));
+  const Geometry *Raw = Geo.get();
+  Geometries[Key] = std::move(Geo);
+  return Raw;
+}
+
+int CmRuntime::allocField(const Geometry *Geo, ElemKind Kind) {
+  PeArray A;
+  A.Geo = Geo;
+  A.Kind = Kind;
+  A.Data.assign(static_cast<size_t>(Geo->GridPEs * Geo->PaddedSubgrid), 0.0);
+  int Handle = NextHandle++;
+  Fields[Handle] = std::move(A);
+  return Handle;
+}
+
+void CmRuntime::freeField(int Handle) { Fields.erase(Handle); }
+
+PeArray &CmRuntime::field(int Handle) {
+  auto It = Fields.find(Handle);
+  assert(It != Fields.end() && "use of a freed or invalid field handle");
+  return It->second;
+}
+
+const PeArray &CmRuntime::field(int Handle) const {
+  auto It = Fields.find(Handle);
+  assert(It != Fields.end() && "use of a freed or invalid field handle");
+  return It->second;
+}
+
+int CmRuntime::coordField(const Geometry *Geo, unsigned Dim) {
+  std::string Key = Geo->signature() + "#" + std::to_string(Dim);
+  auto It = CoordFields.find(Key);
+  if (It != CoordFields.end())
+    return It->second;
+  int Handle = allocField(Geo, ElemKind::Int);
+  PeArray &A = field(Handle);
+  std::vector<int64_t> Coord;
+  for (int64_t PE = 0; PE < Geo->GridPEs; ++PE) {
+    double *Base = A.peBase(PE);
+    for (int64_t Off = 0; Off < Geo->PaddedSubgrid; ++Off) {
+      if (Geo->coordOf(PE, Off, Coord))
+        Base[Off] = static_cast<double>(Coord[Dim - 1] + Geo->Los[Dim - 1]);
+      else
+        Base[Off] = 0; // Padding positions never feed active results.
+    }
+  }
+  CoordFields[Key] = Handle;
+  return Handle;
+}
+
+double CmRuntime::readElement(int Handle,
+                              const std::vector<int64_t> &ZeroCoord) {
+  PeArray &A = field(Handle);
+  int64_t PE, Off;
+  A.Geo->locate(ZeroCoord, PE, Off);
+  Ledger.CommCycles += Costs.RouterPerElem;
+  return A.peBase(PE)[Off];
+}
+
+void CmRuntime::writeElement(int Handle,
+                             const std::vector<int64_t> &ZeroCoord,
+                             double V) {
+  PeArray &A = field(Handle);
+  int64_t PE, Off;
+  A.Geo->locate(ZeroCoord, PE, Off);
+  Ledger.CommCycles += Costs.RouterPerElem;
+  if (A.Kind == ElemKind::Int)
+    V = std::trunc(V);
+  else if (A.Kind == ElemKind::Bool)
+    V = V != 0 ? 1.0 : 0.0;
+  A.peBase(PE)[Off] = V;
+}
+
+int64_t CmRuntime::hopDistance(const Geometry &Geo, int64_t FromPE,
+                               int64_t ToPE, size_t D) {
+  // Decompose the PE numbers along the grid (row-major).
+  int64_t From = FromPE, To = ToPE;
+  int64_t FromC = 0, ToC = 0;
+  for (size_t K = Geo.Extents.size(); K-- > 0;) {
+    int64_t FC = From % Geo.Grid[K];
+    int64_t TC = To % Geo.Grid[K];
+    From /= Geo.Grid[K];
+    To /= Geo.Grid[K];
+    if (K == D) {
+      FromC = FC;
+      ToC = TC;
+    }
+  }
+  int64_t N = Geo.Grid[D];
+  int64_t Fwd = ((ToC - FromC) % N + N) % N;
+  return Fwd < N - Fwd ? Fwd : N - Fwd;
+}
+
+void CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
+  PeArray &D = field(Dst);
+  PeArray Snapshot;
+  const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
+  const Geometry &Geo = *D.Geo;
+  assert(S.Geo->Extents == Geo.Extents && "cshift requires a common shape");
+  size_t Axis = static_cast<size_t>(Dim - 1);
+  int64_t N = Geo.Extents[Axis];
+
+  double WireCycles = 0;
+  int64_t LocalElems = 0;
+  std::vector<int64_t> Coord;
+  for (int64_t PE = 0; PE < Geo.GridPEs; ++PE) {
+    double *Out = D.peBase(PE);
+    for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+      if (!Geo.coordOf(PE, Off, Coord))
+        continue;
+      Coord[Axis] = ((Coord[Axis] + Shift) % N + N) % N;
+      int64_t SrcPE, SrcOff;
+      Geo.locate(Coord, SrcPE, SrcOff);
+      Out[Off] = S.peBase(SrcPE)[SrcOff];
+      if (SrcPE == PE) {
+        ++LocalElems;
+      } else {
+        WireCycles += Costs.GridWirePerElemHop *
+                      static_cast<double>(hopDistance(Geo, PE, SrcPE, Axis));
+      }
+    }
+  }
+  Ledger.CommCycles +=
+      Costs.CommStartupCycles +
+      (Costs.GridLocalPerElem * static_cast<double>(LocalElems) +
+       WireCycles) /
+          static_cast<double>(Geo.GridPEs);
+}
+
+void CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
+  PeArray &D = field(Dst);
+  PeArray Snapshot;
+  const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
+  const Geometry &Geo = *D.Geo;
+  size_t Axis = static_cast<size_t>(Dim - 1);
+  int64_t N = Geo.Extents[Axis];
+
+  double WireCycles = 0;
+  int64_t LocalElems = 0;
+  std::vector<int64_t> Coord;
+  for (int64_t PE = 0; PE < Geo.GridPEs; ++PE) {
+    double *Out = D.peBase(PE);
+    for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+      if (!Geo.coordOf(PE, Off, Coord))
+        continue;
+      int64_t C = Coord[Axis] + Shift;
+      if (C < 0 || C >= N) {
+        Out[Off] = 0.0;
+        continue;
+      }
+      Coord[Axis] = C;
+      int64_t SrcPE, SrcOff;
+      Geo.locate(Coord, SrcPE, SrcOff);
+      Out[Off] = S.peBase(SrcPE)[SrcOff];
+      if (SrcPE == PE)
+        ++LocalElems;
+      else
+        WireCycles += Costs.GridWirePerElemHop *
+                      static_cast<double>(hopDistance(Geo, PE, SrcPE, Axis));
+    }
+  }
+  Ledger.CommCycles +=
+      Costs.CommStartupCycles +
+      (Costs.GridLocalPerElem * static_cast<double>(LocalElems) +
+       WireCycles) /
+          static_cast<double>(Geo.GridPEs);
+}
+
+void CmRuntime::transpose(int Dst, int Src) {
+  PeArray &D = field(Dst);
+  PeArray Snapshot;
+  const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
+  const Geometry &DG = *D.Geo, &SG = *S.Geo;
+  assert(DG.rank() == 2 && SG.rank() == 2 && "transpose requires rank 2");
+
+  std::vector<int64_t> Coord, SrcCoord(2);
+  for (int64_t PE = 0; PE < DG.GridPEs; ++PE) {
+    double *Out = D.peBase(PE);
+    for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
+      if (!DG.coordOf(PE, Off, Coord))
+        continue;
+      SrcCoord[0] = Coord[1];
+      SrcCoord[1] = Coord[0];
+      int64_t SrcPE, SrcOff;
+      SG.locate(SrcCoord, SrcPE, SrcOff);
+      Out[Off] = S.peBase(SrcPE)[SrcOff];
+    }
+  }
+  // Transpose goes through the router; charge the per-element cost spread
+  // across the machine (all PEs inject concurrently).
+  Ledger.CommCycles +=
+      Costs.CommStartupCycles +
+      Costs.RouterPerElem * static_cast<double>(DG.totalElements()) /
+          static_cast<double>(DG.GridPEs);
+}
+
+void CmRuntime::sectionCopy(int Dst, const std::vector<SectionDim> &DstSec,
+                            int Src,
+                            const std::vector<SectionDim> &SrcSec) {
+  PeArray &D = field(Dst);
+  const PeArray &S = field(Src);
+  const Geometry &DG = *D.Geo, &SG = *S.Geo;
+  assert(DstSec.size() == DG.rank() && SrcSec.size() == SG.rank() &&
+         "section rank mismatch");
+
+  // Iterate the section's position space.
+  int64_t Total = 1;
+  for (const SectionDim &SD : DstSec)
+    Total *= SD.Count;
+  if (Total == 0)
+    return;
+
+  std::vector<int64_t> Pos(DstSec.size(), 0);
+  std::vector<int64_t> DC(DstSec.size()), SC(SrcSec.size());
+  int64_t RemoteElems = 0, LocalElems = 0;
+  // Buffer destination values first: overlapping src/dst sections of the
+  // same array keep Fortran vector semantics.
+  std::vector<std::pair<size_t, double>> Writes;
+  Writes.reserve(static_cast<size_t>(Total));
+  for (int64_t Done = 0; Done < Total; ++Done) {
+    for (size_t K = 0; K < DstSec.size(); ++K) {
+      DC[K] = DstSec[K].Start + Pos[K] * DstSec[K].Stride;
+      SC[K] = SrcSec[K].Start + Pos[K] * SrcSec[K].Stride;
+    }
+    int64_t DPE, DOff, SPE, SOff;
+    DG.locate(DC, DPE, DOff);
+    SG.locate(SC, SPE, SOff);
+    double V = S.peBase(SPE)[SOff];
+    if (D.Kind == ElemKind::Int)
+      V = std::trunc(V);
+    Writes.emplace_back(
+        static_cast<size_t>(DPE * DG.PaddedSubgrid + DOff), V);
+    if (SPE == DPE)
+      ++LocalElems;
+    else
+      ++RemoteElems;
+    for (size_t K = DstSec.size(); K-- > 0;) {
+      if (++Pos[K] < DstSec[K].Count)
+        break;
+      Pos[K] = 0;
+    }
+  }
+  for (const auto &[Idx, V] : Writes)
+    D.Data[Idx] = V;
+
+  Ledger.CommCycles +=
+      Costs.CommStartupCycles +
+      (Costs.GridLocalPerElem * static_cast<double>(LocalElems) +
+       Costs.RouterPerElem * static_cast<double>(RemoteElems)) /
+          static_cast<double>(DG.GridPEs);
+}
+
+double CmRuntime::reduce(ReduceOp Op, int Src) {
+  const PeArray &S = field(Src);
+  const Geometry &Geo = *S.Geo;
+
+  bool First = true;
+  double Acc = 0;
+  int64_t CountTrue = 0;
+  std::vector<int64_t> Coord;
+  for (int64_t PE = 0; PE < Geo.GridPEs; ++PE) {
+    const double *Base = S.peBase(PE);
+    for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+      if (!Geo.coordOf(PE, Off, Coord))
+        continue;
+      double V = Base[Off];
+      switch (Op) {
+      case ReduceOp::Sum:
+        Acc += V;
+        break;
+      case ReduceOp::Product:
+        Acc = First ? V : Acc * V;
+        break;
+      case ReduceOp::Max:
+        Acc = First ? V : (V > Acc ? V : Acc);
+        break;
+      case ReduceOp::Min:
+        Acc = First ? V : (V < Acc ? V : Acc);
+        break;
+      case ReduceOp::Count:
+      case ReduceOp::Any:
+      case ReduceOp::All:
+        CountTrue += V != 0;
+        break;
+      }
+      First = false;
+    }
+  }
+
+  // Local vectorized reduce + log2(P) combine steps.
+  double LocalCycles = static_cast<double>(Geo.SubgridElems) *
+                       Costs.VectorAluCycles /
+                       static_cast<double>(Costs.VectorWidth);
+  double Steps = std::ceil(std::log2(static_cast<double>(Geo.GridPEs) + 1));
+  Ledger.CommCycles += Costs.CommStartupCycles + LocalCycles +
+                       Steps * Costs.ReduceStepCycles;
+  if (Op == ReduceOp::Sum || Op == ReduceOp::Product)
+    Ledger.Flops += static_cast<uint64_t>(Geo.totalElements());
+
+  int64_t Total = Geo.totalElements();
+  switch (Op) {
+  case ReduceOp::Count:
+    return static_cast<double>(CountTrue);
+  case ReduceOp::Any:
+    return CountTrue > 0 ? 1.0 : 0.0;
+  case ReduceOp::All:
+    return CountTrue == Total ? 1.0 : 0.0;
+  default:
+    return Acc;
+  }
+}
+
+void CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
+                               unsigned Dim) {
+  PeArray &D = field(Dst);
+  const PeArray &S = field(Src);
+  const Geometry &DG = *D.Geo, &SG = *S.Geo;
+  size_t Axis = static_cast<size_t>(Dim - 1);
+  assert(Axis < SG.rank() && DG.rank() + 1 == SG.rank() &&
+         "reduceAlongDim rank mismatch");
+
+  std::vector<int64_t> DC(DG.rank()), SC(SG.rank());
+  // Iterate the destination space; accumulate over the reduced axis.
+  std::vector<int64_t> Pos(DG.rank(), 0);
+  bool Empty = DG.totalElements() == 0;
+  while (!Empty) {
+    for (size_t K = 0, Out = 0; K < SG.rank(); ++K)
+      SC[K] = K == Axis ? 0 : Pos[Out++];
+    double Acc = 0;
+    int64_t CountTrue = 0;
+    for (int64_t K = 0; K < SG.Extents[Axis]; ++K) {
+      SC[Axis] = K;
+      int64_t PE, Off;
+      SG.locate(SC, PE, Off);
+      double V = S.peBase(PE)[Off];
+      switch (Op) {
+      case ReduceOp::Sum:
+        Acc += V;
+        break;
+      case ReduceOp::Product:
+        Acc = K == 0 ? V : Acc * V;
+        break;
+      case ReduceOp::Max:
+        Acc = K == 0 ? V : (V > Acc ? V : Acc);
+        break;
+      case ReduceOp::Min:
+        Acc = K == 0 ? V : (V < Acc ? V : Acc);
+        break;
+      case ReduceOp::Count:
+      case ReduceOp::Any:
+      case ReduceOp::All:
+        CountTrue += V != 0;
+        break;
+      }
+    }
+    if (Op == ReduceOp::Count)
+      Acc = static_cast<double>(CountTrue);
+    else if (Op == ReduceOp::Any)
+      Acc = CountTrue > 0 ? 1 : 0;
+    else if (Op == ReduceOp::All)
+      Acc = CountTrue == SG.Extents[Axis] ? 1 : 0;
+    if (D.Kind == ElemKind::Int)
+      Acc = std::trunc(Acc);
+    std::copy(Pos.begin(), Pos.end(), DC.begin());
+    int64_t DPE, DOff;
+    DG.locate(DC, DPE, DOff);
+    D.peBase(DPE)[DOff] = Acc;
+
+    bool Done = true;
+    for (size_t K = Pos.size(); K-- > 0;) {
+      if (++Pos[K] < DG.Extents[K]) {
+        Done = false;
+        break;
+      }
+      Pos[K] = 0;
+    }
+    if (Done)
+      break;
+  }
+
+  // Cost: local vectorized accumulate over the source subgrid plus
+  // log2(grid along the reduced axis) combine steps, then a redistribution
+  // of the rank-reduced result through the router.
+  double LocalCycles = static_cast<double>(SG.SubgridElems) *
+                       Costs.VectorAluCycles /
+                       static_cast<double>(Costs.VectorWidth);
+  double Steps = std::ceil(
+      std::log2(static_cast<double>(SG.Grid[Axis]) + 1));
+  Ledger.CommCycles +=
+      Costs.CommStartupCycles + LocalCycles +
+      Steps * Costs.ReduceStepCycles +
+      Costs.RouterPerElem * static_cast<double>(DG.totalElements()) /
+          static_cast<double>(DG.GridPEs > 0 ? DG.GridPEs : 1);
+  if (Op == ReduceOp::Sum || Op == ReduceOp::Product)
+    Ledger.Flops += static_cast<uint64_t>(SG.totalElements());
+}
+
+void CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
+  PeArray &D = field(Dst);
+  const PeArray &S = field(Src);
+  const Geometry &DG = *D.Geo, &SG = *S.Geo;
+  size_t Axis = static_cast<size_t>(Dim - 1);
+  assert(Axis < DG.rank() && DG.rank() == SG.rank() + 1 &&
+         "spreadAlongDim rank mismatch");
+
+  std::vector<int64_t> Coord, SC(SG.rank());
+  for (int64_t PE = 0; PE < DG.GridPEs; ++PE) {
+    double *Out = D.peBase(PE);
+    for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
+      if (!DG.coordOf(PE, Off, Coord))
+        continue;
+      for (size_t K = 0, In = 0; K < DG.rank(); ++K)
+        if (K != Axis)
+          SC[In++] = Coord[K];
+      int64_t SPE, SOff;
+      SG.locate(SC, SPE, SOff);
+      Out[Off] = S.peBase(SPE)[SOff];
+    }
+  }
+  // Broadcast through the router (each source element fans out).
+  Ledger.CommCycles +=
+      Costs.CommStartupCycles +
+      Costs.RouterPerElem * static_cast<double>(DG.totalElements()) /
+          static_cast<double>(DG.GridPEs > 0 ? DG.GridPEs : 1);
+}
+
+std::string CmRuntime::renderField(int Handle) {
+  const PeArray &A = field(Handle);
+  const Geometry &Geo = *A.Geo;
+  // Row-major over global coordinates.
+  std::string Out;
+  std::vector<int64_t> Coord(Geo.rank(), 0);
+  bool FirstElem = true;
+  while (true) {
+    int64_t PE, Off;
+    Geo.locate(Coord, PE, Off);
+    double V = A.peBase(PE)[Off];
+    if (!FirstElem)
+      Out += ' ';
+    FirstElem = false;
+    if (A.Kind == ElemKind::Int)
+      Out += std::to_string(static_cast<int64_t>(V));
+    else if (A.Kind == ElemKind::Bool)
+      Out += V != 0 ? "T" : "F";
+    else
+      Out += formatDouble(V);
+    size_t K = Geo.rank();
+    bool Done = true;
+    while (K-- > 0) {
+      if (++Coord[K] < Geo.Extents[K]) {
+        Done = false;
+        break;
+      }
+      Coord[K] = 0;
+    }
+    if (Done)
+      break;
+  }
+  Ledger.CommCycles +=
+      Costs.RouterPerElem * static_cast<double>(Geo.totalElements());
+  return Out;
+}

@@ -1,0 +1,164 @@
+//===- runtime/CmRuntime.h - CM runtime system --------------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CM runtime system: geometry registry, parallel heap, coordinate
+/// subgrids, grid (NEWS) and router communication, reductions, and the
+/// cycle ledger. The FE/NIR compiler replaces communication intrinsics
+/// with calls into this library (paper Section 5.2), and the sequencer
+/// side of PEAC dispatch charges its costs here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_RUNTIME_CMRUNTIME_H
+#define F90Y_RUNTIME_CMRUNTIME_H
+
+#include "cm2/CostModel.h"
+#include "runtime/Geometry.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace f90y {
+namespace runtime {
+
+/// Element kind of a parallel field (storage is double either way;
+/// integer/logical fields round on store).
+enum class ElemKind { Int, Real, Bool };
+
+/// One allocated parallel field: GridPEs subgrids of PaddedSubgrid
+/// elements each, stored contiguously PE-major.
+struct PeArray {
+  const Geometry *Geo = nullptr;
+  ElemKind Kind = ElemKind::Real;
+  std::vector<double> Data;
+
+  double *peBase(int64_t PE) {
+    return Data.data() + static_cast<size_t>(PE * Geo->PaddedSubgrid);
+  }
+  const double *peBase(int64_t PE) const {
+    return Data.data() + static_cast<size_t>(PE * Geo->PaddedSubgrid);
+  }
+};
+
+/// Cycle ledger, split by where time goes. The paper's performance story
+/// is about the ratio of node computation to call overhead and
+/// communication, so the categories are kept separate.
+struct CycleLedger {
+  double NodeCycles = 0; ///< PEAC virtual-subgrid loops.
+  double CallCycles = 0; ///< PEAC dispatch + IFIFO arguments.
+  double CommCycles = 0; ///< Grid/router/reduction communication.
+  double HostCycles = 0; ///< Front-end scalar code.
+  /// Cycles hidden by pipelining communication with independent
+  /// computation (the Section 5.3.2 extension model; zero under the
+  /// paper's strict virtual-processor model).
+  double OverlappedCycles = 0;
+  uint64_t Flops = 0; ///< Useful floating-point operations.
+
+  double total() const {
+    return NodeCycles + CallCycles + CommCycles + HostCycles -
+           OverlappedCycles;
+  }
+  void reset() { *this = CycleLedger(); }
+};
+
+/// Reduction operators supported by the runtime.
+enum class ReduceOp { Sum, Product, Max, Min, Count, Any, All };
+
+/// The runtime system instance owned by one program execution.
+class CmRuntime {
+public:
+  explicit CmRuntime(const cm2::CostModel &Costs) : Costs(Costs) {}
+
+  const cm2::CostModel &costs() const { return Costs; }
+  CycleLedger &ledger() { return Ledger; }
+  const CycleLedger &ledger() const { return Ledger; }
+
+  /// Returns (creating and caching) the geometry for the given shape.
+  const Geometry *getGeometry(const std::vector<int64_t> &Extents,
+                              const std::vector<int64_t> &Los);
+
+  //===--------------------------------------------------------------------===//
+  // Heap
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates a zero-filled field; returns its handle.
+  int allocField(const Geometry *Geo, ElemKind Kind);
+  void freeField(int Handle);
+  PeArray &field(int Handle);
+  const PeArray &field(int Handle) const;
+
+  /// The lazily-materialized coordinate subgrid of \p Geo along \p Dim
+  /// (1-based): each element holds its own global Fortran coordinate.
+  /// This is the "pointer to the local coordinate 1 subgrid" of paper
+  /// Figure 10's pseudocode.
+  int coordField(const Geometry *Geo, unsigned Dim);
+
+  //===--------------------------------------------------------------------===//
+  // Element access (front end through the router)
+  //===--------------------------------------------------------------------===//
+
+  double readElement(int Handle, const std::vector<int64_t> &ZeroCoord);
+  void writeElement(int Handle, const std::vector<int64_t> &ZeroCoord,
+                    double V);
+
+  //===--------------------------------------------------------------------===//
+  // Communication (charged to the ledger)
+  //===--------------------------------------------------------------------===//
+
+  /// dst(i) = src(i + Shift along Dim, circular). Grid communication.
+  void cshift(int Dst, int Src, unsigned Dim, int64_t Shift);
+  /// dst(i) = src(i + Shift along Dim), zero at the boundary.
+  void eoshift(int Dst, int Src, unsigned Dim, int64_t Shift);
+  /// Rank-2 transpose through the router.
+  void transpose(int Dst, int Src);
+
+  /// One dimension of a constant section (zero-based start, stride,
+  /// count).
+  struct SectionDim {
+    int64_t Start = 0;
+    int64_t Stride = 1;
+    int64_t Count = 0;
+  };
+  /// General section-to-section copy (the misaligned case); router.
+  void sectionCopy(int Dst, const std::vector<SectionDim> &DstSec, int Src,
+                   const std::vector<SectionDim> &SrcSec);
+
+  /// Full-field reduction to the front end.
+  double reduce(ReduceOp Op, int Src);
+
+  /// Partial reduction along \p Dim (1-based): Dst has the source's shape
+  /// with that dimension removed. Grid combine along one machine axis.
+  void reduceAlongDim(ReduceOp Op, int Dst, int Src, unsigned Dim);
+
+  /// Broadcast along a new dimension \p Dim: Dst has the source's shape
+  /// with that dimension inserted (F90 SPREAD).
+  void spreadAlongDim(int Dst, int Src, unsigned Dim);
+
+  /// Renders the active elements of a field (host side, row-major), for
+  /// PRINT. Charges router element reads.
+  std::string renderField(int Handle);
+
+private:
+  const cm2::CostModel &Costs;
+  CycleLedger Ledger;
+  std::map<std::string, std::unique_ptr<Geometry>> Geometries;
+  std::map<int, PeArray> Fields;
+  std::map<std::string, int> CoordFields; ///< geometry-signature + dim.
+  int NextHandle = 1;
+
+  /// Torus hop distance between two PEs of \p Geo along dimension D.
+  static int64_t hopDistance(const Geometry &Geo, int64_t FromPE,
+                             int64_t ToPE, size_t D);
+};
+
+} // namespace runtime
+} // namespace f90y
+
+#endif // F90Y_RUNTIME_CMRUNTIME_H

@@ -1,0 +1,64 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. A class hierarchy opts in by
+/// providing a `static bool classof(const Base *)` predicate on each derived
+/// class, typically implemented with a kind discriminator on the base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SUPPORT_CASTING_H
+#define F90Y_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace f90y {
+
+/// Returns true if \p Val is an instance of \p To (or a subclass).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates (and propagates) a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace f90y
+
+#endif // F90Y_SUPPORT_CASTING_H

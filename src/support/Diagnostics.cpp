@@ -1,0 +1,51 @@
+//===- support/Diagnostics.cpp - Diagnostic engine ------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace f90y;
+
+static const char *kindLabel(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "diagnostic";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = kindLabel(Kind);
+  Out += ": ";
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += Message;
+  return Out;
+}
+
+bool DiagnosticEngine::hasErrors() const { return errorCount() != 0; }
+
+unsigned DiagnosticEngine::errorCount() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::Error)
+      ++N;
+  return N;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

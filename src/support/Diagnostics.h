@@ -1,0 +1,67 @@
+//===- support/Diagnostics.h - Diagnostic engine -----------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine shared by all compiler phases. Diagnostics are
+/// collected (not printed eagerly) so tests can assert on them, and so the
+/// driver can decide how to render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SUPPORT_DIAGNOSTICS_H
+#define F90Y_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace f90y {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" (messages follow the LLVM style:
+  /// lowercase first letter, no trailing period).
+  std::string str() const;
+};
+
+/// Collects diagnostics across compiler phases.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const;
+  unsigned errorCount() const;
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear() { Diags.clear(); }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace f90y
+
+#endif // F90Y_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,44 @@
+//===- support/SourceLocation.h - Source positions --------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions used by the lexer, parser, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SUPPORT_SOURCELOCATION_H
+#define F90Y_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace f90y {
+
+/// A 1-based (line, column) position in a source buffer. Line 0 denotes an
+/// unknown / synthesized location.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &RHS) const = default;
+
+  /// Renders as "line:column" or "<unknown>".
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace f90y
+
+#endif // F90Y_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,171 @@
+//===- transform/Blocking.cpp - Domain blocking (shape-level fusion) --------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 9 / Section 4.2: "it attempts to rearrange these phases so
+/// as to maximize the length of the blocks of aligned computation between
+/// successive communications. Successive loops over common, aligned
+/// domains appear in NIR as DO- or MOVE-constructs with common shapes, and
+/// as such are easily recognized and their actions composed sequentially —
+/// the shape equivalent of loop fusion."
+///
+/// Algorithm: within each SEQUENTIALLY, computation MOVEs migrate upward
+/// past independent actions toward the nearest earlier computation MOVE
+/// over the same domain; adjacent same-domain computation MOVEs then fuse
+/// into single MOVEs (one PEAC computation burst each).
+///
+//===----------------------------------------------------------------------===//
+
+#include "nir/TypeInfer.h"
+#include "transform/Effects.h"
+#include "transform/Phases.h"
+#include "transform/Transforms.h"
+
+using namespace f90y;
+using namespace f90y::transform;
+namespace N = f90y::nir;
+
+namespace {
+
+class BlockingPass {
+public:
+  explicit BlockingPass(N::NIRContext &Ctx) : Ctx(Ctx) {}
+
+  const N::Imp *run(const N::Imp *Root) { return rewriteImp(Root); }
+
+private:
+  N::NIRContext &Ctx;
+  N::ElemTypeInference Types;
+
+  struct Item {
+    const N::Imp *Action;
+    Effects Eff;
+    bool IsComp = false;
+    std::string Domain;
+  };
+
+  Item makeItem(const N::Imp *A) {
+    Item It;
+    It.Action = A;
+    It.Eff = effectsOf(A);
+    if (const auto *M = dyn_cast<N::MoveImp>(A)) {
+      if (classifyAction(M) == PhaseKind::Computation) {
+        It.Domain = computationDomainOf(M, Types);
+        It.IsComp = !It.Domain.empty();
+      }
+    }
+    return It;
+  }
+
+  const N::Imp *rewriteSequentially(const N::SequentiallyImp *S) {
+    std::vector<Item> R;
+    for (const N::Imp *A : S->getActions()) {
+      Item X = makeItem(rewriteImp(A));
+      if (!X.IsComp) {
+        R.push_back(std::move(X));
+        continue;
+      }
+      // Find the earliest position X may move up to: everything after
+      // index Blocker is independent of X.
+      int Blocker = static_cast<int>(R.size()) - 1;
+      while (Blocker >= 0 &&
+             independent(R[static_cast<size_t>(Blocker)].Eff, X.Eff))
+        --Blocker;
+      // Prefer landing immediately after a same-domain computation:
+      // either the blocker itself (if same-domain) or the first
+      // same-domain computation below it.
+      size_t Best = R.size();
+      for (size_t J = Blocker < 0 ? 0 : static_cast<size_t>(Blocker);
+           J < R.size(); ++J) {
+        if (R[J].IsComp && R[J].Domain == X.Domain &&
+            (static_cast<int>(J) >= Blocker)) {
+          Best = J + 1;
+          break;
+        }
+      }
+      if (Best > R.size())
+        Best = R.size();
+      R.insert(R.begin() + static_cast<long>(Best), std::move(X));
+    }
+
+    // Fuse adjacent same-domain computation MOVEs.
+    std::vector<const N::Imp *> Out;
+    size_t I = 0;
+    while (I < R.size()) {
+      if (!R[I].IsComp) {
+        Out.push_back(R[I].Action);
+        ++I;
+        continue;
+      }
+      std::vector<N::MoveClause> Clauses =
+          cast<N::MoveImp>(R[I].Action)->getClauses();
+      size_t J = I + 1;
+      while (J < R.size() && R[J].IsComp && R[J].Domain == R[I].Domain) {
+        const auto &More = cast<N::MoveImp>(R[J].Action)->getClauses();
+        Clauses.insert(Clauses.end(), More.begin(), More.end());
+        ++J;
+      }
+      Out.push_back(J == I + 1 ? R[I].Action : Ctx.getMove(Clauses));
+      I = J;
+    }
+
+    if (Out.size() == 1)
+      return Out[0];
+    return Ctx.getSequentially(Out);
+  }
+
+  const N::Imp *rewriteImp(const N::Imp *I) {
+    switch (I->getKind()) {
+    case N::Imp::Kind::Program: {
+      const auto *P = cast<N::ProgramImp>(I);
+      return Ctx.getProgram(P->getName(), rewriteImp(P->getBody()));
+    }
+    case N::Imp::Kind::Sequentially:
+      return rewriteSequentially(cast<N::SequentiallyImp>(I));
+    case N::Imp::Kind::Concurrently: {
+      std::vector<const N::Imp *> Actions;
+      for (const N::Imp *A : cast<N::ConcurrentlyImp>(I)->getActions())
+        Actions.push_back(rewriteImp(A));
+      return Ctx.getConcurrently(Actions);
+    }
+    case N::Imp::Kind::Move:
+    case N::Imp::Kind::Skip:
+    case N::Imp::Kind::Call:
+      return I;
+    case N::Imp::Kind::IfThenElse: {
+      const auto *If = cast<N::IfThenElseImp>(I);
+      return Ctx.getIfThenElse(If->getCond(), rewriteImp(If->getThen()),
+                               rewriteImp(If->getElse()));
+    }
+    case N::Imp::Kind::While: {
+      const auto *W = cast<N::WhileImp>(I);
+      return Ctx.getWhile(W->getCond(), rewriteImp(W->getBody()));
+    }
+    case N::Imp::Kind::WithDecl: {
+      const auto *WD = cast<N::WithDeclImp>(I);
+      Types.addDecl(WD->getDecl());
+      return Ctx.getWithDecl(WD->getDecl(), rewriteImp(WD->getBody()));
+    }
+    case N::Imp::Kind::WithDomain: {
+      const auto *WD = cast<N::WithDomainImp>(I);
+      return Ctx.getWithDomain(WD->getName(), WD->getShape(),
+                               rewriteImp(WD->getBody()));
+    }
+    case N::Imp::Kind::Do: {
+      const auto *D = cast<N::DoImp>(I);
+      return Ctx.getDo(D->getIterSpace(), rewriteImp(D->getBody()));
+    }
+    }
+    return I;
+  }
+};
+
+} // namespace
+
+const N::Imp *transform::blockDomains(const N::Imp *Root, N::NIRContext &Ctx,
+                                      DiagnosticEngine &) {
+  return BlockingPass(Ctx).run(Root);
+}

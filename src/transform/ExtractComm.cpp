@@ -1,0 +1,374 @@
+//===- transform/ExtractComm.cpp - Hoist communication intrinsics -----------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists communication intrinsics and reductions out of computational
+/// MOVEs into fresh temporaries. Afterwards every MOVE clause is one of:
+///
+///  - a pure local computation (no FCNCALL except elemental 'merge');
+///  - a communication action: src is exactly FCNCALL(comm, [AVAR, ...])
+///    with an everywhere destination;
+///  - a reduction action: src is exactly FCNCALL(red, [AVAR]) with a
+///    scalar destination.
+///
+/// This realizes the tmp0/tmp1 temporaries visible in paper Figure 12.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lower/Lowering.h"
+#include "nir/TypeInfer.h"
+#include "transform/Phases.h"
+#include "transform/Transforms.h"
+
+using namespace f90y;
+using namespace f90y::transform;
+namespace N = f90y::nir;
+
+namespace {
+
+class ExtractCommPass {
+public:
+  ExtractCommPass(N::NIRContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  const N::Imp *run(const N::Imp *Root) { return rewriteImp(Root); }
+
+private:
+  N::NIRContext &Ctx;
+  DiagnosticEngine &Diags;
+  N::ElemTypeInference Types;
+  unsigned TmpCounter = 0;
+
+  // Accumulated per-MOVE state.
+  std::vector<const N::Decl *> TempDecls;
+  std::vector<const N::Imp *> PreActions;
+
+  std::string freshTemp() { return "tmp" + std::to_string(TmpCounter++); }
+
+  const N::ScalarType *scalarTypeOf(N::Type::Kind K) {
+    return Ctx.getScalarType(K);
+  }
+
+  /// The domain name of the first everywhere AVAR (or local_under) in \p V.
+  std::string domainOfFieldExpr(const N::Value *V) {
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      std::string L = domainOfFieldExpr(B->getLHS());
+      return L.empty() ? domainOfFieldExpr(B->getRHS()) : L;
+    }
+    case N::Value::Kind::Unary:
+      return domainOfFieldExpr(cast<N::UnaryValue>(V)->getOperand());
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      if (!isa<N::EverywhereAction>(AV->getAction()))
+        return "";
+      const auto *FT =
+          dyn_cast_or_null<N::DFieldType>(Types.lookup(AV->getId()));
+      if (!FT)
+        return "";
+      if (const auto *Ref = dyn_cast<N::DomainRefShape>(FT->getShape()))
+        return Ref->getName();
+      return "";
+    }
+    case N::Value::Kind::LocalCoord:
+      return cast<N::LocalCoordValue>(V)->getDomain();
+    case N::Value::Kind::FcnCall: {
+      for (const N::Value *A : cast<N::FcnCallValue>(V)->getArgs()) {
+        std::string D = domainOfFieldExpr(A);
+        if (!D.empty())
+          return D;
+      }
+      return "";
+    }
+    default:
+      return "";
+    }
+  }
+
+  bool isBareEverywhereAVar(const N::Value *V) {
+    const auto *AV = dyn_cast<N::AVarValue>(V);
+    return AV && isa<N::EverywhereAction>(AV->getAction());
+  }
+
+  /// Materializes \p V into a fresh field temporary over \p Domain and
+  /// returns an everywhere reference to it.
+  const N::Value *hoistField(const N::Value *V, const std::string &Domain) {
+    if (Domain.empty()) {
+      Diags.error(SourceLocation(),
+                  "cannot determine the domain of a hoisted communication "
+                  "operand");
+      return V;
+    }
+    std::string T = freshTemp();
+    N::Type::Kind K = Types.elemKindOf(V);
+    const N::Type *Ty =
+        Ctx.getDField(Ctx.getDomainRef(Domain), scalarTypeOf(K));
+    TempDecls.push_back(Ctx.getDecl(T, Ty));
+    Types.addBinding(T, Ty);
+    PreActions.push_back(
+        Ctx.getMove({{Ctx.getTrue(), V, Ctx.getAVar(T, Ctx.getEverywhere())}}));
+    return Ctx.getAVar(T, Ctx.getEverywhere());
+  }
+
+  /// Materializes a scalar value into a fresh scalar temporary.
+  const N::Value *hoistScalar(const N::Value *V) {
+    std::string T = freshTemp();
+    N::Type::Kind K = Types.elemKindOf(V);
+    const N::Type *Ty = scalarTypeOf(K);
+    TempDecls.push_back(Ctx.getDecl(T, Ty));
+    Types.addBinding(T, Ty);
+    PreActions.push_back(
+        Ctx.getMove({{Ctx.getTrue(), V, Ctx.getSVar(T)}}));
+    return Ctx.getSVar(T);
+  }
+
+  /// Rewrites \p V, hoisting comm/reduction calls. \p StmtDomain is the
+  /// domain of the enclosing statement (used for transpose results).
+  /// \p AtTop is true when V is the entire clause source (a bare comm or
+  /// reduction at top level is already in canonical position).
+  const N::Value *rewriteValue(const N::Value *V,
+                               const std::string &StmtDomain, bool AtTop) {
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      const N::Value *L = rewriteValue(B->getLHS(), StmtDomain, false);
+      const N::Value *R = rewriteValue(B->getRHS(), StmtDomain, false);
+      if (L == B->getLHS() && R == B->getRHS())
+        return V;
+      return Ctx.getBinary(B->getOp(), L, R);
+    }
+    case N::Value::Kind::Unary: {
+      const auto *U = cast<N::UnaryValue>(V);
+      const N::Value *Op = rewriteValue(U->getOperand(), StmtDomain, false);
+      return Op == U->getOperand() ? V : Ctx.getUnary(U->getOp(), Op);
+    }
+    case N::Value::Kind::FcnCall: {
+      const auto *F = cast<N::FcnCallValue>(V);
+      const std::string &Name = F->getCallee();
+
+      if (lower::isCommIntrinsic(Name)) {
+        if (containsSection(F->getArgs()[0])) {
+          Diags.error(SourceLocation(),
+                      "communication intrinsic over an array section is "
+                      "unsupported in this prototype");
+          return V;
+        }
+        const N::Value *Arg = rewriteValue(F->getArgs()[0], StmtDomain,
+                                           false);
+        std::string ArgDomain = domainOfFieldExpr(Arg);
+        if (!isBareEverywhereAVar(Arg))
+          Arg = hoistField(Arg, ArgDomain.empty() ? StmtDomain : ArgDomain);
+        std::vector<const N::Value *> Args = F->getArgs();
+        Args[0] = Arg;
+        const N::Value *Call = Ctx.getFcnCall(Name, Args);
+        if (AtTop)
+          return Call; // Already a canonical communication MOVE.
+        // Shape-preserving shifts keep the argument's domain; transpose
+        // and spread produce values of the statement's shape.
+        bool ResultHasStmtShape =
+            Name == "transpose" || Name == "spread";
+        std::string ResultDomain =
+            ResultHasStmtShape
+                ? (StmtDomain.empty() ? domainOfFieldExpr(Arg) : StmtDomain)
+                : domainOfFieldExpr(Arg);
+        return hoistField(Call, ResultDomain.empty() ? StmtDomain
+                                                     : ResultDomain);
+      }
+
+      if (lower::isReductionIntrinsic(Name)) {
+        const N::Value *Arg = rewriteValue(F->getArgs()[0], StmtDomain,
+                                           false);
+        if (!isBareEverywhereAVar(Arg))
+          Arg = hoistField(Arg, domainOfFieldExpr(Arg));
+        std::vector<const N::Value *> Args = F->getArgs();
+        Args[0] = Arg;
+        const N::Value *Call = Ctx.getFcnCall(Name, Args);
+        if (AtTop)
+          return Call; // Canonical reduction MOVE.
+        if (Args.size() == 2) {
+          // Partial reduction: the result is a field over the statement
+          // domain (shapechecking guaranteed conformance).
+          return hoistField(Call, StmtDomain);
+        }
+        return hoistScalar(Call);
+      }
+
+      // Elemental calls (merge): rewrite arguments in place.
+      std::vector<const N::Value *> Args;
+      bool Changed = false;
+      for (const N::Value *A : F->getArgs()) {
+        const N::Value *NA = rewriteValue(A, StmtDomain, false);
+        Changed |= NA != A;
+        Args.push_back(NA);
+      }
+      return Changed ? Ctx.getFcnCall(Name, Args) : V;
+    }
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      if (const auto *Sub = dyn_cast<N::SubscriptAction>(AV->getAction())) {
+        std::vector<const N::Value *> Indices;
+        bool Changed = false;
+        for (const N::Value *I : Sub->getIndices()) {
+          const N::Value *NI = rewriteValue(I, StmtDomain, false);
+          Changed |= NI != I;
+          Indices.push_back(NI);
+        }
+        if (Changed)
+          return Ctx.getAVar(AV->getId(), Ctx.getSubscript(Indices));
+      }
+      return V;
+    }
+    default:
+      return V;
+    }
+  }
+
+  std::string stmtDomainOf(const N::Value *Dst) {
+    const auto *AV = dyn_cast<N::AVarValue>(Dst);
+    if (!AV)
+      return "";
+    const auto *FT =
+        dyn_cast_or_null<N::DFieldType>(Types.lookup(AV->getId()));
+    if (!FT)
+      return "";
+    if (const auto *Ref = dyn_cast<N::DomainRefShape>(FT->getShape()))
+      return Ref->getName();
+    return "";
+  }
+
+  const N::Imp *rewriteMove(const N::MoveImp *M) {
+    TempDecls.clear();
+    PreActions.clear();
+    std::vector<N::MoveClause> Clauses;
+    bool Changed = false;
+    for (const N::MoveClause &C : M->getClauses()) {
+      std::string StmtDomain = stmtDomainOf(C.Dst);
+      N::MoveClause NC = C;
+      if (C.Guard) {
+        NC.Guard = rewriteValue(C.Guard, StmtDomain, false);
+        Changed |= NC.Guard != C.Guard;
+      }
+      // A bare comm/reduction call may stay at clause top level only when
+      // the clause is effectively unguarded; a real mask forces a temp
+      // plus a masked copy.
+      bool TopOk = !C.Guard || isa<N::ScalarConstValue>(C.Guard);
+      NC.Src = rewriteValue(C.Src, StmtDomain, TopOk);
+      Changed |= NC.Src != C.Src;
+      Clauses.push_back(NC);
+    }
+    const N::Imp *NewMove = Changed ? Ctx.getMove(Clauses) : M;
+    if (TempDecls.empty())
+      return NewMove;
+    std::vector<const N::Imp *> Seq = PreActions;
+    Seq.push_back(NewMove);
+    const N::Imp *Result = Ctx.getWithDecl(Ctx.getDeclSet(TempDecls),
+                                           Ctx.getSequentially(Seq));
+    TempDecls.clear();
+    PreActions.clear();
+    return Result;
+  }
+
+  const N::Imp *rewriteCall(const N::CallImp *C) {
+    TempDecls.clear();
+    PreActions.clear();
+    std::vector<const N::Value *> Args;
+    bool Changed = false;
+    for (const N::Value *A : C->getArgs()) {
+      const N::Value *NA = rewriteValue(A, "", false);
+      Changed |= NA != A;
+      Args.push_back(NA);
+    }
+    const N::Imp *NewCall =
+        Changed ? Ctx.getCall(C->getCallee(), Args) : C;
+    if (TempDecls.empty())
+      return NewCall;
+    std::vector<const N::Imp *> Seq = PreActions;
+    Seq.push_back(NewCall);
+    const N::Imp *Result = Ctx.getWithDecl(Ctx.getDeclSet(TempDecls),
+                                           Ctx.getSequentially(Seq));
+    TempDecls.clear();
+    PreActions.clear();
+    return Result;
+  }
+
+  const N::Imp *rewriteImp(const N::Imp *I) {
+    switch (I->getKind()) {
+    case N::Imp::Kind::Program: {
+      const auto *P = cast<N::ProgramImp>(I);
+      const N::Imp *B = rewriteImp(P->getBody());
+      return B == P->getBody() ? I : Ctx.getProgram(P->getName(), B);
+    }
+    case N::Imp::Kind::Sequentially: {
+      const auto *S = cast<N::SequentiallyImp>(I);
+      std::vector<const N::Imp *> Actions;
+      bool Changed = false;
+      for (const N::Imp *A : S->getActions()) {
+        const N::Imp *NA = rewriteImp(A);
+        Changed |= NA != A;
+        Actions.push_back(NA);
+      }
+      return Changed ? Ctx.getSequentially(Actions) : I;
+    }
+    case N::Imp::Kind::Concurrently: {
+      const auto *S = cast<N::ConcurrentlyImp>(I);
+      std::vector<const N::Imp *> Actions;
+      bool Changed = false;
+      for (const N::Imp *A : S->getActions()) {
+        const N::Imp *NA = rewriteImp(A);
+        Changed |= NA != A;
+        Actions.push_back(NA);
+      }
+      return Changed ? Ctx.getConcurrently(Actions) : I;
+    }
+    case N::Imp::Kind::Move:
+      return rewriteMove(cast<N::MoveImp>(I));
+    case N::Imp::Kind::IfThenElse: {
+      const auto *If = cast<N::IfThenElseImp>(I);
+      const N::Imp *T = rewriteImp(If->getThen());
+      const N::Imp *E = rewriteImp(If->getElse());
+      if (T == If->getThen() && E == If->getElse())
+        return I;
+      return Ctx.getIfThenElse(If->getCond(), T, E);
+    }
+    case N::Imp::Kind::While: {
+      const auto *W = cast<N::WhileImp>(I);
+      const N::Imp *B = rewriteImp(W->getBody());
+      return B == W->getBody() ? I : Ctx.getWhile(W->getCond(), B);
+    }
+    case N::Imp::Kind::WithDecl: {
+      const auto *WD = cast<N::WithDeclImp>(I);
+      Types.addDecl(WD->getDecl());
+      const N::Imp *B = rewriteImp(WD->getBody());
+      return B == WD->getBody() ? I : Ctx.getWithDecl(WD->getDecl(), B);
+    }
+    case N::Imp::Kind::WithDomain: {
+      const auto *WD = cast<N::WithDomainImp>(I);
+      const N::Imp *B = rewriteImp(WD->getBody());
+      if (B == WD->getBody())
+        return I;
+      return Ctx.getWithDomain(WD->getName(), WD->getShape(), B);
+    }
+    case N::Imp::Kind::Skip:
+      return I;
+    case N::Imp::Kind::Do: {
+      const auto *D = cast<N::DoImp>(I);
+      const N::Imp *B = rewriteImp(D->getBody());
+      return B == D->getBody() ? I : Ctx.getDo(D->getIterSpace(), B);
+    }
+    case N::Imp::Kind::Call:
+      return rewriteCall(cast<N::CallImp>(I));
+    }
+    return I;
+  }
+};
+
+} // namespace
+
+const N::Imp *transform::extractComm(const N::Imp *Root, N::NIRContext &Ctx,
+                                     DiagnosticEngine &Diags) {
+  return ExtractCommPass(Ctx, Diags).run(Root);
+}

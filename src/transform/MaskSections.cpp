@@ -1,0 +1,267 @@
+//===- transform/MaskSections.cpp - Pad sections to masked moves ------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 10: "By generating mask code, the compiler pads
+/// computations over array subsections to full-array operations,
+/// increasing the pool of sibling computations which could be implemented
+/// in the same computation block."
+///
+/// A sectioned MOVE clause is *aligned* when every sectioned operand uses
+/// the identical triplets as the destination; the element correspondence
+/// is then coordinate-wise, so the clause can be rewritten over the full
+/// shape under a coordinate mask built from local_under values:
+///
+///   b(1:32:2,:) = a(1:32:2,:)
+///     ==>  MOVE[(mod(local_under(S,1) - 1, 2) == 0,
+///                (AVAR('a', everywhere), AVAR('b', everywhere)))]
+///
+/// Misaligned sections are left untouched; they are communication.
+///
+//===----------------------------------------------------------------------===//
+
+#include "nir/TypeInfer.h"
+#include "transform/Phases.h"
+#include "transform/Transforms.h"
+
+using namespace f90y;
+using namespace f90y::transform;
+namespace N = f90y::nir;
+
+namespace {
+
+class MaskSectionsPass {
+public:
+  MaskSectionsPass(N::NIRContext &Ctx) : Ctx(Ctx) {}
+
+  const N::Imp *run(const N::Imp *Root) { return rewriteImp(Root); }
+
+private:
+  N::NIRContext &Ctx;
+  N::ElemTypeInference Types;
+
+  /// Collects the triplets of every sectioned AVAR in \p V into \p Out;
+  /// returns false if two sectioned reads disagree.
+  bool collectSectionReads(const N::Value *V,
+                           const std::vector<N::SectionTriplet> *&Out) {
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      return collectSectionReads(B->getLHS(), Out) &&
+             collectSectionReads(B->getRHS(), Out);
+    }
+    case N::Value::Kind::Unary:
+      return collectSectionReads(cast<N::UnaryValue>(V)->getOperand(), Out);
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      const auto *Sec = dyn_cast<N::SectionAction>(AV->getAction());
+      if (!Sec)
+        return true;
+      if (!Out) {
+        Out = &Sec->getTriplets();
+        return true;
+      }
+      return *Out == Sec->getTriplets();
+    }
+    case N::Value::Kind::FcnCall: {
+      for (const N::Value *A : cast<N::FcnCallValue>(V)->getArgs())
+        if (!collectSectionReads(A, Out))
+          return false;
+      return true;
+    }
+    default:
+      return true;
+    }
+  }
+
+  /// Rewrites every sectioned AVAR whose triplets equal \p Triplets to an
+  /// everywhere AVAR.
+  const N::Value *sectionsToEverywhere(const N::Value *V) {
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      return Ctx.getBinary(B->getOp(), sectionsToEverywhere(B->getLHS()),
+                           sectionsToEverywhere(B->getRHS()));
+    }
+    case N::Value::Kind::Unary: {
+      const auto *U = cast<N::UnaryValue>(V);
+      return Ctx.getUnary(U->getOp(),
+                          sectionsToEverywhere(U->getOperand()));
+    }
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      if (isa<N::SectionAction>(AV->getAction()))
+        return Ctx.getAVar(AV->getId(), Ctx.getEverywhere());
+      return V;
+    }
+    case N::Value::Kind::FcnCall: {
+      const auto *F = cast<N::FcnCallValue>(V);
+      std::vector<const N::Value *> Args;
+      for (const N::Value *A : F->getArgs())
+        Args.push_back(sectionsToEverywhere(A));
+      return Ctx.getFcnCall(F->getCallee(), Args);
+    }
+    default:
+      return V;
+    }
+  }
+
+  /// Mask condition for one dimension's triplet over \p Domain.
+  const N::Value *dimMask(const std::string &Domain, unsigned Dim,
+                          const N::SectionTriplet &T) {
+    if (T.All)
+      return nullptr;
+    const N::Value *Coord = Ctx.getLocalCoord(Domain, Dim);
+    const N::Value *Cond = nullptr;
+    auto AndIn = [&](const N::Value *C) {
+      Cond = Cond ? Ctx.getBinary(N::BinaryOp::And, Cond, C) : C;
+    };
+    if (T.Stride > 0) {
+      AndIn(Ctx.getBinary(N::BinaryOp::Ge, Coord, Ctx.getIntConst(T.Lo)));
+      AndIn(Ctx.getBinary(N::BinaryOp::Le, Coord, Ctx.getIntConst(T.Hi)));
+      if (T.Stride != 1)
+        AndIn(Ctx.getBinary(
+            N::BinaryOp::Eq,
+            Ctx.getBinary(N::BinaryOp::Mod,
+                          Ctx.getBinary(N::BinaryOp::Sub, Coord,
+                                        Ctx.getIntConst(T.Lo)),
+                          Ctx.getIntConst(T.Stride)),
+            Ctx.getIntConst(0)));
+    } else {
+      AndIn(Ctx.getBinary(N::BinaryOp::Le, Coord, Ctx.getIntConst(T.Lo)));
+      AndIn(Ctx.getBinary(N::BinaryOp::Ge, Coord, Ctx.getIntConst(T.Hi)));
+      if (T.Stride != -1)
+        AndIn(Ctx.getBinary(
+            N::BinaryOp::Eq,
+            Ctx.getBinary(N::BinaryOp::Mod,
+                          Ctx.getBinary(N::BinaryOp::Sub,
+                                        Ctx.getIntConst(T.Lo), Coord),
+                          Ctx.getIntConst(-T.Stride)),
+            Ctx.getIntConst(0)));
+    }
+    return Cond;
+  }
+
+  /// Attempts the aligned-section-to-mask rewrite on one clause. Returns
+  /// true (and replaces \p C) on success.
+  bool tryMaskClause(N::MoveClause &C) {
+    const auto *DstAV = dyn_cast<N::AVarValue>(C.Dst);
+    if (!DstAV)
+      return false;
+    const auto *DstSec = dyn_cast<N::SectionAction>(DstAV->getAction());
+    if (!DstSec)
+      return false;
+
+    // Every sectioned read must agree with the destination triplets.
+    const std::vector<N::SectionTriplet> *ReadTriplets = nullptr;
+    if (!collectSectionReads(C.Src, ReadTriplets))
+      return false;
+    if (C.Guard && !collectSectionReads(C.Guard, ReadTriplets))
+      return false;
+    if (ReadTriplets && *ReadTriplets != DstSec->getTriplets())
+      return false;
+    // Everywhere reads cannot appear in a genuinely restricted statement
+    // (shapecheck would have rejected them), so alignment is established.
+
+    const auto *FT =
+        dyn_cast_or_null<N::DFieldType>(Types.lookup(DstAV->getId()));
+    if (!FT)
+      return false;
+    const auto *Ref = dyn_cast<N::DomainRefShape>(FT->getShape());
+    if (!Ref)
+      return false;
+    const std::string &Domain = Ref->getName();
+
+    const N::Value *Mask = nullptr;
+    for (size_t D = 0; D < DstSec->getTriplets().size(); ++D) {
+      const N::Value *M = dimMask(Domain, static_cast<unsigned>(D + 1),
+                                  DstSec->getTriplets()[D]);
+      if (!M)
+        continue;
+      Mask = Mask ? Ctx.getBinary(N::BinaryOp::And, Mask, M) : M;
+    }
+
+    const N::Value *Guard = C.Guard;
+    bool GuardIsTrue =
+        Guard && isa<N::ScalarConstValue>(Guard) &&
+        cast<N::ScalarConstValue>(Guard)->isBool() &&
+        cast<N::ScalarConstValue>(Guard)->getBool();
+    if (Mask) {
+      if (!Guard || GuardIsTrue)
+        Guard = Mask;
+      else
+        Guard = Ctx.getBinary(N::BinaryOp::And, Guard, Mask);
+    }
+
+    C.Guard = Guard ? Guard : Ctx.getTrue();
+    C.Src = sectionsToEverywhere(C.Src);
+    C.Dst = Ctx.getAVar(DstAV->getId(), Ctx.getEverywhere());
+    return true;
+  }
+
+  const N::Imp *rewriteImp(const N::Imp *I) {
+    switch (I->getKind()) {
+    case N::Imp::Kind::Program: {
+      const auto *P = cast<N::ProgramImp>(I);
+      return Ctx.getProgram(P->getName(), rewriteImp(P->getBody()));
+    }
+    case N::Imp::Kind::Sequentially: {
+      std::vector<const N::Imp *> Actions;
+      for (const N::Imp *A : cast<N::SequentiallyImp>(I)->getActions())
+        Actions.push_back(rewriteImp(A));
+      return Ctx.getSequentially(Actions);
+    }
+    case N::Imp::Kind::Concurrently: {
+      std::vector<const N::Imp *> Actions;
+      for (const N::Imp *A : cast<N::ConcurrentlyImp>(I)->getActions())
+        Actions.push_back(rewriteImp(A));
+      return Ctx.getConcurrently(Actions);
+    }
+    case N::Imp::Kind::Move: {
+      std::vector<N::MoveClause> Clauses =
+          cast<N::MoveImp>(I)->getClauses();
+      bool Changed = false;
+      for (N::MoveClause &C : Clauses)
+        Changed |= tryMaskClause(C);
+      return Changed ? Ctx.getMove(Clauses) : I;
+    }
+    case N::Imp::Kind::IfThenElse: {
+      const auto *If = cast<N::IfThenElseImp>(I);
+      return Ctx.getIfThenElse(If->getCond(), rewriteImp(If->getThen()),
+                               rewriteImp(If->getElse()));
+    }
+    case N::Imp::Kind::While: {
+      const auto *W = cast<N::WhileImp>(I);
+      return Ctx.getWhile(W->getCond(), rewriteImp(W->getBody()));
+    }
+    case N::Imp::Kind::WithDecl: {
+      const auto *WD = cast<N::WithDeclImp>(I);
+      Types.addDecl(WD->getDecl());
+      return Ctx.getWithDecl(WD->getDecl(), rewriteImp(WD->getBody()));
+    }
+    case N::Imp::Kind::WithDomain: {
+      const auto *WD = cast<N::WithDomainImp>(I);
+      return Ctx.getWithDomain(WD->getName(), WD->getShape(),
+                               rewriteImp(WD->getBody()));
+    }
+    case N::Imp::Kind::Skip:
+    case N::Imp::Kind::Call:
+      return I;
+    case N::Imp::Kind::Do: {
+      const auto *D = cast<N::DoImp>(I);
+      return Ctx.getDo(D->getIterSpace(), rewriteImp(D->getBody()));
+    }
+    }
+    return I;
+  }
+};
+
+} // namespace
+
+const N::Imp *transform::maskSections(const N::Imp *Root, N::NIRContext &Ctx,
+                                      DiagnosticEngine &) {
+  return MaskSectionsPass(Ctx).run(Root);
+}

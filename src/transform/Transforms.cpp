@@ -1,0 +1,96 @@
+//===- transform/Transforms.cpp - Pass pipeline and statistics --------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transforms.h"
+
+#include "nir/Verifier.h"
+
+using namespace f90y;
+using namespace f90y::transform;
+namespace N = f90y::nir;
+
+const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
+                                         N::NIRContext &Ctx,
+                                         DiagnosticEngine &Diags,
+                                         const TransformOptions &Opts) {
+  const N::Imp *I = Program;
+  unsigned ErrorsBefore = Diags.errorCount();
+  if (Opts.ExtractComm)
+    I = extractComm(I, Ctx, Diags);
+  if (Opts.MaskSections)
+    I = maskSections(I, Ctx, Diags);
+  if (Opts.Blocking)
+    I = blockDomains(I, Ctx, Diags);
+  if (Diags.errorCount() != ErrorsBefore)
+    return Program;
+  const auto *Result = cast<N::ProgramImp>(I);
+  if (!N::verify(Result, Diags))
+    return Program;
+  return Result;
+}
+
+static void countIn(const N::Imp *I, PhaseStats &Stats) {
+  switch (I->getKind()) {
+  case N::Imp::Kind::Program:
+    countIn(cast<N::ProgramImp>(I)->getBody(), Stats);
+    return;
+  case N::Imp::Kind::Sequentially:
+    for (const N::Imp *A : cast<N::SequentiallyImp>(I)->getActions())
+      countIn(A, Stats);
+    return;
+  case N::Imp::Kind::Concurrently:
+    for (const N::Imp *A : cast<N::ConcurrentlyImp>(I)->getActions())
+      countIn(A, Stats);
+    return;
+  case N::Imp::Kind::Move: {
+    const auto *M = cast<N::MoveImp>(I);
+    Stats.MoveClauses += M->getClauses().size();
+    switch (classifyAction(M)) {
+    case PhaseKind::Computation:
+      ++Stats.ComputationPhases;
+      break;
+    case PhaseKind::Communication:
+      ++Stats.CommunicationPhases;
+      break;
+    case PhaseKind::HostScalar:
+      ++Stats.HostScalarPhases;
+      break;
+    case PhaseKind::Structured:
+      break;
+    }
+    return;
+  }
+  case N::Imp::Kind::IfThenElse: {
+    const auto *If = cast<N::IfThenElseImp>(I);
+    countIn(If->getThen(), Stats);
+    countIn(If->getElse(), Stats);
+    return;
+  }
+  case N::Imp::Kind::While:
+    countIn(cast<N::WhileImp>(I)->getBody(), Stats);
+    return;
+  case N::Imp::Kind::WithDecl:
+    countIn(cast<N::WithDeclImp>(I)->getBody(), Stats);
+    return;
+  case N::Imp::Kind::WithDomain:
+    countIn(cast<N::WithDomainImp>(I)->getBody(), Stats);
+    return;
+  case N::Imp::Kind::Skip:
+    return;
+  case N::Imp::Kind::Do:
+    countIn(cast<N::DoImp>(I)->getBody(), Stats);
+    return;
+  case N::Imp::Kind::Call:
+    ++Stats.HostScalarPhases;
+    return;
+  }
+}
+
+PhaseStats transform::countPhases(const N::Imp *Root) {
+  PhaseStats Stats;
+  countIn(Root, Stats);
+  return Stats;
+}

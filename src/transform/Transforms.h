@@ -1,0 +1,74 @@
+//===- transform/Transforms.h - Target-independent NIR passes -----*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NIR optimization stage (paper Section 4.2): source-to-source
+/// transformations over NIR whose object is to produce programs in which
+/// computations over like shapes are blocked as much as possible, forming
+/// computation phases punctuated by communication.
+///
+/// Passes:
+///  - extractComm: hoists communication intrinsics (cshift/eoshift/
+///    transpose) and reductions out of computational MOVEs into temporaries
+///    (the tmp0/tmp1 of paper Figure 12), leaving each MOVE either a pure
+///    local computation or a single communication action.
+///  - maskSections: pads aligned array-section assignments into full-shape
+///    masked MOVEs (paper Figure 10), turning section communication into
+///    local computation and enabling blocking.
+///  - blockDomains: reorders independent phases and fuses adjacent
+///    computation MOVEs over a common domain into single MOVEs (the shape
+///    equivalent of loop fusion; paper Figure 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_TRANSFORM_TRANSFORMS_H
+#define F90Y_TRANSFORM_TRANSFORMS_H
+
+#include "nir/NIRContext.h"
+#include "support/Diagnostics.h"
+#include "transform/Phases.h"
+
+namespace f90y {
+namespace transform {
+
+/// Per-pass toggles (ablation benchmarks disable passes selectively).
+struct TransformOptions {
+  bool ExtractComm = true;
+  bool MaskSections = true;
+  bool Blocking = true;
+};
+
+/// Runs the enabled passes in order over \p Program and returns the
+/// transformed program (verified). Returns the input unchanged if a pass
+/// reports an error.
+const nir::ProgramImp *optimize(const nir::ProgramImp *Program,
+                                nir::NIRContext &Ctx,
+                                DiagnosticEngine &Diags,
+                                const TransformOptions &Opts = {});
+
+/// Individual passes (each returns a new imperative tree).
+const nir::Imp *extractComm(const nir::Imp *Root, nir::NIRContext &Ctx,
+                            DiagnosticEngine &Diags);
+const nir::Imp *maskSections(const nir::Imp *Root, nir::NIRContext &Ctx,
+                             DiagnosticEngine &Diags);
+const nir::Imp *blockDomains(const nir::Imp *Root, nir::NIRContext &Ctx,
+                             DiagnosticEngine &Diags);
+
+/// Phase statistics over a program (benchmark/regression metric for the
+/// Figure 9/10 reproductions).
+struct PhaseStats {
+  unsigned ComputationPhases = 0;
+  unsigned CommunicationPhases = 0;
+  unsigned HostScalarPhases = 0;
+  unsigned MoveClauses = 0;
+};
+
+PhaseStats countPhases(const nir::Imp *Root);
+
+} // namespace transform
+} // namespace f90y
+
+#endif // F90Y_TRANSFORM_TRANSFORMS_H

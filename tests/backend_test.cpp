@@ -1,0 +1,506 @@
+//===- tests/backend_test.cpp - CM2/FE/PE compiler tests --------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central correctness property of the reproduction: for every test
+/// program, compiled execution on the simulated CM/2 (host code + PEAC
+/// virtual-subgrid loops + CM runtime communication) computes exactly what
+/// the reference NIR interpreter computes. Plus structural checks on the
+/// generated PEAC (chaining, dual issue, madd fusion, spills).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+cm2::CostModel testMachine(unsigned PEs = 16) {
+  cm2::CostModel C;
+  C.NumPEs = PEs;
+  return C;
+}
+
+/// Compiles and runs \p Src under \p Profile; compares every named array
+/// and scalar (and PRINT output) against the reference interpreter.
+class BackendTest : public ::testing::Test {
+protected:
+  void compareWithInterp(const std::string &Src,
+                         const std::vector<std::string> &Arrays,
+                         const std::vector<std::string> &Scalars = {},
+                         Profile P = Profile::F90Y, unsigned PEs = 16,
+                         double Tol = 1e-9) {
+    CompileOptions Opts = CompileOptions::forProfile(P, testMachine(PEs));
+    Compilation C(Opts);
+    ASSERT_TRUE(C.compile(Src)) << C.diags().str();
+
+    // Reference run.
+    DiagnosticEngine IDiags;
+    interp::Interpreter Interp(IDiags);
+    ASSERT_TRUE(Interp.run(C.artifacts().RawNIR)) << IDiags.str();
+
+    // Simulated run.
+    Execution Exec(Opts.Costs);
+    auto Report = Exec.run(C.artifacts().Compiled.Program);
+    ASSERT_TRUE(Report.has_value()) << Exec.diags().str();
+
+    EXPECT_EQ(Report->Output, Interp.output());
+
+    for (const std::string &Name : Arrays) {
+      const interp::ArrayStorage *Ref = Interp.getArray(Name);
+      ASSERT_NE(Ref, nullptr) << Name;
+      int Handle = Exec.executor().fieldHandle(Name);
+      ASSERT_GE(Handle, 0) << Name << " not allocated on the machine";
+      const runtime::PeArray &Got = Exec.runtime().field(Handle);
+
+      // Compare element-by-element through global coordinates.
+      std::vector<int64_t> Coord(Ref->Extents.size(), 0);
+      std::vector<int64_t> Pos(Ref->Extents.size(), 0);
+      bool Done = Ref->Extents.empty();
+      while (!Done) {
+        int64_t PE, Off;
+        Got.Geo->locate(Pos, PE, Off);
+        double Machine = Got.peBase(PE)[Off];
+        double Reference = Ref->Data[Ref->linearIndex(Pos)].asReal();
+        ASSERT_NEAR(Machine, Reference, Tol)
+            << Name << " at position " << Pos[0]
+            << (Pos.size() > 1 ? "," + std::to_string(Pos[1]) : "");
+        size_t K = Pos.size();
+        Done = true;
+        while (K-- > 0) {
+          if (++Pos[K] < Ref->Extents[K].size()) {
+            Done = false;
+            break;
+          }
+          Pos[K] = 0;
+        }
+      }
+      (void)Coord;
+    }
+
+    for (const std::string &Name : Scalars) {
+      auto Ref = Interp.getScalar(Name);
+      auto Got = Exec.executor().getScalar(Name);
+      ASSERT_TRUE(Ref.has_value()) << Name;
+      ASSERT_TRUE(Got.has_value()) << Name;
+      EXPECT_NEAR(Got->asReal(), Ref->asReal(), Tol) << Name;
+    }
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// End-to-end correctness (differential against the interpreter)
+//===--------------------------------------------------------------------===//
+
+TEST_F(BackendTest, WholeArrayArithmetic) {
+  compareWithInterp("program p\n"
+                    "integer k(128,64), l(128)\n"
+                    "k = 3\n"
+                    "l = 6\n"
+                    "k = 2*k + 5\n"
+                    "end\n",
+                    {"k", "l"});
+}
+
+TEST_F(BackendTest, FloatExpressionWithTranscendentals) {
+  compareWithInterp("program p\n"
+                    "real a(32), b(32)\n"
+                    "integer i\n"
+                    "do i=1,32\n"
+                    "  a(i) = 0.1*i\n"
+                    "end do\n"
+                    "b = sqrt(a)*sin(a) + exp(-a)\n"
+                    "end\n",
+                    {"a", "b"}, {}, Profile::F90Y, 16, 1e-12);
+}
+
+TEST_F(BackendTest, CShiftStencil) {
+  compareWithInterp("program p\n"
+                    "real u(16,16), z(16,16)\n"
+                    "integer i, j\n"
+                    "forall (i=1:16, j=1:16) u(i,j) = i*100 + j\n"
+                    "z = 0.25*(cshift(u,1,1) + cshift(u,-1,1) &\n"
+                    "        + cshift(u,1,2) + cshift(u,-1,2))\n"
+                    "end\n",
+                    {"u", "z"});
+}
+
+TEST_F(BackendTest, TimeSteppedStencilLoop) {
+  compareWithInterp("program p\n"
+                    "real u(12,12), unew(12,12)\n"
+                    "integer i, j, t\n"
+                    "forall (i=1:12, j=1:12) u(i,j) = i + 2*j\n"
+                    "do t=1,5\n"
+                    "  unew = 0.25*(cshift(u,1,1) + cshift(u,-1,1) &\n"
+                    "             + cshift(u,1,2) + cshift(u,-1,2))\n"
+                    "  u = unew\n"
+                    "end do\n"
+                    "end\n",
+                    {"u", "unew"});
+}
+
+TEST_F(BackendTest, WhereMaskedAssignment) {
+  compareWithInterp("program p\n"
+                    "integer a(16,16), b(16,16)\n"
+                    "integer i, j\n"
+                    "forall (i=1:16, j=1:16) a(i,j) = i - j\n"
+                    "where (a > 0)\n"
+                    "  b = a*a\n"
+                    "elsewhere\n"
+                    "  b = -a\n"
+                    "end where\n"
+                    "end\n",
+                    {"a", "b"});
+}
+
+TEST_F(BackendTest, Figure10StridedSections) {
+  compareWithInterp("program p\n"
+                    "integer a(32,32), b(32,32)\n"
+                    "integer, dimension(32) :: c\n"
+                    "integer n\n"
+                    "n = 3\n"
+                    "a = n\n"
+                    "b(1:32:2,:) = a(1:32:2,:)\n"
+                    "c = n+1\n"
+                    "b(2:32:2,:) = 5*a(2:32:2,:)\n"
+                    "end\n",
+                    {"a", "b", "c"}, {"n"});
+}
+
+TEST_F(BackendTest, MisalignedSectionCopy) {
+  compareWithInterp("program p\n"
+                    "integer l(128), i\n"
+                    "do i=1,128\n"
+                    "  l(i) = i\n"
+                    "end do\n"
+                    "l(32:64) = l(96:128)\n"
+                    "end\n",
+                    {"l"});
+}
+
+TEST_F(BackendTest, ReductionsToScalars) {
+  compareWithInterp("program p\n"
+                    "real a(24), s, mx\n"
+                    "integer i\n"
+                    "do i=1,24\n"
+                    "  a(i) = i*i - 50\n"
+                    "end do\n"
+                    "s = sum(a)\n"
+                    "mx = maxval(a)\n"
+                    "end\n",
+                    {"a"}, {"s", "mx"});
+}
+
+TEST_F(BackendTest, ReductionInsideExpression) {
+  compareWithInterp("program p\n"
+                    "real a(16), b(16)\n"
+                    "integer i\n"
+                    "do i=1,16\n"
+                    "  a(i) = i\n"
+                    "end do\n"
+                    "b = a / sum(a)\n"
+                    "end\n",
+                    {"a", "b"});
+}
+
+TEST_F(BackendTest, TransposeThroughRouter) {
+  compareWithInterp("program p\n"
+                    "integer a(8,8), b(8,8)\n"
+                    "integer i, j\n"
+                    "forall (i=1:8, j=1:8) a(i,j) = 10*i + j\n"
+                    "b = transpose(a)\n"
+                    "end\n",
+                    {"a", "b"});
+}
+
+TEST_F(BackendTest, SerialLoopWithScalarControl) {
+  compareWithInterp("program p\n"
+                    "integer n, steps\n"
+                    "n = 27\n"
+                    "steps = 0\n"
+                    "do while (n /= 1)\n"
+                    "  if (mod(n,2) == 0) then\n"
+                    "    n = n / 2\n"
+                    "  else\n"
+                    "    n = 3*n + 1\n"
+                    "  end if\n"
+                    "  steps = steps + 1\n"
+                    "end do\n"
+                    "end\n",
+                    {}, {"n", "steps"});
+}
+
+TEST_F(BackendTest, GeneralForallScatter) {
+  compareWithInterp("program p\n"
+                    "integer a(8,8)\n"
+                    "integer i, j\n"
+                    "forall (i=1:8, j=1:8) a(j,i) = 10*i + j\n"
+                    "end\n",
+                    {"a"});
+}
+
+TEST_F(BackendTest, MergeElemental) {
+  compareWithInterp("program p\n"
+                    "integer v(16), w(16), i\n"
+                    "do i=1,16\n"
+                    "  v(i) = i - 8\n"
+                    "end do\n"
+                    "w = merge(v, -v, v > 0)\n"
+                    "end\n",
+                    {"v", "w"});
+}
+
+TEST_F(BackendTest, IntegerDivisionAndMod) {
+  compareWithInterp("program p\n"
+                    "integer a(16), b(16), c(16), i\n"
+                    "do i=1,16\n"
+                    "  a(i) = i*7 - 50\n"
+                    "end do\n"
+                    "b = a / 3\n"
+                    "c = mod(a, 5)\n"
+                    "end\n",
+                    {"a", "b", "c"});
+}
+
+TEST_F(BackendTest, PowerStrengthReduction) {
+  compareWithInterp("program p\n"
+                    "real a(16), b(16), c(16)\n"
+                    "integer i\n"
+                    "do i=1,16\n"
+                    "  a(i) = 0.5*i\n"
+                    "end do\n"
+                    "b = a**2\n"
+                    "c = a**3 + a**0.5\n"
+                    "end\n",
+                    {"a", "b", "c"}, {}, Profile::F90Y, 16, 1e-10);
+}
+
+TEST_F(BackendTest, DotProductEndToEnd) {
+  compareWithInterp("program p\n"
+                    "real a(24), b(24), s\n"
+                    "integer i\n"
+                    "do i=1,24\n"
+                    "  a(i) = 0.5*i\n"
+                    "  b(i) = 25 - i\n"
+                    "end do\n"
+                    "s = dot_product(a, b)\n"
+                    "end\n",
+                    {"a", "b"}, {"s"});
+}
+
+TEST_F(BackendTest, PrintOutputMatches) {
+  compareWithInterp("program p\n"
+                    "integer v(4), i, s\n"
+                    "do i=1,4\n"
+                    "  v(i) = i*i\n"
+                    "end do\n"
+                    "s = sum(v)\n"
+                    "print *, 'sum =', s\n"
+                    "print *, v\n"
+                    "end\n",
+                    {"v"}, {"s"});
+}
+
+TEST_F(BackendTest, EoshiftBoundary) {
+  compareWithInterp("program p\n"
+                    "integer v(12), w(12), i\n"
+                    "do i=1,12\n"
+                    "  v(i) = i\n"
+                    "end do\n"
+                    "w = eoshift(v, -3, 1)\n"
+                    "end\n",
+                    {"v", "w"});
+}
+
+TEST_F(BackendTest, DeepExpressionForcesSpills) {
+  // A wide expression with many simultaneously-live subterms; exercises
+  // the Belady spiller. Correctness must be preserved.
+  compareWithInterp(
+      "program p\n"
+      "real a(8), b(8), c(8), d(8), e(8), f(8), g(8), h(8), z(8)\n"
+      "integer i\n"
+      "do i=1,8\n"
+      "  a(i) = i\n"
+      "  b(i) = i+1\n"
+      "  c(i) = i+2\n"
+      "  d(i) = i+3\n"
+      "  e(i) = i+4\n"
+      "  f(i) = i+5\n"
+      "  g(i) = i+6\n"
+      "  h(i) = i+7\n"
+      "end do\n"
+      "z = (a*b + c*d) * (e*f + g*h) + (a*c + b*d) * (e*g + f*h) &\n"
+      "  + (a*d + b*c) * (e*h + f*g) + (a+b)*(c+d)*(e+f)*(g+h)\n"
+      "end\n",
+      {"z"});
+}
+
+TEST_F(BackendTest, AllProfilesAgreeOnSemantics) {
+  const std::string Src = "program p\n"
+                          "real u(16,16), v(16,16), z(16,16)\n"
+                          "integer i, j, t\n"
+                          "forall (i=1:16, j=1:16) u(i,j) = i + 0.5*j\n"
+                          "forall (i=1:16, j=1:16) v(i,j) = i*j*0.01\n"
+                          "do t=1,3\n"
+                          "  z = 0.5*(u - cshift(v, -1, 1)) + u*v\n"
+                          "  u = u + 0.1*z\n"
+                          "end do\n"
+                          "end\n";
+  for (Profile P : {Profile::F90Y, Profile::CMFStyle, Profile::Naive}) {
+    SCOPED_TRACE(static_cast<int>(P));
+    compareWithInterp(Src, {"u", "v", "z"}, {}, P, 16, 1e-9);
+  }
+}
+
+TEST_F(BackendTest, DifferentMachineSizesAgree) {
+  const std::string Src = "program p\n"
+                          "real a(20,12), b(20,12)\n"
+                          "integer i, j\n"
+                          "forall (i=1:20, j=1:12) a(i,j) = i*j\n"
+                          "b = cshift(a, 3, 1) + a\n"
+                          "end\n";
+  for (unsigned PEs : {1u, 2u, 8u, 64u}) {
+    SCOPED_TRACE(PEs);
+    compareWithInterp(Src, {"a", "b"}, {}, Profile::F90Y, PEs);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Generated-code structure
+//===--------------------------------------------------------------------===//
+
+TEST_F(BackendTest, BlockedProgramMakesFewerRoutines) {
+  const std::string Src = "program p\n"
+                          "real a(16,16), b(16,16), c(16,16)\n"
+                          "a = 1.0\n"
+                          "b = 2.0\n"
+                          "c = a + b\n"
+                          "end\n";
+  Compilation Blocked(CompileOptions::forProfile(Profile::F90Y,
+                                                 testMachine()));
+  ASSERT_TRUE(Blocked.compile(Src)) << Blocked.diags().str();
+  Compilation PerStmt(CompileOptions::forProfile(Profile::CMFStyle,
+                                                 testMachine()));
+  ASSERT_TRUE(PerStmt.compile(Src)) << PerStmt.diags().str();
+  EXPECT_EQ(Blocked.artifacts().Compiled.Program.Routines.size(), 1u);
+  EXPECT_EQ(PerStmt.artifacts().Compiled.Program.Routines.size(), 3u);
+}
+
+TEST_F(BackendTest, OptimizedCodeIsShorterThanNaive) {
+  const std::string Src = "program p\n"
+                          "real u(16,16), v(16,16), z(16,16)\n"
+                          "real fsdx, fsdy\n"
+                          "z = (fsdx*(v - cshift(v,-1,1)) &\n"
+                          "   - fsdy*(u - cshift(u,-1,2))) / (u + v)\n"
+                          "end\n";
+  Compilation Opt(CompileOptions::forProfile(Profile::F90Y, testMachine()));
+  ASSERT_TRUE(Opt.compile(Src)) << Opt.diags().str();
+  Compilation Naive(CompileOptions::forProfile(Profile::Naive,
+                                               testMachine()));
+  ASSERT_TRUE(Naive.compile(Src)) << Naive.diags().str();
+
+  // The compute routine is the last one (after the two shifts' absence —
+  // shifts are host comm, so routine count equals compute phases).
+  auto CountOf = [](const Compilation &C) {
+    unsigned Instrs = 0, Slots = 0;
+    for (const peac::Routine &R : C.artifacts().Compiled.Program.Routines) {
+      Instrs += R.bodyInstructionCount();
+      Slots += R.slotCount();
+    }
+    return std::make_pair(Instrs, Slots);
+  };
+  auto [OptInstrs, OptSlots] = CountOf(Opt);
+  auto [NaiveInstrs, NaiveSlots] = CountOf(Naive);
+  EXPECT_LT(OptInstrs, NaiveInstrs);
+  EXPECT_LT(OptSlots, NaiveSlots);
+}
+
+TEST_F(BackendTest, ChainedOperandsAppearInOptimizedCode) {
+  const std::string Src = "program p\n"
+                          "real a(16), b(16), z(16)\n"
+                          "z = a - b\n"
+                          "end\n";
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, testMachine()));
+  ASSERT_TRUE(C.compile(Src)) << C.diags().str();
+  std::string Listing = C.artifacts().Compiled.peacListing();
+  // fsubv with a chained in-memory operand, Figure 12 style.
+  EXPECT_NE(Listing.find("fsubv"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("]1++"), std::string::npos) << Listing;
+}
+
+TEST_F(BackendTest, MaddFusionProducesFmaddv) {
+  const std::string Src = "program p\n"
+                          "real a(16), b(16), c(16), z(16)\n"
+                          "z = a*b + c\n"
+                          "end\n";
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, testMachine()));
+  ASSERT_TRUE(C.compile(Src)) << C.diags().str();
+  EXPECT_NE(C.artifacts().Compiled.peacListing().find("fmaddv"),
+            std::string::npos)
+      << C.artifacts().Compiled.peacListing();
+}
+
+TEST_F(BackendTest, CoordinateSubgridsFeedLocalUnder) {
+  const std::string Src = "program p\n"
+                          "integer, array(16,16) :: a\n"
+                          "integer i, j\n"
+                          "forall (i=1:16, j=1:16) a(i,j) = i+j\n"
+                          "end\n";
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, testMachine()));
+  ASSERT_TRUE(C.compile(Src)) << C.diags().str();
+  const auto &Prog = C.artifacts().Compiled.Program;
+  ASSERT_EQ(Prog.Routines.size(), 1u);
+  // Find the CallPeac and check for coordinate-pointer arguments.
+  bool SawCoordArg = false;
+  std::function<void(const host::HostStmt *)> Walk =
+      [&](const host::HostStmt *S) {
+        if (const auto *Seq = dyn_cast<host::SeqStmt>(S)) {
+          for (const auto &Sub : Seq->stmts())
+            Walk(Sub.get());
+          return;
+        }
+        if (const auto *A = dyn_cast<host::AllocScopeStmt>(S)) {
+          Walk(A->body());
+          return;
+        }
+        if (const auto *Call = dyn_cast<host::CallPeacStmt>(S)) {
+          for (const auto &Arg : Call->args())
+            if (Arg.K == host::PeacArgSpec::Kind::CoordPtr)
+              SawCoordArg = true;
+        }
+      };
+  Walk(Prog.Body.get());
+  EXPECT_TRUE(SawCoordArg);
+}
+
+TEST_F(BackendTest, SpillsAppearOnlyUnderPressure) {
+  const std::string Small = "program p\n"
+                            "real a(8), b(8), z(8)\n"
+                            "z = a + b\n"
+                            "end\n";
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, testMachine()));
+  ASSERT_TRUE(C.compile(Small)) << C.diags().str();
+  for (const peac::Routine &R : C.artifacts().Compiled.Program.Routines)
+    EXPECT_EQ(R.NumSpillSlots, 0u);
+}
+
+TEST_F(BackendTest, RejectsUnsupportedMisalignedExpression) {
+  // Misaligned sections inside an arithmetic expression are a documented
+  // prototype restriction.
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, testMachine()));
+  EXPECT_FALSE(C.compile("program p\n"
+                         "real a(16)\n"
+                         "a(1:8) = 2.0*a(9:16)\n"
+                         "end\n"));
+  EXPECT_TRUE(C.diags().hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/frontend_lexer_test.cpp - lexer unit tests ---------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::frontend;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticEngine &Diags) {
+  return Lexer(Src, Diags).lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Toks) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Toks)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInputYieldsEOF) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("", Diags);
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokenKind::EndOfFile));
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("PROGRAM swe\nInTeGeR k\nend", Diags);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwProgram);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[1].Text, "swe");
+  EXPECT_EQ(Toks[3].Kind, TokenKind::KwInteger);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, NumericLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 42 + 2.5 + 1e3 + 1.5d-4 + .25", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[2].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[2].Text, "42");
+  EXPECT_EQ(Toks[4].Kind, TokenKind::RealLiteral);
+  EXPECT_EQ(Toks[4].Text, "2.5");
+  EXPECT_EQ(Toks[6].Kind, TokenKind::RealLiteral);
+  EXPECT_EQ(Toks[6].Text, "1e3");
+  EXPECT_EQ(Toks[8].Kind, TokenKind::DoubleLiteral);
+  EXPECT_EQ(Toks[8].Text, "1.5e-4"); // d-exponent canonicalized to e.
+  EXPECT_EQ(Toks[10].Kind, TokenKind::RealLiteral);
+  EXPECT_EQ(Toks[10].Text, ".25");
+}
+
+TEST(Lexer, IntFollowedByDottedOperatorIsNotAReal) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 1.and.2", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[2].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::DotAnd);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, DottedRelationalsMapToSymbolicKinds) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("a .eq. b .ne. c .lt. d .le. e .gt. f .ge. g", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[1].Kind, TokenKind::EqEq);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::SlashEq);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::Less);
+  EXPECT_EQ(Toks[7].Kind, TokenKind::LessEq);
+  EXPECT_EQ(Toks[9].Kind, TokenKind::Greater);
+  EXPECT_EQ(Toks[11].Kind, TokenKind::GreaterEq);
+}
+
+TEST(Lexer, SymbolicOperators) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("a == b /= c <= d >= e ** f :: g", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[1].Kind, TokenKind::EqEq);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::SlashEq);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::LessEq);
+  EXPECT_EQ(Toks[7].Kind, TokenKind::GreaterEq);
+  EXPECT_EQ(Toks[9].Kind, TokenKind::StarStar);
+  EXPECT_EQ(Toks[11].Kind, TokenKind::ColonColon);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 1 ! trailing comment\n! full-line comment\ny = 2",
+                  Diags);
+  auto Ks = kinds(Toks);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Equal,     TokenKind::IntLiteral,
+      TokenKind::EndOfStatement, TokenKind::Identifier, TokenKind::Equal,
+      TokenKind::IntLiteral,     TokenKind::EndOfStatement,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 1 + &\n    2", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  auto Ks = kinds(Toks);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Equal,      TokenKind::IntLiteral,
+      TokenKind::Plus,       TokenKind::IntLiteral, TokenKind::EndOfStatement,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, ContinuationWithLeadingAmpersand) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 1 + & ! comment\n  & 2", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[4].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[4].Text, "2");
+}
+
+TEST(Lexer, StatementLabels) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("do 10 i=1,5\n10 continue", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  // "do" carries no label; the CONTINUE token carries label 10.
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwDo);
+  EXPECT_EQ(Toks[0].Label, 0);
+  bool Found = false;
+  for (const Token &T : Toks)
+    if (T.is(TokenKind::KwContinue)) {
+      EXPECT_EQ(T.Label, 10);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lexer, SemicolonSeparatesStatements) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 1; y = 2", Diags);
+  unsigned Separators = 0;
+  for (const Token &T : Toks)
+    if (T.is(TokenKind::EndOfStatement))
+      ++Separators;
+  EXPECT_EQ(Separators, 2u);
+}
+
+TEST(Lexer, StringLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("print *, 'it''s fine', \"double\"", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[3].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[3].Text, "it's fine");
+  EXPECT_EQ(Toks[5].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[5].Text, "double");
+}
+
+TEST(Lexer, UnterminatedStringIsReported) {
+  DiagnosticEngine Diags;
+  lex("print *, 'oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnknownDottedOperatorIsReported) {
+  DiagnosticEngine Diags;
+  lex("a .xor. b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterIsReported) {
+  DiagnosticEngine Diags;
+  lex("a = b @ c", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x = 1\n  y = 2", Diags);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Column, 1u);
+  // 'y' is on line 2, column 3.
+  EXPECT_EQ(Toks[4].Loc.Line, 2u);
+  EXPECT_EQ(Toks[4].Loc.Column, 3u);
+}
+
+} // namespace

@@ -1,0 +1,373 @@
+//===- tests/frontend_parser_test.cpp - parser unit tests -------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::frontend;
+using namespace f90y::frontend::ast;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+
+  std::optional<ProgramUnit> parse(const std::string &Src) {
+    Lexer L(Src, Diags);
+    Parser P(L.lexAll(), Ctx, Diags);
+    return P.parseProgram();
+  }
+};
+
+TEST_F(ParserTest, MinimalProgram) {
+  auto Unit = parse("program hello\nend program hello\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  EXPECT_EQ(Unit->Name, "hello");
+  EXPECT_TRUE(Unit->Body.empty());
+}
+
+TEST_F(ParserTest, ProgramNameDefaultsToMain) {
+  auto Unit = parse("x = 1\nend\n");
+  // 'x' is undeclared but parsing succeeds; semantic checks come later.
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  EXPECT_EQ(Unit->Name, "main");
+}
+
+TEST_F(ParserTest, PaperDeclarationForms) {
+  // The paper's Section 2.1 example declarations.
+  auto Unit = parse("program p\n"
+                    "integer k(128,64), l(128)\n"
+                    "integer, array(32,32) :: a\n"
+                    "real, dimension(64) :: v\n"
+                    "double precision m, n\n"
+                    "logical flag\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  ASSERT_EQ(Unit->Decls.size(), 7u);
+  EXPECT_EQ(Unit->Decls[0].Name, "k");
+  EXPECT_EQ(Unit->Decls[0].Ty, TypeSpec::Integer);
+  EXPECT_EQ(Unit->Decls[0].Dims.size(), 2u);
+  EXPECT_EQ(Unit->Decls[1].Name, "l");
+  EXPECT_EQ(Unit->Decls[1].Dims.size(), 1u);
+  EXPECT_EQ(Unit->Decls[2].Name, "a");
+  EXPECT_EQ(Unit->Decls[2].Dims.size(), 2u);
+  EXPECT_EQ(Unit->Decls[3].Name, "v");
+  EXPECT_EQ(Unit->Decls[3].Ty, TypeSpec::Real);
+  EXPECT_EQ(Unit->Decls[4].Ty, TypeSpec::DoublePrecision);
+  EXPECT_FALSE(Unit->Decls[4].isArray());
+  EXPECT_EQ(Unit->Decls[6].Ty, TypeSpec::Logical);
+}
+
+TEST_F(ParserTest, ParameterForms) {
+  auto Unit = parse("program p\n"
+                    "integer, parameter :: n = 64\n"
+                    "real pi\n"
+                    "parameter (pi = 3.14159)\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  ASSERT_EQ(Unit->Decls.size(), 2u);
+  EXPECT_TRUE(Unit->Decls[0].IsParameter);
+  ASSERT_NE(Unit->Decls[0].Init, nullptr);
+  EXPECT_TRUE(Unit->Decls[1].IsParameter);
+  ASSERT_NE(Unit->Decls[1].Init, nullptr);
+}
+
+TEST_F(ParserTest, WholeArrayAssignment) {
+  auto Unit = parse("program p\n"
+                    "integer k(128,64), l(128)\n"
+                    "l = 6\n"
+                    "k = 2*k + 5\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  ASSERT_EQ(Unit->Body.size(), 2u);
+  const auto *A1 = dyn_cast<AssignStmt>(Unit->Body[0]);
+  ASSERT_NE(A1, nullptr);
+  EXPECT_TRUE(isa<IdentExpr>(A1->getLHS()));
+  const auto *A2 = dyn_cast<AssignStmt>(Unit->Body[1]);
+  ASSERT_NE(A2, nullptr);
+  const auto *RHS = dyn_cast<BinaryExpr>(A2->getRHS());
+  ASSERT_NE(RHS, nullptr);
+  EXPECT_EQ(RHS->getOp(), BinOp::Add);
+}
+
+TEST_F(ParserTest, SectionAssignmentFromPaper) {
+  // L(32:64) = L(96:128); K(32:64,:) = K(32:64,:)**2
+  auto Unit = parse("program p\n"
+                    "integer k(128,64), l(128)\n"
+                    "l(32:64) = l(96:128)\n"
+                    "k(32:64,:) = k(32:64,:)**2\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *A1 = dyn_cast<AssignStmt>(Unit->Body[0]);
+  ASSERT_NE(A1, nullptr);
+  const auto *L1 = dyn_cast<ArrayRefExpr>(A1->getLHS());
+  ASSERT_NE(L1, nullptr);
+  ASSERT_EQ(L1->getDims().size(), 1u);
+  EXPECT_TRUE(L1->getDims()[0].IsSection);
+  ASSERT_NE(L1->getDims()[0].Lo, nullptr);
+  EXPECT_EQ(cast<IntLitExpr>(L1->getDims()[0].Lo)->getValue(), 32);
+  EXPECT_EQ(cast<IntLitExpr>(L1->getDims()[0].Hi)->getValue(), 64);
+
+  const auto *A2 = dyn_cast<AssignStmt>(Unit->Body[1]);
+  const auto *L2 = dyn_cast<ArrayRefExpr>(A2->getLHS());
+  ASSERT_EQ(L2->getDims().size(), 2u);
+  EXPECT_TRUE(L2->getDims()[1].IsSection);
+  EXPECT_EQ(L2->getDims()[1].Lo, nullptr); // Lone ':'.
+  const auto *Pow = dyn_cast<BinaryExpr>(A2->getRHS());
+  ASSERT_NE(Pow, nullptr);
+  EXPECT_EQ(Pow->getOp(), BinOp::Pow);
+}
+
+TEST_F(ParserTest, StridedSection) {
+  auto Unit = parse("program p\n"
+                    "integer b(32,32), a(32,32)\n"
+                    "b(1:32:2,:) = a(1:32:2,:)\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *A = cast<AssignStmt>(Unit->Body[0]);
+  const auto *L = cast<ArrayRefExpr>(A->getLHS());
+  ASSERT_TRUE(L->getDims()[0].IsSection);
+  ASSERT_NE(L->getDims()[0].Stride, nullptr);
+  EXPECT_EQ(cast<IntLitExpr>(L->getDims()[0].Stride)->getValue(), 2);
+}
+
+TEST_F(ParserTest, LabeledDoNest) {
+  // The paper's Section 2.1 Fortran-77 loop nest.
+  auto Unit = parse("program p\n"
+                    "integer k(128,64), l(128)\n"
+                    "integer i, j\n"
+                    "do 10 i=1,128\n"
+                    "   l(i) = 6\n"
+                    "   do 20 j=1,64\n"
+                    "      k(i,j) = 2*k(i,j) + 5\n"
+                    "20 continue\n"
+                    "10 continue\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  ASSERT_EQ(Unit->Body.size(), 1u);
+  const auto *Outer = dyn_cast<DoLoopStmt>(Unit->Body[0]);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->getVar(), "i");
+  const auto *OuterBody = cast<BlockStmt>(Outer->getBody());
+  ASSERT_EQ(OuterBody->getStmts().size(), 2u);
+  const auto *Inner = dyn_cast<DoLoopStmt>(OuterBody->getStmts()[1]);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->getVar(), "j");
+}
+
+TEST_F(ParserTest, EndDoLoopWithStep) {
+  auto Unit = parse("program p\n"
+                    "integer i, s\n"
+                    "s = 0\n"
+                    "do i = 1, 10, 2\n"
+                    "  s = s + i\n"
+                    "end do\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *Loop = dyn_cast<DoLoopStmt>(Unit->Body[1]);
+  ASSERT_NE(Loop, nullptr);
+  ASSERT_NE(Loop->getStep(), nullptr);
+  EXPECT_EQ(cast<IntLitExpr>(Loop->getStep())->getValue(), 2);
+}
+
+TEST_F(ParserTest, DoWhile) {
+  auto Unit = parse("program p\n"
+                    "integer i\n"
+                    "i = 0\n"
+                    "do while (i < 10)\n"
+                    "  i = i + 1\n"
+                    "end do\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  EXPECT_TRUE(isa<DoWhileStmt>(Unit->Body[1]));
+}
+
+TEST_F(ParserTest, IfElseChain) {
+  auto Unit = parse("program p\n"
+                    "integer x, y\n"
+                    "if (x > 0) then\n"
+                    "  y = 1\n"
+                    "else if (x < 0) then\n"
+                    "  y = -1\n"
+                    "else\n"
+                    "  y = 0\n"
+                    "end if\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *If = dyn_cast<IfStmt>(Unit->Body[0]);
+  ASSERT_NE(If, nullptr);
+  const auto *ElseIf = dyn_cast<IfStmt>(If->getElse());
+  ASSERT_NE(ElseIf, nullptr);
+  ASSERT_NE(ElseIf->getElse(), nullptr);
+}
+
+TEST_F(ParserTest, SingleLineIf) {
+  auto Unit = parse("program p\n"
+                    "integer x\n"
+                    "if (x > 0) x = 0\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *If = dyn_cast<IfStmt>(Unit->Body[0]);
+  ASSERT_NE(If, nullptr);
+  EXPECT_EQ(If->getElse(), nullptr);
+  EXPECT_TRUE(isa<AssignStmt>(If->getThen()));
+}
+
+TEST_F(ParserTest, WhereElsewhere) {
+  auto Unit = parse("program p\n"
+                    "real a(8,8), b(8,8)\n"
+                    "where (a > 0)\n"
+                    "  b = a\n"
+                    "elsewhere\n"
+                    "  b = -a\n"
+                    "end where\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *W = dyn_cast<WhereStmt>(Unit->Body[0]);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->getThenAssigns().size(), 1u);
+  EXPECT_EQ(W->getElseAssigns().size(), 1u);
+}
+
+TEST_F(ParserTest, SingleStatementWhere) {
+  auto Unit = parse("program p\n"
+                    "real a(8), b(8)\n"
+                    "where (a > 0) b = sqrt(a)\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *W = dyn_cast<WhereStmt>(Unit->Body[0]);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->getThenAssigns().size(), 1u);
+  EXPECT_TRUE(W->getElseAssigns().empty());
+}
+
+TEST_F(ParserTest, ForallFromPaperFigure7) {
+  auto Unit = parse("program p\n"
+                    "integer, array(32,32) :: a\n"
+                    "integer i, j\n"
+                    "forall (i=1:32, j=1:32) a(i,j) = i+j\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *F = dyn_cast<ForallStmt>(Unit->Body[0]);
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(F->getIndices().size(), 2u);
+  EXPECT_EQ(F->getIndices()[0].Var, "i");
+  EXPECT_EQ(F->getIndices()[1].Var, "j");
+  const auto *LHS = cast<ArrayRefExpr>(F->getBody()->getLHS());
+  EXPECT_EQ(LHS->getDims().size(), 2u);
+  EXPECT_FALSE(LHS->getDims()[0].IsSection);
+}
+
+TEST_F(ParserTest, CShiftWithKeywordArgs) {
+  auto Unit = parse("program p\n"
+                    "real v(64,64), z(64,64)\n"
+                    "z = v - cshift(v, dim=1, shift=-1)\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *A = cast<AssignStmt>(Unit->Body[0]);
+  const auto *Sub = cast<BinaryExpr>(A->getRHS());
+  const auto *Call = dyn_cast<CallExpr>(Sub->getRHS());
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->getCallee(), "cshift");
+  ASSERT_EQ(Call->getArgs().size(), 3u);
+  EXPECT_EQ(Call->getKeywords()[0], "");
+  EXPECT_EQ(Call->getKeywords()[1], "dim");
+  EXPECT_EQ(Call->getKeywords()[2], "shift");
+}
+
+TEST_F(ParserTest, PrecedenceAndAssociativity) {
+  auto Unit = parse("program p\n"
+                    "real x, a, b, c\n"
+                    "x = a + b * c ** 2\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *A = cast<AssignStmt>(Unit->Body[0]);
+  const auto *Add = cast<BinaryExpr>(A->getRHS());
+  EXPECT_EQ(Add->getOp(), BinOp::Add);
+  const auto *Mul = cast<BinaryExpr>(Add->getRHS());
+  EXPECT_EQ(Mul->getOp(), BinOp::Mul);
+  const auto *Pow = cast<BinaryExpr>(Mul->getRHS());
+  EXPECT_EQ(Pow->getOp(), BinOp::Pow);
+}
+
+TEST_F(ParserTest, UnaryMinusBindsLooserThanPower) {
+  auto Unit = parse("program p\n"
+                    "real x, a\n"
+                    "x = -a**2\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *A = cast<AssignStmt>(Unit->Body[0]);
+  const auto *Neg = dyn_cast<UnaryExpr>(A->getRHS());
+  ASSERT_NE(Neg, nullptr);
+  EXPECT_TRUE(isa<BinaryExpr>(Neg->getOperand()));
+}
+
+TEST_F(ParserTest, LogicalOperatorsAndLiterals) {
+  auto Unit = parse("program p\n"
+                    "logical f\n"
+                    "real a, b\n"
+                    "f = .not. (a > 0 .and. b > 0) .or. .true.\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *A = cast<AssignStmt>(Unit->Body[0]);
+  const auto *Or = cast<BinaryExpr>(A->getRHS());
+  EXPECT_EQ(Or->getOp(), BinOp::Or);
+  EXPECT_TRUE(isa<LogicalLitExpr>(Or->getRHS()));
+}
+
+TEST_F(ParserTest, PrintStatement) {
+  auto Unit = parse("program p\n"
+                    "real x\n"
+                    "print *, 'x =', x\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  const auto *P = dyn_cast<PrintStmt>(Unit->Body[0]);
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->getItems().size(), 2u);
+  EXPECT_TRUE(isa<StringLitExpr>(P->getItems()[0]));
+}
+
+TEST_F(ParserTest, ErrorOnMissingEnd) {
+  auto Unit = parse("program p\nx = 1\n");
+  EXPECT_FALSE(Unit.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(ParserTest, ErrorOnBadAssignmentTarget) {
+  auto Unit = parse("program p\nreal x\n1 + 2 = x\nend\n");
+  EXPECT_FALSE(Unit.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(ParserTest, ErrorInsideWhereBody) {
+  auto Unit = parse("program p\n"
+                    "real a(8)\n"
+                    "integer i\n"
+                    "where (a > 0)\n"
+                    "  do i=1,2\n"
+                    "  end do\n"
+                    "end where\n"
+                    "end\n");
+  EXPECT_FALSE(Unit.has_value());
+  EXPECT_NE(Diags.str().find("only assignments"), std::string::npos);
+}
+
+TEST_F(ParserTest, ContinuationInsideExpression) {
+  auto Unit = parse("program p\n"
+                    "real x, a, b\n"
+                    "x = a + &\n"
+                    "    b\n"
+                    "end\n");
+  ASSERT_TRUE(Unit.has_value()) << Diags.str();
+  EXPECT_EQ(Unit->Body.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/host_test.cpp - host IR printing and execution details ----------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "host/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+cm2::CostModel small() {
+  cm2::CostModel C;
+  C.NumPEs = 8;
+  return C;
+}
+
+std::string hostListing(const std::string &Src,
+                        Profile P = Profile::F90Y) {
+  Compilation C(CompileOptions::forProfile(P, small()));
+  EXPECT_TRUE(C.compile(Src)) << C.diags().str();
+  return host::printHostProgram(C.artifacts().Compiled.Program);
+}
+
+TEST(HostPrinter, AllocAndCall) {
+  std::string L = hostListing("program p\n"
+                              "real a(16), b(16)\n"
+                              "b = a + 1.0\n"
+                              "end\n");
+  EXPECT_NE(L.find("alloc    a : 16 real (cm heap)"), std::string::npos)
+      << L;
+  EXPECT_NE(L.find("alloc    b : 16 real (cm heap)"), std::string::npos);
+  EXPECT_NE(L.find("call     P0vs1 over 16 <- "), std::string::npos) << L;
+  EXPECT_NE(L.find("ptr(a)"), std::string::npos);
+}
+
+TEST(HostPrinter, ShiftAndReduce) {
+  std::string L = hostListing("program p\n"
+                              "real a(16), b(16), s\n"
+                              "b = cshift(a, -2, 1)\n"
+                              "s = sum(b)\n"
+                              "end\n");
+  EXPECT_NE(L.find("cm_shift b <- cshift(a, dim=1, shift=-2)"),
+            std::string::npos)
+      << L;
+  EXPECT_NE(L.find("cm_reduce s <- sum(b)"), std::string::npos) << L;
+}
+
+TEST(HostPrinter, SerialLoopStructure) {
+  std::string L = hostListing("program p\n"
+                              "integer v(8), i\n"
+                              "do i=1,8\n"
+                              "  v(i) = i*i\n"
+                              "end do\n"
+                              "end\n");
+  EXPECT_NE(L.find("do       serial.0 = 1..8"), std::string::npos) << L;
+  EXPECT_NE(L.find("store    v("), std::string::npos) << L;
+  EXPECT_NE(L.find("end"), std::string::npos);
+}
+
+TEST(HostPrinter, SectionCopyAndScatter) {
+  std::string L = hostListing("program p\n"
+                              "integer l(32)\n"
+                              "integer a(8,8)\n"
+                              "integer i, j\n"
+                              "l(1:8) = l(17:24)\n"
+                              "forall (i=1:8, j=1:8) a(j,i) = i\n"
+                              "end\n");
+  EXPECT_NE(L.find("cm_copy  l[0:+8:1] <- l[16:+8:1]"), std::string::npos)
+      << L;
+  EXPECT_NE(L.find("scatter  forall."), std::string::npos) << L;
+  EXPECT_NE(L.find("(router)"), std::string::npos);
+}
+
+TEST(HostPrinter, TransposeAndPrint) {
+  std::string L = hostListing("program p\n"
+                              "integer a(4,4), b(4,4)\n"
+                              "b = transpose(a)\n"
+                              "print *, 'done'\n"
+                              "end\n");
+  EXPECT_NE(L.find("cm_xpose b <- transpose(a)"), std::string::npos) << L;
+  EXPECT_NE(L.find("print    STRING('done')"), std::string::npos) << L;
+}
+
+TEST(HostPrinter, TemporaryScopesMarkFreeing) {
+  // Communication extraction introduces per-MOVE temporaries inside the
+  // loop; those scopes free on exit.
+  std::string L = hostListing("program p\n"
+                              "real u(8), z(8)\n"
+                              "integer t\n"
+                              "do t=1,2\n"
+                              "  z = u - cshift(u, 1, 1) + 0.5*z\n"
+                              "end do\n"
+                              "end\n");
+  EXPECT_NE(L.find("alloc    tmp0"), std::string::npos) << L;
+  EXPECT_NE(L.find("free     scope temporaries"), std::string::npos) << L;
+}
+
+TEST(HostPrinter, RoutineCountInHeader) {
+  std::string L = hostListing(heatSource(8, 1));
+  EXPECT_NE(L.find("PEAC routines)"), std::string::npos) << L;
+}
+
+TEST(HostExec, ScalarKindsConvertOnAssign) {
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, small()));
+  ASSERT_TRUE(C.compile("program p\n"
+                        "integer k\n"
+                        "real x\n"
+                        "k = 7.9\n" // Truncates.
+                        "x = 3\n"   // Widens.
+                        "end\n"))
+      << C.diags().str();
+  Execution Exec(small());
+  ASSERT_TRUE(Exec.run(C.artifacts().Compiled.Program).has_value());
+  EXPECT_EQ(Exec.executor().getScalar("k")->asInt(), 7);
+  EXPECT_DOUBLE_EQ(Exec.executor().getScalar("x")->asReal(), 3.0);
+}
+
+TEST(HostExec, PresetArraySeedsMachineRun) {
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, small()));
+  ASSERT_TRUE(C.compile("program p\n"
+                        "real a(4), s\n"
+                        "s = sum(a)\n"
+                        "end\n"))
+      << C.diags().str();
+  Execution Exec(small());
+  Exec.executor().presetArray("a", {1.5, 2.5, 3.0, 3.0});
+  ASSERT_TRUE(Exec.run(C.artifacts().Compiled.Program).has_value());
+  EXPECT_DOUBLE_EQ(Exec.executor().getScalar("s")->asReal(), 10.0);
+}
+
+TEST(HostExec, RuntimeSubscriptErrorIsReported) {
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, small()));
+  ASSERT_TRUE(C.compile("program p\n"
+                        "integer v(4), i\n"
+                        "i = 9\n"
+                        "v(i) = 1\n"
+                        "end\n"))
+      << C.diags().str();
+  Execution Exec(small());
+  EXPECT_FALSE(Exec.run(C.artifacts().Compiled.Program).has_value());
+  EXPECT_NE(Exec.diags().str().find("out of bounds"), std::string::npos);
+}
+
+} // namespace

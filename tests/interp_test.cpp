@@ -1,0 +1,404 @@
+//===- tests/interp_test.cpp - reference interpreter unit tests -------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end semantics tests: Fortran-90 source -> lowering -> reference
+/// interpretation, with checks on final store contents. This fixes the
+/// semantics the compiled paths must reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "lower/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::frontend;
+using namespace f90y::interp;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  ast::ASTContext ACtx;
+  nir::NIRContext NCtx;
+  DiagnosticEngine Diags;
+  Interpreter Interp{Diags};
+
+  bool runSrc(const std::string &Src) {
+    Lexer L(Src, Diags);
+    Parser P(L.lexAll(), ACtx, Diags);
+    auto Unit = P.parseProgram();
+    if (!Unit)
+      return false;
+    auto LP = lower::lowerProgram(*Unit, NCtx, Diags);
+    if (!LP)
+      return false;
+    return Interp.run(LP->Program);
+  }
+
+  double arrayAt(const std::string &Name, std::vector<int64_t> Pos) {
+    const ArrayStorage *A = Interp.getArray(Name);
+    EXPECT_NE(A, nullptr) << "array " << Name << " not allocated";
+    if (!A)
+      return 0;
+    for (size_t D = 0; D < Pos.size(); ++D)
+      Pos[D] -= A->Extents[D].Lo;
+    return A->Data[A->linearIndex(Pos)].asReal();
+  }
+};
+
+TEST_F(InterpTest, Section21Example) {
+  // Paper Section 2.1: the Fortran-90 replacement of the F77 loops.
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer k(128,64), l(128)\n"
+                     "k = 3\n"
+                     "l = 6\n"
+                     "k = 2*k + 5\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("l", {1}), 6);
+  EXPECT_EQ(arrayAt("l", {128}), 6);
+  EXPECT_EQ(arrayAt("k", {1, 1}), 11);
+  EXPECT_EQ(arrayAt("k", {128, 64}), 11);
+}
+
+TEST_F(InterpTest, WholeArrayReadsOldValues) {
+  // Vector semantics: k = k + cumulative effects must not chain.
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer v(4), i\n"
+                     "do i=1,4\n"
+                     "  v(i) = i\n"
+                     "end do\n"
+                     "v = v + cshift(v, 1, 1)\n"
+                     "end\n"))
+      << Diags.str();
+  // v was 1,2,3,4; cshift(+1) = 2,3,4,1; sum = 3,5,7,5.
+  EXPECT_EQ(arrayAt("v", {1}), 3);
+  EXPECT_EQ(arrayAt("v", {2}), 5);
+  EXPECT_EQ(arrayAt("v", {3}), 7);
+  EXPECT_EQ(arrayAt("v", {4}), 5);
+}
+
+TEST_F(InterpTest, SectionCopyMisaligned) {
+  // Paper Section 2.1: L(32:64) = L(96:128).
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer l(128), i\n"
+                     "do i=1,128\n"
+                     "  l(i) = i\n"
+                     "end do\n"
+                     "l(32:64) = l(96:128)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("l", {31}), 31);
+  EXPECT_EQ(arrayAt("l", {32}), 96);
+  EXPECT_EQ(arrayAt("l", {64}), 128);
+  EXPECT_EQ(arrayAt("l", {65}), 65);
+}
+
+TEST_F(InterpTest, OverlappingSectionCopyUsesVectorSemantics) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer l(8), i\n"
+                     "do i=1,8\n"
+                     "  l(i) = i\n"
+                     "end do\n"
+                     "l(2:8) = l(1:7)\n"
+                     "end\n"))
+      << Diags.str();
+  // All RHS elements read before any store: l becomes 1,1,2,3,4,5,6,7.
+  EXPECT_EQ(arrayAt("l", {1}), 1);
+  EXPECT_EQ(arrayAt("l", {2}), 1);
+  EXPECT_EQ(arrayAt("l", {8}), 7);
+}
+
+TEST_F(InterpTest, StridedSectionAssignment) {
+  // Paper Figure 10 workload shape.
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer a(32,32), b(32,32)\n"
+                     "integer n\n"
+                     "n = 7\n"
+                     "a = n\n"
+                     "b(1:32:2,:) = a(1:32:2,:)\n"
+                     "b(2:32:2,:) = 5*a(2:32:2,:)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("b", {1, 5}), 7);
+  EXPECT_EQ(arrayAt("b", {2, 5}), 35);
+  EXPECT_EQ(arrayAt("b", {31, 32}), 7);
+  EXPECT_EQ(arrayAt("b", {32, 32}), 35);
+}
+
+TEST_F(InterpTest, ForallIdentity) {
+  // Paper Figure 7: FORALL (i=1:32, j=1:32) A(i,j) = i+j.
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer, array(32,32) :: a\n"
+                     "integer i, j\n"
+                     "forall (i=1:32, j=1:32) a(i,j) = i+j\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("a", {1, 1}), 2);
+  EXPECT_EQ(arrayAt("a", {32, 32}), 64);
+  EXPECT_EQ(arrayAt("a", {5, 9}), 14);
+}
+
+TEST_F(InterpTest, ForallTransposedStore) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer, array(4,4) :: a\n"
+                     "integer i, j\n"
+                     "forall (i=1:4, j=1:4) a(j,i) = 10*i + j\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("a", {2, 3}), 32); // i=3, j=2.
+}
+
+TEST_F(InterpTest, WhereElsewhere) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer a(8), b(8), i\n"
+                     "do i=1,8\n"
+                     "  a(i) = i - 4\n"
+                     "end do\n"
+                     "where (a > 0)\n"
+                     "  b = a\n"
+                     "elsewhere\n"
+                     "  b = -a\n"
+                     "end where\n"
+                     "end\n"))
+      << Diags.str();
+  // b = |i-4|.
+  EXPECT_EQ(arrayAt("b", {1}), 3);
+  EXPECT_EQ(arrayAt("b", {4}), 0);
+  EXPECT_EQ(arrayAt("b", {8}), 4);
+}
+
+TEST_F(InterpTest, CShiftTwoDimensional) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer a(3,3), b(3,3)\n"
+                     "integer i, j\n"
+                     "forall (i=1:3, j=1:3) a(i,j) = 10*i + j\n"
+                     "b = cshift(a, 1, 2)\n"
+                     "end\n"))
+      << Diags.str();
+  // Shift along dim 2 by +1: b(i,j) = a(i, j+1 circular).
+  EXPECT_EQ(arrayAt("b", {1, 1}), 12);
+  EXPECT_EQ(arrayAt("b", {1, 3}), 11);
+  EXPECT_EQ(arrayAt("b", {3, 2}), 33);
+}
+
+TEST_F(InterpTest, EOShiftFillsZero) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer v(4), w(4), i\n"
+                     "do i=1,4\n"
+                     "  v(i) = i\n"
+                     "end do\n"
+                     "w = eoshift(v, 1, 1)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("w", {1}), 2);
+  EXPECT_EQ(arrayAt("w", {3}), 4);
+  EXPECT_EQ(arrayAt("w", {4}), 0);
+}
+
+TEST_F(InterpTest, NestedCShift) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer v(4), w(4), i\n"
+                     "do i=1,4\n"
+                     "  v(i) = i\n"
+                     "end do\n"
+                     "w = cshift(cshift(v, 1, 1), 1, 1)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("w", {1}), 3);
+  EXPECT_EQ(arrayAt("w", {4}), 2);
+}
+
+TEST_F(InterpTest, Reductions) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer v(5), i, s, mx, mn\n"
+                     "do i=1,5\n"
+                     "  v(i) = i*i - 6\n" // -5,-2,3,10,19
+                     "end do\n"
+                     "s = sum(v)\n"
+                     "mx = maxval(v)\n"
+                     "mn = minval(v)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.getScalar("s")->asInt(), 25);
+  EXPECT_EQ(Interp.getScalar("mx")->asInt(), 19);
+  EXPECT_EQ(Interp.getScalar("mn")->asInt(), -5);
+}
+
+TEST_F(InterpTest, ReductionOfExpression) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "real a(4), s\n"
+                     "a = 2.0\n"
+                     "s = sum(a*a)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_DOUBLE_EQ(Interp.getScalar("s")->asReal(), 16.0);
+}
+
+TEST_F(InterpTest, MergeSelectsElementally) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer v(6), w(6), i\n"
+                     "do i=1,6\n"
+                     "  v(i) = i\n"
+                     "end do\n"
+                     "w = merge(v, -v, mod(v,2) == 0)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("w", {1}), -1);
+  EXPECT_EQ(arrayAt("w", {2}), 2);
+  EXPECT_EQ(arrayAt("w", {5}), -5);
+}
+
+TEST_F(InterpTest, TransposeRoundTrips) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer a(3,3), b(3,3)\n"
+                     "integer i, j\n"
+                     "forall (i=1:3, j=1:3) a(i,j) = 10*i + j\n"
+                     "b = transpose(a)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("b", {1, 3}), 31);
+  EXPECT_EQ(arrayAt("b", {3, 1}), 13);
+}
+
+TEST_F(InterpTest, SerialLoopAccumulation) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer i, s\n"
+                     "s = 0\n"
+                     "do i=1,10\n"
+                     "  s = s + i\n"
+                     "end do\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.getScalar("s")->asInt(), 55);
+}
+
+TEST_F(InterpTest, SteppedLoop) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer i, s\n"
+                     "s = 0\n"
+                     "do i=1,10,3\n" // 1,4,7,10
+                     "  s = s + i\n"
+                     "end do\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.getScalar("s")->asInt(), 22);
+}
+
+TEST_F(InterpTest, DoWhileAndIf) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer n, steps\n"
+                     "n = 27\n"
+                     "steps = 0\n"
+                     "do while (n /= 1)\n"
+                     "  if (mod(n,2) == 0) then\n"
+                     "    n = n / 2\n"
+                     "  else\n"
+                     "    n = 3*n + 1\n"
+                     "  end if\n"
+                     "  steps = steps + 1\n"
+                     "end do\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.getScalar("steps")->asInt(), 111); // Collatz(27).
+}
+
+TEST_F(InterpTest, IntegerDivisionTruncates) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer a, b\n"
+                     "a = 7 / 2\n"
+                     "b = -7 / 2\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.getScalar("a")->asInt(), 3);
+  EXPECT_EQ(Interp.getScalar("b")->asInt(), -3);
+}
+
+TEST_F(InterpTest, PowerSemantics) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer k\n"
+                     "real x\n"
+                     "k = 2**10\n"
+                     "x = 2.0**0.5\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.getScalar("k")->asInt(), 1024);
+  EXPECT_NEAR(Interp.getScalar("x")->asReal(), 1.41421356, 1e-6);
+}
+
+TEST_F(InterpTest, PrintOutput) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer x\n"
+                     "x = 42\n"
+                     "print *, 'x =', x\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.output(), "x = 42\n");
+}
+
+TEST_F(InterpTest, FlopCounterCountsFloatingOps) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "real a(10), b(10)\n"
+                     "a = 1.5\n"
+                     "b = a*a + 2.0\n"
+                     "end\n"))
+      << Diags.str();
+  // Per element: one multiply + one add = 2 flops over 10 elements.
+  EXPECT_EQ(Interp.flopCount(), 20u);
+}
+
+TEST_F(InterpTest, IntOpsAreNotFlops) {
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer k(8)\n"
+                     "k = 2*k + 5\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(Interp.flopCount(), 0u);
+}
+
+TEST_F(InterpTest, PresetArraySeedsInput) {
+  Interp.presetArray("a", {5.0, 6.0, 7.0, 8.0});
+  ASSERT_TRUE(runSrc("program p\n"
+                     "real a(4), s\n"
+                     "s = sum(a)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_DOUBLE_EQ(Interp.getScalar("s")->asReal(), 26.0);
+}
+
+TEST_F(InterpTest, SubscriptOutOfBoundsIsRuntimeError) {
+  EXPECT_FALSE(runSrc("program p\n"
+                      "integer v(4), i\n"
+                      "i = 5\n"
+                      "v(i) = 1\n"
+                      "end\n"));
+  EXPECT_NE(Diags.str().find("out of bounds"), std::string::npos);
+}
+
+TEST_F(InterpTest, MaskedMoveClausesShareOneBurst) {
+  // Figure 10 semantics: the odd/even masked assignments behave like two
+  // disjoint masked moves over the common shape.
+  ASSERT_TRUE(runSrc("program p\n"
+                     "integer a(32,32), b(32,32), c(32)\n"
+                     "integer n\n"
+                     "n = 1\n"
+                     "a = n\n"
+                     "b(1:32:2,:) = a(1:32:2,:)\n"
+                     "c = n+1\n"
+                     "b(2:32:2,:) = 5*a(2:32:2,:)\n"
+                     "end\n"))
+      << Diags.str();
+  EXPECT_EQ(arrayAt("b", {3, 3}), 1);
+  EXPECT_EQ(arrayAt("b", {4, 3}), 5);
+  EXPECT_EQ(arrayAt("c", {9}), 2);
+}
+
+} // namespace

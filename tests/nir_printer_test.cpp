@@ -1,0 +1,176 @@
+//===- tests/nir_printer_test.cpp - NIR printer unit tests ------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that the printer reproduces the paper's notation, including the
+/// Figure 8 excerpt (shape-parameterized parallel computation for
+/// `L = 6; K = 2*K + 5`).
+///
+//===----------------------------------------------------------------------===//
+
+#include "nir/Equality.h"
+#include "nir/NIRContext.h"
+#include "nir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::nir;
+
+namespace {
+
+class PrinterTest : public ::testing::Test {
+protected:
+  NIRContext Ctx;
+};
+
+TEST_F(PrinterTest, Shapes) {
+  EXPECT_EQ(printShape(Ctx.getPoint(7)), "point 7");
+  EXPECT_EQ(printShape(Ctx.getInterval(1, 128)),
+            "interval(point 1, point 128)");
+  EXPECT_EQ(printShape(Ctx.getSerialInterval(1, 64)),
+            "serial_interval(point 1, point 64)");
+  EXPECT_EQ(printShape(Ctx.getDomainRef("alpha")), "domain 'alpha'");
+  EXPECT_EQ(printShape(Ctx.getProdDom(
+                {Ctx.getDomainRef("alpha"), Ctx.getInterval(1, 64)})),
+            "prod_dom[domain 'alpha', interval(point 1, point 64)]");
+}
+
+TEST_F(PrinterTest, Types) {
+  EXPECT_EQ(printType(Ctx.getInteger32()), "integer_32");
+  EXPECT_EQ(printType(Ctx.getLogical32()), "logical_32");
+  EXPECT_EQ(printType(Ctx.getFloat32()), "float_32");
+  EXPECT_EQ(printType(Ctx.getFloat64()), "float_64");
+  const Type *Field =
+      Ctx.getDField(Ctx.getDomainRef("beta"), Ctx.getInteger32());
+  EXPECT_EQ(printType(Field),
+            "dfield(shape=domain 'beta', element=integer_32)");
+}
+
+TEST_F(PrinterTest, ValuesMatchAppendixExamples) {
+  // Appendix: a*b+sin(c) -> BINARY(Plus...) modulo our operator spelling.
+  const Value *V = Ctx.getBinary(
+      BinaryOp::Add,
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getSVar("a"), Ctx.getSVar("b")),
+      Ctx.getUnary(UnaryOp::Sin, Ctx.getSVar("c")));
+  EXPECT_EQ(printValue(V), "BINARY(Add, BINARY(Mul, SVAR 'a', SVAR 'b'), "
+                           "UNARY(Sin, SVAR 'c'))");
+}
+
+TEST_F(PrinterTest, ScalarConstants) {
+  EXPECT_EQ(printValue(Ctx.getIntConst(6)), "SCALAR(integer_32,'6')");
+  EXPECT_EQ(printValue(Ctx.getFloatConst(2.5)), "SCALAR(float_64,'2.5')");
+  EXPECT_EQ(printValue(Ctx.getBoolConst(true)), "True");
+  EXPECT_EQ(printValue(Ctx.getBoolConst(false)), "False");
+}
+
+TEST_F(PrinterTest, AVarAndFieldActions) {
+  EXPECT_EQ(printValue(Ctx.getAVar("k", Ctx.getEverywhere())),
+            "AVAR('k', everywhere)");
+  const Value *Coord = Ctx.getLocalCoord("beta", 1);
+  EXPECT_EQ(printValue(Coord), "local_under(domain 'beta',1)");
+  const Value *Sub = Ctx.getAVar("a", Ctx.getSubscript({Coord, Coord}));
+  EXPECT_EQ(printValue(Sub), "AVAR('a', subscript[local_under(domain "
+                             "'beta',1), local_under(domain 'beta',1)])");
+  const Value *Sec = Ctx.getAVar(
+      "b", Ctx.getSection({SectionTriplet{false, 1, 32, 2}, SectionTriplet{}}));
+  EXPECT_EQ(printValue(Sec), "AVAR('b', section[1:32:2, :])");
+}
+
+TEST_F(PrinterTest, FcnCall) {
+  const Value *V = Ctx.getFcnCall(
+      "cshift", {Ctx.getAVar("v", Ctx.getEverywhere()), Ctx.getIntConst(1),
+                 Ctx.getIntConst(-1)});
+  EXPECT_EQ(printValue(V), "FCNCALL('cshift', [AVAR('v', everywhere), "
+                           "SCALAR(integer_32,'1'), SCALAR(integer_32,'-1')])");
+}
+
+TEST_F(PrinterTest, Decls) {
+  // Appendix: "double precision m, n".
+  const Decl *D = Ctx.getDeclSet({Ctx.getDecl("m", Ctx.getFloat64()),
+                                  Ctx.getDecl("n", Ctx.getFloat64())});
+  EXPECT_EQ(printDecl(D),
+            "DECLSET[DECL('m', float_64), DECL('n', float_64)]");
+}
+
+/// Builds the Figure 8 program: L = 6; K = 2*K + 5 over domains alpha/beta.
+static const Imp *buildFigure8(NIRContext &Ctx) {
+  const Shape *Alpha = Ctx.getInterval(1, 128);
+  const Shape *Beta =
+      Ctx.getProdDom({Ctx.getDomainRef("alpha"), Ctx.getInterval(1, 64)});
+  const Type *KTy = Ctx.getDField(Ctx.getDomainRef("beta"), Ctx.getInteger32());
+  const Type *LTy =
+      Ctx.getDField(Ctx.getDomainRef("alpha"), Ctx.getInteger32());
+  const Decl *Decls =
+      Ctx.getDeclSet({Ctx.getDecl("k", KTy), Ctx.getDecl("l", LTy)});
+
+  std::vector<MoveClause> Clauses;
+  Clauses.push_back({Ctx.getTrue(), Ctx.getIntConst(6),
+                     Ctx.getAVar("l", Ctx.getEverywhere())});
+  const Value *TwoK = Ctx.getBinary(BinaryOp::Mul, Ctx.getIntConst(2),
+                                    Ctx.getAVar("k", Ctx.getEverywhere()));
+  Clauses.push_back({Ctx.getTrue(),
+                     Ctx.getBinary(BinaryOp::Add, TwoK, Ctx.getIntConst(5)),
+                     Ctx.getAVar("k", Ctx.getEverywhere())});
+
+  return Ctx.getWithDomain(
+      "alpha", Alpha,
+      Ctx.getWithDomain(
+          "beta", Beta,
+          Ctx.getWithDecl(Decls,
+                          Ctx.getSequentially({Ctx.getMove(Clauses)}))));
+}
+
+TEST_F(PrinterTest, Figure8Program) {
+  std::string Printed = printImp(buildFigure8(Ctx));
+  // Spot-check the load-bearing lines of the paper's Figure 8 rendering.
+  EXPECT_NE(Printed.find("WITH_DOMAIN(('alpha', interval(point 1, point "
+                         "128)),"),
+            std::string::npos)
+      << Printed;
+  EXPECT_NE(Printed.find("WITH_DOMAIN(('beta', prod_dom[domain 'alpha', "
+                         "interval(point 1, point 64)]),"),
+            std::string::npos);
+  EXPECT_NE(Printed.find("DECL('k', dfield(shape=domain 'beta', "
+                         "element=integer_32))"),
+            std::string::npos);
+  EXPECT_NE(
+      Printed.find("(True, (SCALAR(integer_32,'6'), AVAR('l', everywhere)))"),
+      std::string::npos);
+  EXPECT_NE(Printed.find("BINARY(Add, BINARY(Mul, SCALAR(integer_32,'2'), "
+                         "AVAR('k', everywhere)), SCALAR(integer_32,'5'))"),
+            std::string::npos);
+}
+
+TEST_F(PrinterTest, ControlConstructs) {
+  const Imp *Body = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getIntConst(1), Ctx.getSVar("x")}});
+  const Imp *If = Ctx.getIfThenElse(
+      Ctx.getBinary(BinaryOp::Lt, Ctx.getSVar("x"), Ctx.getIntConst(10)),
+      Body, Ctx.getSkip());
+  std::string Printed = printImp(If);
+  EXPECT_NE(Printed.find("IFTHENELSE(BINARY(Less, SVAR 'x', "
+                         "SCALAR(integer_32,'10')),"),
+            std::string::npos);
+  EXPECT_NE(Printed.find("SKIP"), std::string::npos);
+
+  const Imp *Loop = Ctx.getDo(Ctx.getDomainRef("beta"), Body);
+  EXPECT_NE(printImp(Loop).find("DO(domain 'beta',"), std::string::npos);
+}
+
+TEST_F(PrinterTest, StructuralEquality) {
+  const Value *A = Ctx.getBinary(BinaryOp::Add, Ctx.getSVar("x"),
+                                 Ctx.getIntConst(1));
+  const Value *B = Ctx.getBinary(BinaryOp::Add, Ctx.getSVar("x"),
+                                 Ctx.getIntConst(1));
+  const Value *C = Ctx.getBinary(BinaryOp::Add, Ctx.getSVar("y"),
+                                 Ctx.getIntConst(1));
+  EXPECT_TRUE(valuesEqual(A, B));
+  EXPECT_FALSE(valuesEqual(A, C));
+  EXPECT_TRUE(impsEqual(buildFigure8(Ctx), buildFigure8(Ctx)));
+}
+
+} // namespace

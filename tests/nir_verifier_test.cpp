@@ -1,0 +1,156 @@
+//===- tests/nir_verifier_test.cpp - NIR verifier unit tests ----------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nir/NIRContext.h"
+#include "nir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::nir;
+
+namespace {
+
+class VerifierTest : public ::testing::Test {
+protected:
+  NIRContext Ctx;
+  DiagnosticEngine Diags;
+
+  /// Wraps \p Body in a declaration of scalar 'x' and 1-d array 'a' over a
+  /// bound domain 'd' (1..8).
+  const Imp *withStdEnv(const Imp *Body) {
+    const Decl *Decls = Ctx.getDeclSet(
+        {Ctx.getDecl("x", Ctx.getFloat64()),
+         Ctx.getDecl("a", Ctx.getDField(Ctx.getDomainRef("d"),
+                                        Ctx.getFloat64()))});
+    return Ctx.getWithDomain("d", Ctx.getInterval(1, 8),
+                             Ctx.getWithDecl(Decls, Body));
+  }
+};
+
+TEST_F(VerifierTest, AcceptsWellFormedProgram) {
+  const Imp *M = Ctx.getMove({{Ctx.getTrue(), Ctx.getSVar("x"),
+                               Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_TRUE(verify(withStdEnv(M), Diags)) << Diags.str();
+}
+
+TEST_F(VerifierTest, RejectsUndeclaredScalar) {
+  const Imp *M = Ctx.getMove({{Ctx.getTrue(), Ctx.getSVar("nope"),
+                               Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("undeclared scalar 'nope'"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsUndeclaredArray) {
+  const Imp *M = Ctx.getMove({{Ctx.getTrue(), Ctx.getIntConst(0),
+                               Ctx.getAVar("ghost", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("undeclared array 'ghost'"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsSVarOfFieldBinding) {
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getSVar("a"), Ctx.getSVar("x")}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("refers to a dfield binding"),
+            std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsAVarOfScalarBinding) {
+  const Imp *M = Ctx.getMove({{Ctx.getTrue(), Ctx.getIntConst(0),
+                               Ctx.getAVar("x", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("refers to a scalar binding"),
+            std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsUnboundDomainRef) {
+  const Decl *D = Ctx.getDecl(
+      "b", Ctx.getDField(Ctx.getDomainRef("unbound"), Ctx.getFloat64()));
+  const Imp *Prog = Ctx.getWithDecl(D, Ctx.getSkip());
+  EXPECT_FALSE(verify(Prog, Diags));
+  EXPECT_NE(Diags.str().find("unbound domain 'unbound'"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsSubscriptArityMismatch) {
+  const Value *Idx = Ctx.getIntConst(1);
+  // 'a' has rank 1; subscript with two indices must be rejected.
+  const Imp *M =
+      Ctx.getMove({{Ctx.getTrue(), Ctx.getIntConst(0),
+                    Ctx.getAVar("a", Ctx.getSubscript({Idx, Idx}))}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("2 indices but rank is 1"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsSectionArityMismatch) {
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getIntConst(0),
+        Ctx.getAVar("a", Ctx.getSection({SectionTriplet{},
+                                         SectionTriplet{}}))}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("2 triplets but rank is 1"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsMoveToNonStorage) {
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getIntConst(0), Ctx.getIntConst(1)}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("MOVE destination must be an SVAR or AVAR"),
+            std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsLocalUnderOutOfRange) {
+  // Domain 'd' has rank 1; dimension 2 is out of range.
+  const Imp *M = Ctx.getMove({{Ctx.getTrue(), Ctx.getLocalCoord("d", 2),
+                               Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("out of range"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsLocalUnderOfUnboundDomain) {
+  const Imp *M = Ctx.getMove({{Ctx.getTrue(), Ctx.getLocalCoord("ghost", 1),
+                               Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags));
+  EXPECT_NE(Diags.str().find("unbound domain 'ghost'"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsEmptyInterval) {
+  const Imp *Prog =
+      Ctx.getWithDomain("e", Ctx.getInterval(5, 4), Ctx.getSkip());
+  EXPECT_FALSE(verify(Prog, Diags));
+  EXPECT_NE(Diags.str().find("empty interval"), std::string::npos);
+}
+
+TEST_F(VerifierTest, ScopeRestoresAfterWithDecl) {
+  // Inner decl of 'y' must not leak to the sibling action.
+  const Decl *Inner = Ctx.getDecl("y", Ctx.getFloat64());
+  const Imp *UseInner = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getIntConst(1), Ctx.getSVar("y")}});
+  const Imp *UseOuter = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getSVar("y"), Ctx.getSVar("x")}});
+  const Imp *Seq = Ctx.getSequentially(
+      {Ctx.getWithDecl(Inner, UseInner), UseOuter});
+  EXPECT_FALSE(verify(withStdEnv(Seq), Diags));
+  EXPECT_NE(Diags.str().find("undeclared scalar 'y'"), std::string::npos);
+}
+
+TEST_F(VerifierTest, DomainShadowingIsLexical) {
+  // Inner 'd' of rank 2 makes local_under(d,2) legal inside, and the outer
+  // rank-1 'd' is restored afterwards.
+  const Shape *Inner2D =
+      Ctx.getProdDom({Ctx.getInterval(1, 4), Ctx.getInterval(1, 4)});
+  const Imp *UseDim2 = Ctx.getMove({{Ctx.getTrue(), Ctx.getLocalCoord("d", 2),
+                                     Ctx.getSVar("x")}});
+  const Imp *Ok = Ctx.getWithDomain("d", Inner2D, UseDim2);
+  EXPECT_TRUE(verify(withStdEnv(Ok), Diags)) << Diags.str();
+
+  Diags.clear();
+  const Imp *Bad = Ctx.getSequentially(
+      {Ctx.getWithDomain("d", Inner2D, UseDim2), UseDim2});
+  EXPECT_FALSE(verify(withStdEnv(Bad), Diags));
+}
+
+} // namespace

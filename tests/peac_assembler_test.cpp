@@ -1,0 +1,147 @@
+//===- tests/peac_assembler_test.cpp - PEAC assembler round-trips ------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "peac/Assembler.h"
+#include "peac/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::peac;
+
+namespace {
+
+TEST(PeacAssembler, ParsesMinimalRoutine) {
+  DiagnosticEngine Diags;
+  auto R = assemble("Padd_\n"
+                    "    flodv [aP0+0]1++ aV1\n"
+                    "    faddv aV1 [aP1+0]1++ aV2\n"
+                    "    fstrv aV2 [aP2+0]1++\n"
+                    "    jnz ac2 Padd_\n",
+                    Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  EXPECT_EQ(R->Name, "Padd");
+  ASSERT_EQ(R->Body.size(), 3u);
+  EXPECT_EQ(R->Body[0].Op, Opcode::FLodV);
+  EXPECT_EQ(R->Body[1].Op, Opcode::FAddV);
+  ASSERT_EQ(R->Body[1].Srcs.size(), 2u);
+  EXPECT_TRUE(R->Body[1].Srcs[1].isMem());
+  EXPECT_TRUE(R->Body[2].HasMemDst);
+  EXPECT_EQ(R->NumPtrArgs, 3u);
+}
+
+TEST(PeacAssembler, ParsesDualIssueCommas) {
+  DiagnosticEngine Diags;
+  auto R = assemble("P_\n"
+                    "    fmulv aS0 aV1 aV3, flodv [aP0+0]1++ aV4\n"
+                    "    fstrv aV3 [aP1+0]1++\n"
+                    "    jnz ac2 P_\n",
+                    Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  ASSERT_EQ(R->Body.size(), 3u);
+  EXPECT_FALSE(R->Body[0].FusedWithPrev);
+  EXPECT_TRUE(R->Body[1].FusedWithPrev);
+  EXPECT_EQ(R->slotCount(), 2u);
+  EXPECT_EQ(R->NumScalarArgs, 1u);
+}
+
+TEST(PeacAssembler, ParsesImmediatesOffsetsAndStrides) {
+  DiagnosticEngine Diags;
+  auto R = assemble("P_\n"
+                    "    fmaddv aS2 [aP3+8]2++ #2.5 aV0\n"
+                    "    fstrv aV0 [aP0+0]1++\n"
+                    "    jnz ac2 P_\n",
+                    Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  const Instruction &I = R->Body[0];
+  EXPECT_EQ(I.Op, Opcode::FMAddV);
+  ASSERT_EQ(I.Srcs.size(), 3u);
+  EXPECT_EQ(I.Srcs[0].K, Operand::Kind::SReg);
+  EXPECT_EQ(I.Srcs[1].K, Operand::Kind::Mem);
+  EXPECT_EQ(I.Srcs[1].Reg, 3u);
+  EXPECT_EQ(I.Srcs[1].Offset, 8);
+  EXPECT_EQ(I.Srcs[1].Stride, 2);
+  EXPECT_EQ(I.Srcs[2].K, Operand::Kind::Imm);
+  EXPECT_DOUBLE_EQ(I.Srcs[2].Imm, 2.5);
+}
+
+TEST(PeacAssembler, RejectsBadInput) {
+  struct Case {
+    const char *Text;
+    const char *Why;
+  };
+  for (const Case &C : {
+           Case{"    flodv [aP0+0]1++ aV1\n", "missing label"},
+           Case{"P_\n    frobv aV1 aV2\n    jnz ac2 P_\n",
+                "unknown mnemonic"},
+           Case{"P_\n    faddv aV1 aV2\n    jnz ac2 P_\n",
+                "wrong arity"},
+           Case{"P_\n    fstrv aV1 aV2\n    jnz ac2 P_\n",
+                "store to register"},
+           Case{"P_\n    flodv [aP0+0] aV1\n    jnz ac2 P_\n",
+                "missing post-increment"},
+           Case{"P_\n    flodv [aP0+0]1++ aV1\n", "missing jnz"},
+       }) {
+    DiagnosticEngine Diags;
+    EXPECT_FALSE(assemble(C.Text, Diags).has_value()) << C.Why;
+    EXPECT_TRUE(Diags.hasErrors()) << C.Why;
+  }
+}
+
+TEST(PeacAssembler, RoundTripsPrintedForm) {
+  DiagnosticEngine Diags;
+  std::string Text = "Pk51vs1_\n"
+                     "    flodv [aP7+0]1++ aV3\n"
+                     "    fsubv aV3 [aP4+0]1++ aV1\n"
+                     "    fmulv aS28 aV1 aV3, flodv [aP8+0]1++ aV4\n"
+                     "    fdivv aV1 aV3 aV3\n"
+                     "    fstrv aV3 [aP6+0]1++\n"
+                     "    jnz ac2 Pk51vs1_\n";
+  auto R = assemble(Text, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  EXPECT_EQ(R->str(), Text);
+}
+
+TEST(PeacAssembler, CompilerOutputRoundTrips) {
+  // Every routine the PE compiler generates for SWE must re-assemble to
+  // an identical listing.
+  using namespace f90y::driver;
+  Compilation C(CompileOptions::forProfile(Profile::F90Y));
+  ASSERT_TRUE(C.compile(sweSource(16, 1))) << C.diags().str();
+  for (const Routine &R : C.artifacts().Compiled.Program.Routines) {
+    DiagnosticEngine Diags;
+    auto Back = assemble(R.str(), Diags);
+    ASSERT_TRUE(Back.has_value()) << Diags.str() << "\n" << R.str();
+    EXPECT_EQ(Back->str(), R.str());
+    EXPECT_EQ(Back->slotCount(), R.slotCount());
+  }
+}
+
+TEST(PeacAssembler, AssembledRoutineExecutes) {
+  // Hand-written PEAC runs on the executor: z = 2*x + y.
+  DiagnosticEngine Diags;
+  auto R = assemble("P_\n"
+                    "    flodv [aP0+0]1++ aV0\n"
+                    "    fmaddv #2 aV0 [aP1+0]1++ aV1\n"
+                    "    fstrv aV1 [aP2+0]1++\n"
+                    "    jnz ac2 P_\n",
+                    Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  cm2::CostModel Costs;
+  Costs.NumPEs = 1;
+  std::vector<double> X = {1, 2, 3, 4}, Y = {10, 20, 30, 40}, Z(4, 0);
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 4;
+  Args.Ptrs = {{X.data(), 4, 0}, {Y.data(), 4, 0}, {Z.data(), 4, 0}};
+  execute(*R, Args, Costs);
+  EXPECT_DOUBLE_EQ(Z[0], 12);
+  EXPECT_DOUBLE_EQ(Z[3], 48);
+}
+
+} // namespace

@@ -1,0 +1,286 @@
+//===- tests/peac_test.cpp - PEAC ISA and executor unit tests ---------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "peac/Executor.h"
+#include "peac/Peac.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::peac;
+
+namespace {
+
+cm2::CostModel smallMachine(unsigned PEs = 2) {
+  cm2::CostModel C;
+  C.NumPEs = PEs;
+  return C;
+}
+
+/// Builds `z = x + y` over one pointer-per-array convention:
+/// P0 = x, P1 = y, P2 = z.
+Routine buildAddRoutine() {
+  Routine R;
+  R.Name = "Padd";
+  R.NumPtrArgs = 3;
+  Instruction Load;
+  Load.Op = Opcode::FLodV;
+  Load.Srcs = {Operand::mem(0)};
+  Load.DstVReg = 1;
+  R.Body.push_back(Load);
+  Instruction Add;
+  Add.Op = Opcode::FAddV;
+  Add.Srcs = {Operand::vreg(1), Operand::mem(1)}; // Chained operand.
+  Add.DstVReg = 2;
+  R.Body.push_back(Add);
+  Instruction Store;
+  Store.Op = Opcode::FStrV;
+  Store.Srcs = {Operand::vreg(2)};
+  Store.HasMemDst = true;
+  Store.MemDst = Operand::mem(2);
+  R.Body.push_back(Store);
+  return R;
+}
+
+TEST(PeacISA, OperandPrinting) {
+  EXPECT_EQ(Operand::vreg(3).str(), "aV3");
+  EXPECT_EQ(Operand::sreg(28).str(), "aS28");
+  EXPECT_EQ(Operand::mem(7, 0, 1).str(), "[aP7+0]1++");
+  EXPECT_EQ(Operand::mem(4, 2, 3).str(), "[aP4+2]3++");
+  EXPECT_EQ(Operand::imm(2.5).str(), "#2.5");
+}
+
+TEST(PeacISA, InstructionPrintingMatchesFigure12Style) {
+  Instruction I;
+  I.Op = Opcode::FSubV;
+  I.Srcs = {Operand::vreg(3), Operand::mem(4)};
+  I.DstVReg = 1;
+  EXPECT_EQ(I.str(), "fsubv aV3 [aP4+0]1++ aV1");
+
+  Instruction L;
+  L.Op = Opcode::FLodV;
+  L.Srcs = {Operand::mem(7)};
+  L.DstVReg = 3;
+  EXPECT_EQ(L.str(), "flodv [aP7+0]1++ aV3");
+}
+
+TEST(PeacISA, RoutinePrintingShowsDualIssueOnOneLine) {
+  Routine R = buildAddRoutine();
+  R.Body[1].FusedWithPrev = true;
+  std::string S = R.str();
+  EXPECT_NE(S.find("Padd_\n"), std::string::npos);
+  EXPECT_NE(S.find("flodv [aP0+0]1++ aV1, faddv aV1 [aP1+0]1++ aV2"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("jnz ac2 Padd_"), std::string::npos);
+}
+
+TEST(PeacISA, SlotCountHonorsFusion) {
+  Routine R = buildAddRoutine();
+  EXPECT_EQ(R.slotCount(), 3u);
+  R.Body[1].FusedWithPrev = true;
+  EXPECT_EQ(R.slotCount(), 2u);
+}
+
+TEST(PeacISA, CyclesPerIterationUsesSlotMax) {
+  cm2::CostModel C = smallMachine();
+  Routine R = buildAddRoutine();
+  // Unfused: 4 + 4 + 4 + loop overhead 2 = 14.
+  EXPECT_DOUBLE_EQ(R.cyclesPerIteration(C), 14.0);
+  R.Body[1].FusedWithPrev = true;
+  // Fused: max(4,4) + 4 + 2 = 10.
+  EXPECT_DOUBLE_EQ(R.cyclesPerIteration(C), 10.0);
+}
+
+TEST(PeacISA, SpillOpsCostHalfThePublishedPair) {
+  cm2::CostModel C = smallMachine();
+  Instruction Spill;
+  Spill.Op = Opcode::FStrV;
+  Spill.Srcs = {Operand::vreg(1)};
+  Spill.HasMemDst = true;
+  Spill.MemDst = Operand::mem(9);
+  Spill.IsSpill = true;
+  EXPECT_DOUBLE_EQ(instructionCycles(Spill, C), 9.0);
+}
+
+TEST(PeacISA, DivideAndSqrtAreExpensive) {
+  cm2::CostModel C = smallMachine();
+  Instruction Div;
+  Div.Op = Opcode::FDivV;
+  Div.Srcs = {Operand::vreg(1), Operand::vreg(2)};
+  EXPECT_DOUBLE_EQ(instructionCycles(Div, C), C.VectorDivCycles);
+  Instruction Sqrt;
+  Sqrt.Op = Opcode::FSqrtV;
+  Sqrt.Srcs = {Operand::vreg(1)};
+  EXPECT_DOUBLE_EQ(instructionCycles(Sqrt, C), C.VectorSqrtCycles);
+}
+
+TEST(PeacExec, ElementwiseAddAcrossPEs) {
+  cm2::CostModel C = smallMachine(2);
+  Routine R = buildAddRoutine();
+
+  // Two PEs, 8 elements each (2 iterations of width 4).
+  const int64_t VP = 8;
+  std::vector<double> X(16), Y(16), Z(16, -1);
+  for (int I = 0; I < 16; ++I) {
+    X[static_cast<size_t>(I)] = I;
+    Y[static_cast<size_t>(I)] = 100 + I;
+  }
+  ExecArgs Args;
+  Args.NumPEs = 2;
+  Args.SubgridElems = VP;
+  Args.Ptrs = {{X.data(), 8, 0}, {Y.data(), 8, 0}, {Z.data(), 8, 0}};
+
+  ExecResult Res = execute(R, Args, C);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_DOUBLE_EQ(Z[static_cast<size_t>(I)], 100 + 2 * I) << I;
+  // 2 iterations x 14 cycles.
+  EXPECT_DOUBLE_EQ(Res.NodeCycles, 28.0);
+  // 1 flop per element x 8 elements x 2 PEs.
+  EXPECT_EQ(Res.Flops, 16u);
+  // Call overhead: fixed + (3 ptrs + 0 scalars + 1 count) args.
+  EXPECT_DOUBLE_EQ(Res.CallCycles, C.PeacCallCycles + 4.0 * C.IFifoPerArgCycles);
+}
+
+TEST(PeacExec, ScalarBroadcastAndImmediate) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R;
+  R.Name = "Pmuladd";
+  R.NumPtrArgs = 2;
+  R.NumScalarArgs = 1;
+  // z = s0 * x + 2.5 via fmaddv with an immediate addend.
+  Instruction Load;
+  Load.Op = Opcode::FLodV;
+  Load.Srcs = {Operand::mem(0)};
+  Load.DstVReg = 0;
+  R.Body.push_back(Load);
+  Instruction Madd;
+  Madd.Op = Opcode::FMAddV;
+  Madd.Srcs = {Operand::sreg(0), Operand::vreg(0), Operand::imm(2.5)};
+  Madd.DstVReg = 1;
+  R.Body.push_back(Madd);
+  Instruction Store;
+  Store.Op = Opcode::FStrV;
+  Store.Srcs = {Operand::vreg(1)};
+  Store.HasMemDst = true;
+  Store.MemDst = Operand::mem(1);
+  R.Body.push_back(Store);
+
+  std::vector<double> X = {1, 2, 3, 4}, Z(4, 0);
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 4;
+  Args.Ptrs = {{X.data(), 4, 0}, {Z.data(), 4, 0}};
+  Args.Scalars = {3.0};
+  ExecResult Res = execute(R, Args, C);
+  EXPECT_DOUBLE_EQ(Z[0], 5.5);
+  EXPECT_DOUBLE_EQ(Z[3], 14.5);
+  // fmaddv: 2 flops per element.
+  EXPECT_EQ(Res.Flops, 8u);
+}
+
+TEST(PeacExec, MaskedSelect) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R;
+  R.Name = "Psel";
+  R.NumPtrArgs = 3; // mask, a, dst
+  Instruction LM;
+  LM.Op = Opcode::FLodV;
+  LM.Srcs = {Operand::mem(0)};
+  LM.DstVReg = 0;
+  Instruction LA;
+  LA.Op = Opcode::FLodV;
+  LA.Srcs = {Operand::mem(1)};
+  LA.DstVReg = 1;
+  Instruction LD;
+  LD.Op = Opcode::FLodV;
+  LD.Srcs = {Operand::mem(2)};
+  LD.DstVReg = 2;
+  Instruction Sel; // dst = mask ? a : dst  (the Figure 10 masked move)
+  Sel.Op = Opcode::FSelV;
+  Sel.Srcs = {Operand::vreg(0), Operand::vreg(1), Operand::vreg(2)};
+  Sel.DstVReg = 3;
+  Instruction St;
+  St.Op = Opcode::FStrV;
+  St.Srcs = {Operand::vreg(3)};
+  St.HasMemDst = true;
+  St.MemDst = Operand::mem(2);
+  R.Body = {LM, LA, LD, Sel, St};
+
+  std::vector<double> M = {1, 0, 1, 0}, A = {9, 9, 9, 9}, D = {1, 2, 3, 4};
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 4;
+  Args.Ptrs = {{M.data(), 4, 0}, {A.data(), 4, 0}, {D.data(), 4, 0}};
+  execute(R, Args, C);
+  EXPECT_DOUBLE_EQ(D[0], 9);
+  EXPECT_DOUBLE_EQ(D[1], 2);
+  EXPECT_DOUBLE_EQ(D[2], 9);
+  EXPECT_DOUBLE_EQ(D[3], 4);
+}
+
+TEST(PeacExec, SpillSlotsRoundTrip) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R;
+  R.Name = "Pspill";
+  R.NumPtrArgs = 2;
+  R.NumSpillSlots = 1;
+  // Load x, spill it, load y into the same reg, restore spill, add, store.
+  Instruction L1;
+  L1.Op = Opcode::FLodV;
+  L1.Srcs = {Operand::mem(0)};
+  L1.DstVReg = 0;
+  Instruction Sp;
+  Sp.Op = Opcode::FStrV;
+  Sp.Srcs = {Operand::vreg(0)};
+  Sp.HasMemDst = true;
+  Sp.MemDst = Operand::mem(2); // Ptr 2 >= NumPtrArgs => spill slot 0.
+  Sp.IsSpill = true;
+  Instruction L2;
+  L2.Op = Opcode::FLodV;
+  L2.Srcs = {Operand::mem(1)};
+  L2.DstVReg = 0;
+  Instruction Re;
+  Re.Op = Opcode::FLodV;
+  Re.Srcs = {Operand::mem(2)};
+  Re.DstVReg = 1;
+  Re.IsSpill = true;
+  Instruction Add;
+  Add.Op = Opcode::FAddV;
+  Add.Srcs = {Operand::vreg(0), Operand::vreg(1)};
+  Add.DstVReg = 2;
+  Instruction St;
+  St.Op = Opcode::FStrV;
+  St.Srcs = {Operand::vreg(2)};
+  St.HasMemDst = true;
+  St.MemDst = Operand::mem(1);
+  R.Body = {L1, Sp, L2, Re, Add, St};
+
+  std::vector<double> X = {1, 2, 3, 4}, Y = {10, 20, 30, 40};
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 4;
+  Args.Ptrs = {{X.data(), 4, 0}, {Y.data(), 4, 0}};
+  execute(R, Args, C);
+  EXPECT_DOUBLE_EQ(Y[0], 11);
+  EXPECT_DOUBLE_EQ(Y[3], 44);
+}
+
+TEST(PeacExec, PaddingLanesDoNotCountAsFlops) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R = buildAddRoutine();
+  // VP = 6: two iterations execute, but only 6 elements are real.
+  std::vector<double> X(8, 1), Y(8, 2), Z(8, 0);
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 6;
+  Args.Ptrs = {{X.data(), 8, 0}, {Y.data(), 8, 0}, {Z.data(), 8, 0}};
+  ExecResult Res = execute(R, Args, C);
+  EXPECT_EQ(Res.Flops, 6u);
+  EXPECT_DOUBLE_EQ(Res.NodeCycles, 28.0); // Still 2 iterations of cycles.
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+//===- tests/runtime_test.cpp - CM runtime unit tests -----------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CmRuntime.h"
+#include "runtime/Geometry.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::runtime;
+
+namespace {
+
+cm2::CostModel machineWith(unsigned PEs) {
+  cm2::CostModel C;
+  C.NumPEs = PEs;
+  return C;
+}
+
+TEST(Geometry, LayoutFactorsPEsAcrossLargestDims) {
+  Geometry G = Geometry::layout({128, 64}, {1, 1}, 16, 4);
+  EXPECT_EQ(G.GridPEs, 16);
+  // Greedy splitting: 128x64 over 16 PEs -> 8x2 grid with 16x32 subgrids.
+  EXPECT_EQ(G.Grid[0] * G.Grid[1], 16);
+  EXPECT_EQ(G.Sub[0] * G.Grid[0], 128);
+  EXPECT_EQ(G.Sub[1] * G.Grid[1], 64);
+  EXPECT_EQ(G.SubgridElems, 128 * 64 / 16);
+}
+
+TEST(Geometry, SmallArrayLeavesPEsIdle) {
+  Geometry G = Geometry::layout({8}, {1}, 2048, 4);
+  EXPECT_EQ(G.GridPEs, 8);
+  EXPECT_EQ(G.SubgridElems, 1);
+  EXPECT_EQ(G.PaddedSubgrid, 4);
+}
+
+TEST(Geometry, UnevenExtentPadsEdgeBlocks) {
+  Geometry G = Geometry::layout({10}, {1}, 4, 4);
+  EXPECT_EQ(G.GridPEs, 4);
+  EXPECT_EQ(G.Sub[0], 3); // ceil(10/4)
+  std::vector<int64_t> Coord;
+  // PE 3 holds coords 9..11; 10 and 11 are padding.
+  EXPECT_TRUE(G.coordOf(3, 0, Coord));
+  EXPECT_EQ(Coord[0], 9);
+  EXPECT_FALSE(G.coordOf(3, 1, Coord));
+  EXPECT_FALSE(G.coordOf(3, 2, Coord));
+}
+
+TEST(Geometry, LocateAndCoordOfRoundTrip) {
+  Geometry G = Geometry::layout({12, 20}, {1, 1}, 8, 4);
+  std::vector<int64_t> Coord(2), Back;
+  for (Coord[0] = 0; Coord[0] < 12; ++Coord[0]) {
+    for (Coord[1] = 0; Coord[1] < 20; ++Coord[1]) {
+      int64_t PE, Off;
+      G.locate(Coord, PE, Off);
+      ASSERT_LT(PE, G.GridPEs);
+      ASSERT_LT(Off, G.SubgridElems);
+      ASSERT_TRUE(G.coordOf(PE, Off, Back));
+      EXPECT_EQ(Back, Coord);
+    }
+  }
+}
+
+class RuntimeTest : public ::testing::Test {
+protected:
+  cm2::CostModel Costs = machineWith(8);
+  CmRuntime RT{Costs};
+
+  int makeSeqField(const std::vector<int64_t> &Extents) {
+    const Geometry *G = RT.getGeometry(Extents, std::vector<int64_t>(
+                                                    Extents.size(), 1));
+    int H = RT.allocField(G, ElemKind::Real);
+    // Fill with the row-major linear index.
+    std::vector<int64_t> Coord(Extents.size(), 0);
+    int64_t Linear = 0;
+    while (true) {
+      RT.writeElement(H, Coord, static_cast<double>(Linear++));
+      size_t K = Extents.size();
+      bool Done = true;
+      while (K-- > 0) {
+        if (++Coord[K] < Extents[K]) {
+          Done = false;
+          break;
+        }
+        Coord[K] = 0;
+      }
+      if (Done)
+        break;
+    }
+    return H;
+  }
+
+  double at(int H, std::vector<int64_t> Coord) {
+    return RT.readElement(H, Coord);
+  }
+};
+
+TEST_F(RuntimeTest, GeometryIsCachedBySignature) {
+  const Geometry *A = RT.getGeometry({64, 64}, {1, 1});
+  const Geometry *B = RT.getGeometry({64, 64}, {1, 1});
+  const Geometry *C = RT.getGeometry({64, 32}, {1, 1});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST_F(RuntimeTest, CShift1D) {
+  int Src = makeSeqField({16});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.cshift(Dst, Src, 1, 1); // dst(i) = src(i+1)
+  EXPECT_DOUBLE_EQ(at(Dst, {0}), 1);
+  EXPECT_DOUBLE_EQ(at(Dst, {14}), 15);
+  EXPECT_DOUBLE_EQ(at(Dst, {15}), 0); // Wraps to src(0).
+  RT.cshift(Dst, Src, 1, -1);
+  EXPECT_DOUBLE_EQ(at(Dst, {0}), 15); // Wraps to src(15).
+  EXPECT_DOUBLE_EQ(at(Dst, {1}), 0);
+}
+
+TEST_F(RuntimeTest, CShift2DAlongEachDim) {
+  int Src = makeSeqField({4, 4});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.cshift(Dst, Src, 1, 1); // Rows shift.
+  EXPECT_DOUBLE_EQ(at(Dst, {0, 0}), 4);
+  EXPECT_DOUBLE_EQ(at(Dst, {3, 2}), 2);
+  RT.cshift(Dst, Src, 2, 1); // Columns shift.
+  EXPECT_DOUBLE_EQ(at(Dst, {0, 0}), 1);
+  EXPECT_DOUBLE_EQ(at(Dst, {2, 3}), 8);
+}
+
+TEST_F(RuntimeTest, CShiftChargesCommCycles) {
+  int Src = makeSeqField({64});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  double Before = RT.ledger().CommCycles;
+  RT.cshift(Dst, Src, 1, 1);
+  EXPECT_GT(RT.ledger().CommCycles, Before + Costs.CommStartupCycles - 1);
+}
+
+TEST_F(RuntimeTest, LongerShiftsCostMoreWireTime) {
+  int Src = makeSeqField({64});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.ledger().reset();
+  RT.cshift(Dst, Src, 1, 1);
+  double Short = RT.ledger().CommCycles;
+  RT.ledger().reset();
+  RT.cshift(Dst, Src, 1, 24);
+  double Long = RT.ledger().CommCycles;
+  EXPECT_GT(Long, Short);
+}
+
+TEST_F(RuntimeTest, EOShiftZeroFills) {
+  int Src = makeSeqField({8});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.eoshift(Dst, Src, 1, 2);
+  EXPECT_DOUBLE_EQ(at(Dst, {0}), 2);
+  EXPECT_DOUBLE_EQ(at(Dst, {5}), 7);
+  EXPECT_DOUBLE_EQ(at(Dst, {6}), 0);
+  EXPECT_DOUBLE_EQ(at(Dst, {7}), 0);
+}
+
+TEST_F(RuntimeTest, TransposeSquare) {
+  int Src = makeSeqField({4, 4});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.transpose(Dst, Src);
+  EXPECT_DOUBLE_EQ(at(Dst, {1, 2}), at(Src, {2, 1}));
+  EXPECT_DOUBLE_EQ(at(Dst, {0, 3}), 12);
+}
+
+TEST_F(RuntimeTest, SectionCopyMisaligned) {
+  // l(32:64) = l(96:128), zero-based: dst 31..63 <- src 95..127.
+  int H = makeSeqField({128});
+  std::vector<CmRuntime::SectionDim> DstSec = {{31, 1, 33}};
+  std::vector<CmRuntime::SectionDim> SrcSec = {{95, 1, 33}};
+  RT.sectionCopy(H, DstSec, H, SrcSec);
+  EXPECT_DOUBLE_EQ(at(H, {30}), 30);
+  EXPECT_DOUBLE_EQ(at(H, {31}), 95);
+  EXPECT_DOUBLE_EQ(at(H, {63}), 127);
+  EXPECT_DOUBLE_EQ(at(H, {64}), 64);
+}
+
+TEST_F(RuntimeTest, SectionCopyOverlappingKeepsVectorSemantics) {
+  int H = makeSeqField({8});
+  // l(2:8) = l(1:7): every read happens before any write.
+  std::vector<CmRuntime::SectionDim> DstSec = {{1, 1, 7}};
+  std::vector<CmRuntime::SectionDim> SrcSec = {{0, 1, 7}};
+  RT.sectionCopy(H, DstSec, H, SrcSec);
+  EXPECT_DOUBLE_EQ(at(H, {0}), 0);
+  EXPECT_DOUBLE_EQ(at(H, {1}), 0);
+  EXPECT_DOUBLE_EQ(at(H, {7}), 6);
+}
+
+TEST_F(RuntimeTest, Reductions) {
+  int H = makeSeqField({10}); // 0..9
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::Sum, H), 45);
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::Max, H), 9);
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::Min, H), 0);
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::Count, H), 9); // Nonzero count.
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::Any, H), 1);
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::All, H), 0); // Element 0 is zero.
+}
+
+TEST_F(RuntimeTest, ReductionIgnoresPadding) {
+  // 10 elements over 8 PEs: subgrids of 2 with padding; padding must not
+  // leak into the sum.
+  int H = makeSeqField({10});
+  EXPECT_DOUBLE_EQ(RT.reduce(ReduceOp::Sum, H), 45);
+}
+
+TEST_F(RuntimeTest, CoordFieldHoldsFortranCoordinates) {
+  const Geometry *G = RT.getGeometry({6, 3}, {1, 1});
+  int C1 = RT.coordField(G, 1);
+  int C2 = RT.coordField(G, 2);
+  EXPECT_DOUBLE_EQ(at(C1, {0, 0}), 1);
+  EXPECT_DOUBLE_EQ(at(C1, {5, 2}), 6);
+  EXPECT_DOUBLE_EQ(at(C2, {0, 0}), 1);
+  EXPECT_DOUBLE_EQ(at(C2, {5, 2}), 3);
+  // Cached per geometry+dim.
+  EXPECT_EQ(RT.coordField(G, 1), C1);
+}
+
+TEST_F(RuntimeTest, IntFieldsTruncateOnElementWrite) {
+  const Geometry *G = RT.getGeometry({4}, {1});
+  int H = RT.allocField(G, ElemKind::Int);
+  RT.writeElement(H, {0}, 2.9);
+  EXPECT_DOUBLE_EQ(RT.readElement(H, {0}), 2.0);
+}
+
+TEST_F(RuntimeTest, RenderFieldRowMajor) {
+  const Geometry *G = RT.getGeometry({2, 2}, {1, 1});
+  int H = RT.allocField(G, ElemKind::Int);
+  RT.writeElement(H, {0, 0}, 1);
+  RT.writeElement(H, {0, 1}, 2);
+  RT.writeElement(H, {1, 0}, 3);
+  RT.writeElement(H, {1, 1}, 4);
+  EXPECT_EQ(RT.renderField(H), "1 2 3 4");
+}
+
+TEST_F(RuntimeTest, FreeFieldReleasesHandle) {
+  const Geometry *G = RT.getGeometry({4}, {1});
+  int H = RT.allocField(G, ElemKind::Real);
+  RT.freeField(H);
+  int H2 = RT.allocField(G, ElemKind::Real);
+  EXPECT_NE(H, H2);
+}
+
+} // namespace

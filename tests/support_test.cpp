@@ -1,0 +1,124 @@
+//===- tests/support_test.cpp - support library unit tests -----------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+
+namespace {
+
+// A small hierarchy exercising the casting templates.
+struct Animal {
+  enum class Kind { Dog, Cat };
+  Kind K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Dog; }
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Cat; }
+};
+
+TEST(Casting, IsaDistinguishesKinds) {
+  Dog D;
+  Cat C;
+  const Animal *AD = &D, *AC = &C;
+  EXPECT_TRUE(isa<Dog>(AD));
+  EXPECT_FALSE(isa<Cat>(AD));
+  EXPECT_TRUE(isa<Cat>(AC));
+  EXPECT_FALSE(isa<Dog>(AC));
+}
+
+TEST(Casting, DynCastReturnsNullOnMismatch) {
+  Dog D;
+  const Animal *A = &D;
+  EXPECT_NE(dyn_cast<Dog>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+}
+
+TEST(Casting, CastPreservesPointerIdentity) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_EQ(cast<Dog>(A), &D);
+}
+
+TEST(Casting, DynCastOrNullToleratesNull) {
+  const Animal *A = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Dog>(A), nullptr);
+}
+
+TEST(SourceLocation, DefaultIsInvalid) {
+  SourceLocation Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "<unknown>");
+}
+
+TEST(SourceLocation, StrRendersLineColumn) {
+  SourceLocation Loc(12, 7);
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "12:7");
+}
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLocation(1, 1), "something mildly off");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLocation(2, 3), "something broken");
+  Diags.note(SourceLocation(2, 4), "broken right here");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, StrFormatsLLVMStyle) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLocation(3, 9), "shape mismatch");
+  EXPECT_EQ(Diags.str(), "error: 3:9: shape mismatch\n");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLocation(), "boom");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(StringUtil, ToLowerUpper) {
+  EXPECT_EQ(toLower("CShift"), "cshift");
+  EXPECT_EQ(toUpper("cshift"), "CSHIFT");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " + "), "a + b + c");
+}
+
+TEST(StringUtil, FormatDoubleRoundTrips) {
+  for (double V : {0.0, 1.0, -2.5, 0.1, 1e20, 1.0 / 3.0}) {
+    std::string S = formatDouble(V);
+    EXPECT_EQ(std::stod(S), V) << "failed to round-trip " << S;
+  }
+}
+
+TEST(StringUtil, IsDigits) {
+  EXPECT_TRUE(isDigits("0123"));
+  EXPECT_FALSE(isDigits(""));
+  EXPECT_FALSE(isDigits("12a"));
+  EXPECT_FALSE(isDigits("-1"));
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===- tools/f90yc.cpp - the Fortran-90-Y command-line compiler -------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// f90yc: compile a Fortran-90 source file through the prototype pipeline
+/// and (by default) run it on the simulated CM/2.
+///
+///   f90yc [options] file.f90
+///
+///   -emit-nir        print the lowered NIR and stop
+///   -emit-blocked    print the transformed (blocked) NIR and stop
+///   -emit-peac       print the generated PEAC node code and stop
+///   -emit-host       print the generated host (FE) code and stop
+///   -profile=NAME    f90y (default) | cmf | naive
+///   -pes=N           number of simulated PEs (default 2048)
+///   -cm5             use the CM/5 machine description
+///   -stats           print the cycle ledger after the run
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "host/Printer.h"
+#include "nir/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: f90yc [options] file.f90\n"
+      "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
+      "  -profile=f90y|cmf|naive   -pes=N   -cm5   -stats\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path;
+  enum class Emit { Run, NIR, Blocked, Peac, Host } Mode = Emit::Run;
+  Profile Prof = Profile::F90Y;
+  bool Stats = false;
+  cm2::CostModel Machine;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-emit-nir")
+      Mode = Emit::NIR;
+    else if (Arg == "-emit-blocked")
+      Mode = Emit::Blocked;
+    else if (Arg == "-emit-peac")
+      Mode = Emit::Peac;
+    else if (Arg == "-emit-host")
+      Mode = Emit::Host;
+    else if (Arg == "-stats")
+      Stats = true;
+    else if (Arg == "-cm5")
+      Machine = cm2::CostModel::cm5();
+    else if (Arg.rfind("-pes=", 0) == 0)
+      Machine.NumPEs = static_cast<unsigned>(std::atoi(Arg.c_str() + 5));
+    else if (Arg.rfind("-profile=", 0) == 0) {
+      std::string P = Arg.substr(9);
+      if (P == "f90y")
+        Prof = Profile::F90Y;
+      else if (P == "cmf")
+        Prof = Profile::CMFStyle;
+      else if (P == "naive")
+        Prof = Profile::Naive;
+      else {
+        std::fprintf(stderr, "f90yc: unknown profile '%s'\n", P.c_str());
+        return 2;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "f90yc: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      std::fprintf(stderr, "f90yc: multiple input files\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "f90yc: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  Compilation C(CompileOptions::forProfile(Prof, Machine));
+  if (!C.compile(Buf.str())) {
+    std::fprintf(stderr, "%s", C.diags().str().c_str());
+    return 1;
+  }
+  if (!C.diags().diagnostics().empty())
+    std::fprintf(stderr, "%s", C.diags().str().c_str()); // Warnings.
+
+  switch (Mode) {
+  case Emit::NIR:
+    std::printf("%s", nir::printImp(C.artifacts().RawNIR).c_str());
+    return 0;
+  case Emit::Blocked:
+    std::printf("%s", nir::printImp(C.artifacts().OptimizedNIR).c_str());
+    return 0;
+  case Emit::Peac:
+    std::printf("%s", C.artifacts().Compiled.peacListing().c_str());
+    return 0;
+  case Emit::Host:
+    std::printf("%s",
+                host::printHostProgram(C.artifacts().Compiled.Program)
+                    .c_str());
+    return 0;
+  case Emit::Run:
+    break;
+  }
+
+  Execution Exec(Machine);
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  if (!Report) {
+    std::fprintf(stderr, "f90yc: runtime error:\n%s",
+                 Exec.diags().str().c_str());
+    return 1;
+  }
+  std::printf("%s", Report->Output.c_str());
+  if (Stats) {
+    std::fprintf(stderr,
+                 "-- %u PEs @ %.1f MHz: %.3f ms simulated "
+                 "(node %.0f, call %.0f, comm %.0f, host %.0f cycles), "
+                 "%llu flops, %.3f GFLOPS\n",
+                 Machine.NumPEs, Machine.ClockMHz, Report->seconds() * 1e3,
+                 Report->Ledger.NodeCycles, Report->Ledger.CallCycles,
+                 Report->Ledger.CommCycles, Report->Ledger.HostCycles,
+                 static_cast<unsigned long long>(Report->Ledger.Flops),
+                 Report->gflops());
+  }
+  return 0;
+}
