@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cm5_retarget.dir/bench_cm5_retarget.cpp.o"
+  "CMakeFiles/bench_cm5_retarget.dir/bench_cm5_retarget.cpp.o.d"
+  "bench_cm5_retarget"
+  "bench_cm5_retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cm5_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_patterns.dir/bench_comm_patterns.cpp.o"
+  "CMakeFiles/bench_comm_patterns.dir/bench_comm_patterns.cpp.o.d"
+  "bench_comm_patterns"
+  "bench_comm_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_masking.dir/bench_fig10_masking.cpp.o"
+  "CMakeFiles/bench_fig10_masking.dir/bench_fig10_masking.cpp.o.d"
+  "bench_fig10_masking"
+  "bench_fig10_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

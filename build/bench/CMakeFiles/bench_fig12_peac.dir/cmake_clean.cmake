@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_peac.dir/bench_fig12_peac.cpp.o"
+  "CMakeFiles/bench_fig12_peac.dir/bench_fig12_peac.cpp.o.d"
+  "bench_fig12_peac"
+  "bench_fig12_peac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_peac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

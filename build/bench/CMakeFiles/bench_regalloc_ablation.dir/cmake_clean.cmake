@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regalloc_ablation.dir/bench_regalloc_ablation.cpp.o"
+  "CMakeFiles/bench_regalloc_ablation.dir/bench_regalloc_ablation.cpp.o.d"
+  "bench_regalloc_ablation"
+  "bench_regalloc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regalloc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swe_gflops.dir/bench_swe_gflops.cpp.o"
+  "CMakeFiles/bench_swe_gflops.dir/bench_swe_gflops.cpp.o.d"
+  "bench_swe_gflops"
+  "bench_swe_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swe_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

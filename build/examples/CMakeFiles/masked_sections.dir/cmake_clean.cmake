@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masked_sections.dir/masked_sections.cpp.o"
+  "CMakeFiles/masked_sections.dir/masked_sections.cpp.o.d"
+  "masked_sections"
+  "masked_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masked_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for masked_sections.
+# This may be replaced when dependencies are built.

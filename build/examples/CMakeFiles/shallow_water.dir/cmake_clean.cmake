@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shallow_water.dir/shallow_water.cpp.o"
+  "CMakeFiles/shallow_water.dir/shallow_water.cpp.o.d"
+  "shallow_water"
+  "shallow_water.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shallow_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("nir")
+subdirs("frontend")
+subdirs("lower")
+subdirs("interp")
+subdirs("transform")
+subdirs("peac")
+subdirs("runtime")
+subdirs("cm2")
+subdirs("host")
+subdirs("backend")
+subdirs("baselines")
+subdirs("driver")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_backend.dir/Backend.cpp.o"
+  "CMakeFiles/f90y_backend.dir/Backend.cpp.o.d"
+  "CMakeFiles/f90y_backend.dir/PECompiler.cpp.o"
+  "CMakeFiles/f90y_backend.dir/PECompiler.cpp.o.d"
+  "libf90y_backend.a"
+  "libf90y_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

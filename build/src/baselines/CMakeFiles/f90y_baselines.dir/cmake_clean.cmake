@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_baselines.dir/Fieldwise.cpp.o"
+  "CMakeFiles/f90y_baselines.dir/Fieldwise.cpp.o.d"
+  "libf90y_baselines.a"
+  "libf90y_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_driver.dir/Driver.cpp.o"
+  "CMakeFiles/f90y_driver.dir/Driver.cpp.o.d"
+  "CMakeFiles/f90y_driver.dir/Workloads.cpp.o"
+  "CMakeFiles/f90y_driver.dir/Workloads.cpp.o.d"
+  "libf90y_driver.a"
+  "libf90y_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libf90y_driver.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_frontend.dir/Inline.cpp.o"
+  "CMakeFiles/f90y_frontend.dir/Inline.cpp.o.d"
+  "CMakeFiles/f90y_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/f90y_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/f90y_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/f90y_frontend.dir/Parser.cpp.o.d"
+  "libf90y_frontend.a"
+  "libf90y_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_host.dir/HostExecutor.cpp.o"
+  "CMakeFiles/f90y_host.dir/HostExecutor.cpp.o.d"
+  "CMakeFiles/f90y_host.dir/Printer.cpp.o"
+  "CMakeFiles/f90y_host.dir/Printer.cpp.o.d"
+  "libf90y_host.a"
+  "libf90y_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/f90y_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/f90y_interp.dir/RtValue.cpp.o"
+  "CMakeFiles/f90y_interp.dir/RtValue.cpp.o.d"
+  "libf90y_interp.a"
+  "libf90y_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_lower.dir/Lowering.cpp.o"
+  "CMakeFiles/f90y_lower.dir/Lowering.cpp.o.d"
+  "libf90y_lower.a"
+  "libf90y_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

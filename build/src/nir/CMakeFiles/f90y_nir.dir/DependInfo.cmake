@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nir/Decl.cpp" "src/nir/CMakeFiles/f90y_nir.dir/Decl.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/Decl.cpp.o.d"
+  "/root/repo/src/nir/NIRContext.cpp" "src/nir/CMakeFiles/f90y_nir.dir/NIRContext.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/NIRContext.cpp.o.d"
+  "/root/repo/src/nir/Printer.cpp" "src/nir/CMakeFiles/f90y_nir.dir/Printer.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/Printer.cpp.o.d"
+  "/root/repo/src/nir/Shape.cpp" "src/nir/CMakeFiles/f90y_nir.dir/Shape.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/Shape.cpp.o.d"
+  "/root/repo/src/nir/Type.cpp" "src/nir/CMakeFiles/f90y_nir.dir/Type.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/Type.cpp.o.d"
+  "/root/repo/src/nir/TypeInfer.cpp" "src/nir/CMakeFiles/f90y_nir.dir/TypeInfer.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/TypeInfer.cpp.o.d"
+  "/root/repo/src/nir/Value.cpp" "src/nir/CMakeFiles/f90y_nir.dir/Value.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/Value.cpp.o.d"
+  "/root/repo/src/nir/Verifier.cpp" "src/nir/CMakeFiles/f90y_nir.dir/Verifier.cpp.o" "gcc" "src/nir/CMakeFiles/f90y_nir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/f90y_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_nir.dir/Decl.cpp.o"
+  "CMakeFiles/f90y_nir.dir/Decl.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/NIRContext.cpp.o"
+  "CMakeFiles/f90y_nir.dir/NIRContext.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/Printer.cpp.o"
+  "CMakeFiles/f90y_nir.dir/Printer.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/Shape.cpp.o"
+  "CMakeFiles/f90y_nir.dir/Shape.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/Type.cpp.o"
+  "CMakeFiles/f90y_nir.dir/Type.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/TypeInfer.cpp.o"
+  "CMakeFiles/f90y_nir.dir/TypeInfer.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/Value.cpp.o"
+  "CMakeFiles/f90y_nir.dir/Value.cpp.o.d"
+  "CMakeFiles/f90y_nir.dir/Verifier.cpp.o"
+  "CMakeFiles/f90y_nir.dir/Verifier.cpp.o.d"
+  "libf90y_nir.a"
+  "libf90y_nir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_nir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_peac.dir/Assembler.cpp.o"
+  "CMakeFiles/f90y_peac.dir/Assembler.cpp.o.d"
+  "CMakeFiles/f90y_peac.dir/Executor.cpp.o"
+  "CMakeFiles/f90y_peac.dir/Executor.cpp.o.d"
+  "CMakeFiles/f90y_peac.dir/Peac.cpp.o"
+  "CMakeFiles/f90y_peac.dir/Peac.cpp.o.d"
+  "libf90y_peac.a"
+  "libf90y_peac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_peac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

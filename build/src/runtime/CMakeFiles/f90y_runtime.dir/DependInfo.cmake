@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/CmRuntime.cpp" "src/runtime/CMakeFiles/f90y_runtime.dir/CmRuntime.cpp.o" "gcc" "src/runtime/CMakeFiles/f90y_runtime.dir/CmRuntime.cpp.o.d"
+  "/root/repo/src/runtime/Geometry.cpp" "src/runtime/CMakeFiles/f90y_runtime.dir/Geometry.cpp.o" "gcc" "src/runtime/CMakeFiles/f90y_runtime.dir/Geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/f90y_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_runtime.dir/CmRuntime.cpp.o"
+  "CMakeFiles/f90y_runtime.dir/CmRuntime.cpp.o.d"
+  "CMakeFiles/f90y_runtime.dir/Geometry.cpp.o"
+  "CMakeFiles/f90y_runtime.dir/Geometry.cpp.o.d"
+  "libf90y_runtime.a"
+  "libf90y_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/f90y_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/f90y_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/f90y_support.dir/StringUtil.cpp.o.d"
+  "libf90y_support.a"
+  "libf90y_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/Blocking.cpp" "src/transform/CMakeFiles/f90y_transform.dir/Blocking.cpp.o" "gcc" "src/transform/CMakeFiles/f90y_transform.dir/Blocking.cpp.o.d"
+  "/root/repo/src/transform/Effects.cpp" "src/transform/CMakeFiles/f90y_transform.dir/Effects.cpp.o" "gcc" "src/transform/CMakeFiles/f90y_transform.dir/Effects.cpp.o.d"
+  "/root/repo/src/transform/ExtractComm.cpp" "src/transform/CMakeFiles/f90y_transform.dir/ExtractComm.cpp.o" "gcc" "src/transform/CMakeFiles/f90y_transform.dir/ExtractComm.cpp.o.d"
+  "/root/repo/src/transform/MaskSections.cpp" "src/transform/CMakeFiles/f90y_transform.dir/MaskSections.cpp.o" "gcc" "src/transform/CMakeFiles/f90y_transform.dir/MaskSections.cpp.o.d"
+  "/root/repo/src/transform/Phases.cpp" "src/transform/CMakeFiles/f90y_transform.dir/Phases.cpp.o" "gcc" "src/transform/CMakeFiles/f90y_transform.dir/Phases.cpp.o.d"
+  "/root/repo/src/transform/Transforms.cpp" "src/transform/CMakeFiles/f90y_transform.dir/Transforms.cpp.o" "gcc" "src/transform/CMakeFiles/f90y_transform.dir/Transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nir/CMakeFiles/f90y_nir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/f90y_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/f90y_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/f90y_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90y_transform.dir/Blocking.cpp.o"
+  "CMakeFiles/f90y_transform.dir/Blocking.cpp.o.d"
+  "CMakeFiles/f90y_transform.dir/Effects.cpp.o"
+  "CMakeFiles/f90y_transform.dir/Effects.cpp.o.d"
+  "CMakeFiles/f90y_transform.dir/ExtractComm.cpp.o"
+  "CMakeFiles/f90y_transform.dir/ExtractComm.cpp.o.d"
+  "CMakeFiles/f90y_transform.dir/MaskSections.cpp.o"
+  "CMakeFiles/f90y_transform.dir/MaskSections.cpp.o.d"
+  "CMakeFiles/f90y_transform.dir/Phases.cpp.o"
+  "CMakeFiles/f90y_transform.dir/Phases.cpp.o.d"
+  "CMakeFiles/f90y_transform.dir/Transforms.cpp.o"
+  "CMakeFiles/f90y_transform.dir/Transforms.cpp.o.d"
+  "libf90y_transform.a"
+  "libf90y_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90y_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm5_test.dir/cm5_test.cpp.o"
+  "CMakeFiles/cm5_test.dir/cm5_test.cpp.o.d"
+  "cm5_test"
+  "cm5_test.pdb"
+  "cm5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

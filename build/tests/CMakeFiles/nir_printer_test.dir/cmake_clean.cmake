@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nir_printer_test.dir/nir_printer_test.cpp.o"
+  "CMakeFiles/nir_printer_test.dir/nir_printer_test.cpp.o.d"
+  "nir_printer_test"
+  "nir_printer_test.pdb"
+  "nir_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nir_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

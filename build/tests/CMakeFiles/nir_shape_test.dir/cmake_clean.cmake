@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nir_shape_test.dir/nir_shape_test.cpp.o"
+  "CMakeFiles/nir_shape_test.dir/nir_shape_test.cpp.o.d"
+  "nir_shape_test"
+  "nir_shape_test.pdb"
+  "nir_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nir_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

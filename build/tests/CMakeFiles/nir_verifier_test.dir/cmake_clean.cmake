@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nir_verifier_test.dir/nir_verifier_test.cpp.o"
+  "CMakeFiles/nir_verifier_test.dir/nir_verifier_test.cpp.o.d"
+  "nir_verifier_test"
+  "nir_verifier_test.pdb"
+  "nir_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nir_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlap_test.cpp" "tests/CMakeFiles/overlap_test.dir/overlap_test.cpp.o" "gcc" "tests/CMakeFiles/overlap_test.dir/overlap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/f90y_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/f90y_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/f90y_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/peac/CMakeFiles/f90y_peac.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/f90y_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/f90y_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/f90y_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/f90y_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/f90y_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/nir/CMakeFiles/f90y_nir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/f90y_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

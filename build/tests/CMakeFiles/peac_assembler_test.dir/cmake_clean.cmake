@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peac_assembler_test.dir/peac_assembler_test.cpp.o"
+  "CMakeFiles/peac_assembler_test.dir/peac_assembler_test.cpp.o.d"
+  "peac_assembler_test"
+  "peac_assembler_test.pdb"
+  "peac_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peac_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

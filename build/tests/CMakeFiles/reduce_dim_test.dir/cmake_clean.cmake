@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_dim_test.dir/reduce_dim_test.cpp.o"
+  "CMakeFiles/reduce_dim_test.dir/reduce_dim_test.cpp.o.d"
+  "reduce_dim_test"
+  "reduce_dim_test.pdb"
+  "reduce_dim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_dim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

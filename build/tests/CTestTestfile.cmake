@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/nir_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/nir_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/nir_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/lower_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/peac_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/peac_assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cm5_test[1]_include.cmake")
+include("/root/repo/build/tests/inline_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_test[1]_include.cmake")
+include("/root/repo/build/tests/programs_test[1]_include.cmake")
+include("/root/repo/build/tests/reduce_dim_test[1]_include.cmake")
+include("/root/repo/build/tests/spread_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f90yc.dir/f90yc.cpp.o"
+  "CMakeFiles/f90yc.dir/f90yc.cpp.o.d"
+  "f90yc"
+  "f90yc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f90yc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for f90yc.
+# This may be replaced when dependencies are built.
