@@ -25,6 +25,7 @@
 #include "host/HostExecutor.h"
 #include "nir/NIRContext.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 #include "transform/Transforms.h"
 
 #include <memory>
@@ -101,15 +102,27 @@ struct RunReport {
   }
 };
 
+/// How the simulation itself runs on the host (as opposed to what machine
+/// it simulates, which is the CostModel's job).
+struct ExecutionOptions {
+  /// Host worker threads sweeping the simulated PEs and communication
+  /// destinations (0 = all hardware threads). Program output and the
+  /// cycle ledger are bit-identical at every setting; 1 runs the sweep
+  /// serially inline on the calling thread.
+  unsigned Threads = 0;
+};
+
 /// Executes a compiled program on the simulated CM/2. The execution object
 /// keeps the runtime and host executor alive for post-run inspection.
 class Execution {
 public:
-  explicit Execution(const cm2::CostModel &Costs)
-      : Costs(Costs), RT(this->Costs), Exec(RT, Diags) {}
+  explicit Execution(const cm2::CostModel &Costs, ExecutionOptions EOpts = {})
+      : Costs(Costs), Pool(EOpts.Threads), RT(this->Costs, &Pool),
+        Exec(RT, Diags) {}
 
   host::HostExecutor &executor() { return Exec; }
   runtime::CmRuntime &runtime() { return RT; }
+  support::ThreadPool &pool() { return Pool; }
   DiagnosticEngine &diags() { return Diags; }
 
   /// Runs \p Program; nullopt on a simulated runtime error.
@@ -117,6 +130,7 @@ public:
 
 private:
   cm2::CostModel Costs;
+  support::ThreadPool Pool;
   DiagnosticEngine Diags;
   runtime::CmRuntime RT;
   host::HostExecutor Exec;

@@ -253,7 +253,8 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
   if (Failed)
     return;
 
-  peac::ExecResult Res = peac::execute(R, Args, RT.costs());
+  peac::ExecResult Res =
+      peac::execute(R, Args, RT.costs(), RT.threadPool());
   runtime::CycleLedger &L = RT.ledger();
   L.NodeCycles += Res.NodeCycles;
   L.CallCycles += Res.CallCycles;

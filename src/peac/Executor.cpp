@@ -6,6 +6,9 @@
 
 #include "peac/Executor.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
@@ -56,6 +59,11 @@ struct PEState {
   }
 };
 
+/// Applies one opcode to already-read lane values. The division family
+/// (FDivV, FModV) follows IEEE-754 on every computed lane: x/0 is +/-Inf,
+/// 0/0 is NaN, and fmod(x, 0) is NaN. Tail padding lanes may compute such
+/// values from uninitialized padding, but runPE masks their stores, so
+/// they never reach subgrid memory.
 double applyOp(Opcode Op, double A, double B, double C) {
   switch (Op) {
   case Opcode::FLodV:
@@ -74,7 +82,7 @@ double applyOp(Opcode Op, double A, double B, double C) {
   case Opcode::FMaxV:
     return A > B ? A : B;
   case Opcode::FModV:
-    return B == 0 ? 0 : std::fmod(A, B);
+    return std::fmod(A, B);
   case Opcode::FPowV:
     return std::pow(A, B);
   case Opcode::FMAddV:
@@ -123,10 +131,56 @@ double applyOp(Opcode Op, double A, double B, double C) {
   return 0;
 }
 
+/// Runs the routine over one PE's subgrid. The last vector iteration
+/// computes all Width lanes (the SIMD machine cannot do otherwise), but
+/// stores to real (pointer-argument) memory are masked to the subgrid
+/// extent, so tail padding lanes running FDivV/FLogV/FSqrtV over padding
+/// never write Inf/NaN past SubgridElems. VReg and spill-slot writes are
+/// per-iteration scratch and stay unmasked.
+void runPE(const Routine &R, const ExecArgs &Args,
+           const cm2::CostModel &Costs, unsigned PE, unsigned Width,
+           int64_t Iters) {
+  PEState St(Args, PE, Width, /*NumVRegs=*/Costs.VectorRegs,
+             R.NumSpillSlots);
+  for (int64_t It = 0; It < Iters; ++It) {
+    St.IterBase = It * Width;
+    const int64_t ValidLanes =
+        std::min<int64_t>(Width, Args.SubgridElems - St.IterBase);
+    for (const Instruction &I : R.Body) {
+      // All lanes read before any lane writes (vector semantics; the
+      // destination register or memory may alias a source).
+      double Tmp[MaxWidth];
+      for (unsigned Lane = 0; Lane < Width; ++Lane) {
+        double A = I.Srcs.size() > 0
+                       ? St.read(I.Srcs[0], Lane, R.NumPtrArgs)
+                       : 0;
+        double B = I.Srcs.size() > 1
+                       ? St.read(I.Srcs[1], Lane, R.NumPtrArgs)
+                       : 0;
+        double C = I.Srcs.size() > 2
+                       ? St.read(I.Srcs[2], Lane, R.NumPtrArgs)
+                       : 0;
+        Tmp[Lane] = applyOp(I.Op, A, B, C);
+      }
+      for (unsigned Lane = 0; Lane < Width; ++Lane) {
+        if (I.HasMemDst) {
+          if (static_cast<int64_t>(Lane) >= ValidLanes &&
+              I.MemDst.Reg < R.NumPtrArgs)
+            continue; // Masked tail store to real subgrid memory.
+          *St.memAddr(I.MemDst, Lane, R.NumPtrArgs) = Tmp[Lane];
+        } else {
+          St.VRegs[I.DstVReg][Lane] = Tmp[Lane];
+        }
+      }
+    }
+  }
+}
+
 } // namespace
 
 ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
-                         const cm2::CostModel &Costs) {
+                         const cm2::CostModel &Costs,
+                         support::ThreadPool *Pool) {
   const unsigned Width = Costs.VectorWidth;
   assert(Width <= MaxWidth && "vector width exceeds executor lanes");
   ExecResult Result;
@@ -134,7 +188,8 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
   const int64_t Iters =
       Args.SubgridElems <= 0 ? 0 : (Args.SubgridElems + Width - 1) / Width;
 
-  // Static SIMD cycle account.
+  // Static SIMD cycle account: a property of the broadcast instruction
+  // stream, identical for every PE, so it is computed once up front.
   Result.NodeCycles = static_cast<double>(Iters) *
                       R.cyclesPerIteration(Costs);
   Result.CallCycles =
@@ -146,39 +201,25 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
   uint64_t FlopsPerElem = 0;
   for (const Instruction &I : R.Body)
     FlopsPerElem += flopsPerElement(I.Op);
-  Result.Flops = FlopsPerElem *
-                 static_cast<uint64_t>(Args.SubgridElems) * Args.NumPEs;
+  const uint64_t FlopsPerPE =
+      Args.SubgridElems <= 0
+          ? 0
+          : FlopsPerElem * static_cast<uint64_t>(Args.SubgridElems);
 
-  // Functional sweep.
-  for (unsigned PE = 0; PE < Args.NumPEs; ++PE) {
-    PEState St(Args, PE, Width, /*NumVRegs=*/Costs.VectorRegs,
-               R.NumSpillSlots);
-    for (int64_t It = 0; It < Iters; ++It) {
-      St.IterBase = It * Width;
-      for (const Instruction &I : R.Body) {
-        // All lanes read before any lane writes (vector semantics; the
-        // destination register or memory may alias a source).
-        double Tmp[MaxWidth];
-        for (unsigned Lane = 0; Lane < Width; ++Lane) {
-          double A = I.Srcs.size() > 0
-                         ? St.read(I.Srcs[0], Lane, R.NumPtrArgs)
-                         : 0;
-          double B = I.Srcs.size() > 1
-                         ? St.read(I.Srcs[1], Lane, R.NumPtrArgs)
-                         : 0;
-          double C = I.Srcs.size() > 2
-                         ? St.read(I.Srcs[2], Lane, R.NumPtrArgs)
-                         : 0;
-          Tmp[Lane] = applyOp(I.Op, A, B, C);
+  // Functional sweep. PEs are data-parallel (each touches only its own
+  // subgrid slice of every pointer binding), so chunks of PEs run
+  // concurrently; per-chunk flop partials are exact integer sums combined
+  // in chunk order, keeping the account bit-identical at any thread count.
+  Result.Flops = support::reduceChunksOrdered<uint64_t>(
+      Pool, Args.NumPEs,
+      [&](int64_t Begin, int64_t End) {
+        uint64_t Part = 0;
+        for (int64_t PE = Begin; PE < End; ++PE) {
+          runPE(R, Args, Costs, static_cast<unsigned>(PE), Width, Iters);
+          Part += FlopsPerPE;
         }
-        for (unsigned Lane = 0; Lane < Width; ++Lane) {
-          if (I.HasMemDst)
-            *St.memAddr(I.MemDst, Lane, R.NumPtrArgs) = Tmp[Lane];
-          else
-            St.VRegs[I.DstVReg][Lane] = Tmp[Lane];
-        }
-      }
-    }
-  }
+        return Part;
+      },
+      [](uint64_t &Acc, uint64_t Part) { Acc += Part; });
   return Result;
 }

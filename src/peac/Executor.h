@@ -22,6 +22,11 @@
 #include <vector>
 
 namespace f90y {
+
+namespace support {
+class ThreadPool;
+} // namespace support
+
 namespace peac {
 
 /// Binding of one pointer argument to storage. PE p's subgrid base is
@@ -52,8 +57,21 @@ struct ExecResult {
 
 /// Runs \p R functionally over every PE and returns the cycle account.
 /// Asserts that register numbers are within the configured file sizes.
+///
+/// The sweep is data-parallel over PEs (each touches only its own
+/// subgrid); when \p Pool is non-null, chunks of PEs run concurrently on
+/// it. Accounting is computed per chunk and combined in chunk order, so
+/// the result is bit-identical at every thread count (see
+/// support/ThreadPool.h for the determinism contract).
+///
+/// Division semantics are IEEE-754 on every computed lane: FDivV by zero
+/// yields +/-Inf (NaN for 0/0) and FModV with a zero divisor yields NaN.
+/// Tail padding lanes of the last vector iteration may compute such
+/// values, but their stores to subgrid memory are masked to
+/// Args.SubgridElems, so padding is never written with them.
 ExecResult execute(const Routine &R, const ExecArgs &Args,
-                   const cm2::CostModel &Costs);
+                   const cm2::CostModel &Costs,
+                   support::ThreadPool *Pool = nullptr);
 
 } // namespace peac
 } // namespace f90y

@@ -7,6 +7,7 @@
 #include "runtime/CmRuntime.h"
 
 #include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -40,7 +41,18 @@ int CmRuntime::allocField(const Geometry *Geo, ElemKind Kind) {
   return Handle;
 }
 
-void CmRuntime::freeField(int Handle) { Fields.erase(Handle); }
+void CmRuntime::freeField(int Handle) {
+  Fields.erase(Handle);
+  // The coordinate-field cache hands out plain field handles; drop any
+  // entry for this handle so a later coordField for the same geometry
+  // rebuilds instead of returning a handle that trips field()'s assert.
+  for (auto It = CoordFields.begin(); It != CoordFields.end();) {
+    if (It->second == Handle)
+      It = CoordFields.erase(It);
+    else
+      ++It;
+  }
+}
 
 PeArray &CmRuntime::field(int Handle) {
   auto It = Fields.find(Handle);
@@ -127,30 +139,44 @@ void CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   size_t Axis = static_cast<size_t>(Dim - 1);
   int64_t N = Geo.Extents[Axis];
 
-  double WireCycles = 0;
-  int64_t LocalElems = 0;
-  std::vector<int64_t> Coord;
-  for (int64_t PE = 0; PE < Geo.GridPEs; ++PE) {
-    double *Out = D.peBase(PE);
-    for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
-      if (!Geo.coordOf(PE, Off, Coord))
-        continue;
-      Coord[Axis] = ((Coord[Axis] + Shift) % N + N) % N;
-      int64_t SrcPE, SrcOff;
-      Geo.locate(Coord, SrcPE, SrcOff);
-      Out[Off] = S.peBase(SrcPE)[SrcOff];
-      if (SrcPE == PE) {
-        ++LocalElems;
-      } else {
-        WireCycles += Costs.GridWirePerElemHop *
-                      static_cast<double>(hopDistance(Geo, PE, SrcPE, Axis));
-      }
-    }
-  }
+  // Destination PEs are independent, so chunks of them run concurrently.
+  // Wire time is accumulated as integer hop counts per chunk and combined
+  // in chunk order: the ledger charge is exact and thread-count
+  // independent.
+  struct Part {
+    int64_t LocalElems = 0;
+    int64_t WireHops = 0;
+  };
+  Part Total = support::reduceChunksOrdered<Part>(
+      Pool, Geo.GridPEs,
+      [&](int64_t Begin, int64_t End) {
+        Part P;
+        std::vector<int64_t> Coord;
+        for (int64_t PE = Begin; PE < End; ++PE) {
+          double *Out = D.peBase(PE);
+          for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+            if (!Geo.coordOf(PE, Off, Coord))
+              continue;
+            Coord[Axis] = ((Coord[Axis] + Shift) % N + N) % N;
+            int64_t SrcPE, SrcOff;
+            Geo.locate(Coord, SrcPE, SrcOff);
+            Out[Off] = S.peBase(SrcPE)[SrcOff];
+            if (SrcPE == PE)
+              ++P.LocalElems;
+            else
+              P.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
+          }
+        }
+        return P;
+      },
+      [](Part &Acc, const Part &P) {
+        Acc.LocalElems += P.LocalElems;
+        Acc.WireHops += P.WireHops;
+      });
   Ledger.CommCycles +=
       Costs.CommStartupCycles +
-      (Costs.GridLocalPerElem * static_cast<double>(LocalElems) +
-       WireCycles) /
+      (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
+       Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
           static_cast<double>(Geo.GridPEs);
 }
 
@@ -162,34 +188,46 @@ void CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   size_t Axis = static_cast<size_t>(Dim - 1);
   int64_t N = Geo.Extents[Axis];
 
-  double WireCycles = 0;
-  int64_t LocalElems = 0;
-  std::vector<int64_t> Coord;
-  for (int64_t PE = 0; PE < Geo.GridPEs; ++PE) {
-    double *Out = D.peBase(PE);
-    for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
-      if (!Geo.coordOf(PE, Off, Coord))
-        continue;
-      int64_t C = Coord[Axis] + Shift;
-      if (C < 0 || C >= N) {
-        Out[Off] = 0.0;
-        continue;
-      }
-      Coord[Axis] = C;
-      int64_t SrcPE, SrcOff;
-      Geo.locate(Coord, SrcPE, SrcOff);
-      Out[Off] = S.peBase(SrcPE)[SrcOff];
-      if (SrcPE == PE)
-        ++LocalElems;
-      else
-        WireCycles += Costs.GridWirePerElemHop *
-                      static_cast<double>(hopDistance(Geo, PE, SrcPE, Axis));
-    }
-  }
+  // Same destination-parallel sweep and exact hop accounting as cshift.
+  struct Part {
+    int64_t LocalElems = 0;
+    int64_t WireHops = 0;
+  };
+  Part Total = support::reduceChunksOrdered<Part>(
+      Pool, Geo.GridPEs,
+      [&](int64_t Begin, int64_t End) {
+        Part P;
+        std::vector<int64_t> Coord;
+        for (int64_t PE = Begin; PE < End; ++PE) {
+          double *Out = D.peBase(PE);
+          for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+            if (!Geo.coordOf(PE, Off, Coord))
+              continue;
+            int64_t C = Coord[Axis] + Shift;
+            if (C < 0 || C >= N) {
+              Out[Off] = 0.0;
+              continue;
+            }
+            Coord[Axis] = C;
+            int64_t SrcPE, SrcOff;
+            Geo.locate(Coord, SrcPE, SrcOff);
+            Out[Off] = S.peBase(SrcPE)[SrcOff];
+            if (SrcPE == PE)
+              ++P.LocalElems;
+            else
+              P.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
+          }
+        }
+        return P;
+      },
+      [](Part &Acc, const Part &P) {
+        Acc.LocalElems += P.LocalElems;
+        Acc.WireHops += P.WireHops;
+      });
   Ledger.CommCycles +=
       Costs.CommStartupCycles +
-      (Costs.GridLocalPerElem * static_cast<double>(LocalElems) +
-       WireCycles) /
+      (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
+       Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
           static_cast<double>(Geo.GridPEs);
 }
 
@@ -200,19 +238,22 @@ void CmRuntime::transpose(int Dst, int Src) {
   const Geometry &DG = *D.Geo, &SG = *S.Geo;
   assert(DG.rank() == 2 && SG.rank() == 2 && "transpose requires rank 2");
 
-  std::vector<int64_t> Coord, SrcCoord(2);
-  for (int64_t PE = 0; PE < DG.GridPEs; ++PE) {
-    double *Out = D.peBase(PE);
-    for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
-      if (!DG.coordOf(PE, Off, Coord))
-        continue;
-      SrcCoord[0] = Coord[1];
-      SrcCoord[1] = Coord[0];
-      int64_t SrcPE, SrcOff;
-      SG.locate(SrcCoord, SrcPE, SrcOff);
-      Out[Off] = S.peBase(SrcPE)[SrcOff];
-    }
-  }
+  support::parallelChunks(
+      Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
+        std::vector<int64_t> Coord, SrcCoord(2);
+        for (int64_t PE = Begin; PE < End; ++PE) {
+          double *Out = D.peBase(PE);
+          for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
+            if (!DG.coordOf(PE, Off, Coord))
+              continue;
+            SrcCoord[0] = Coord[1];
+            SrcCoord[1] = Coord[0];
+            int64_t SrcPE, SrcOff;
+            SG.locate(SrcCoord, SrcPE, SrcOff);
+            Out[Off] = S.peBase(SrcPE)[SrcOff];
+          }
+        }
+      });
   // Transpose goes through the router; charge the per-element cost spread
   // across the machine (all PEs inject concurrently).
   Ledger.CommCycles +=
@@ -237,43 +278,65 @@ void CmRuntime::sectionCopy(int Dst, const std::vector<SectionDim> &DstSec,
   if (Total == 0)
     return;
 
-  std::vector<int64_t> Pos(DstSec.size(), 0);
-  std::vector<int64_t> DC(DstSec.size()), SC(SrcSec.size());
-  int64_t RemoteElems = 0, LocalElems = 0;
   // Buffer destination values first: overlapping src/dst sections of the
-  // same array keep Fortran vector semantics.
-  std::vector<std::pair<size_t, double>> Writes;
-  Writes.reserve(static_cast<size_t>(Total));
-  for (int64_t Done = 0; Done < Total; ++Done) {
-    for (size_t K = 0; K < DstSec.size(); ++K) {
-      DC[K] = DstSec[K].Start + Pos[K] * DstSec[K].Stride;
-      SC[K] = SrcSec[K].Start + Pos[K] * SrcSec[K].Stride;
-    }
-    int64_t DPE, DOff, SPE, SOff;
-    DG.locate(DC, DPE, DOff);
-    SG.locate(SC, SPE, SOff);
-    double V = S.peBase(SPE)[SOff];
-    if (D.Kind == ElemKind::Int)
-      V = std::trunc(V);
-    Writes.emplace_back(
-        static_cast<size_t>(DPE * DG.PaddedSubgrid + DOff), V);
-    if (SPE == DPE)
-      ++LocalElems;
-    else
-      ++RemoteElems;
-    for (size_t K = DstSec.size(); K-- > 0;) {
-      if (++Pos[K] < DstSec[K].Count)
-        break;
-      Pos[K] = 0;
-    }
-  }
+  // same array keep Fortran vector semantics. The gather runs in parallel
+  // over chunks of the section's linear position space (each position owns
+  // its own Writes slot); the buffered writes are applied serially so
+  // degenerate sections with repeated destination positions keep the
+  // serial last-write order.
+  std::vector<std::pair<size_t, double>> Writes(static_cast<size_t>(Total));
+  struct Part {
+    int64_t LocalElems = 0;
+    int64_t RemoteElems = 0;
+  };
+  Part Counts = support::reduceChunksOrdered<Part>(
+      Pool, Total,
+      [&](int64_t Begin, int64_t End) {
+        Part P;
+        std::vector<int64_t> Pos(DstSec.size());
+        std::vector<int64_t> DC(DstSec.size()), SC(SrcSec.size());
+        // Decompose the chunk's first linear position (row-major).
+        int64_t L = Begin;
+        for (size_t K = DstSec.size(); K-- > 0;) {
+          Pos[K] = L % DstSec[K].Count;
+          L /= DstSec[K].Count;
+        }
+        for (int64_t Done = Begin; Done < End; ++Done) {
+          for (size_t K = 0; K < DstSec.size(); ++K) {
+            DC[K] = DstSec[K].Start + Pos[K] * DstSec[K].Stride;
+            SC[K] = SrcSec[K].Start + Pos[K] * SrcSec[K].Stride;
+          }
+          int64_t DPE, DOff, SPE, SOff;
+          DG.locate(DC, DPE, DOff);
+          SG.locate(SC, SPE, SOff);
+          double V = S.peBase(SPE)[SOff];
+          if (D.Kind == ElemKind::Int)
+            V = std::trunc(V);
+          Writes[static_cast<size_t>(Done)] = {
+              static_cast<size_t>(DPE * DG.PaddedSubgrid + DOff), V};
+          if (SPE == DPE)
+            ++P.LocalElems;
+          else
+            ++P.RemoteElems;
+          for (size_t K = DstSec.size(); K-- > 0;) {
+            if (++Pos[K] < DstSec[K].Count)
+              break;
+            Pos[K] = 0;
+          }
+        }
+        return P;
+      },
+      [](Part &Acc, const Part &P) {
+        Acc.LocalElems += P.LocalElems;
+        Acc.RemoteElems += P.RemoteElems;
+      });
   for (const auto &[Idx, V] : Writes)
     D.Data[Idx] = V;
 
   Ledger.CommCycles +=
       Costs.CommStartupCycles +
-      (Costs.GridLocalPerElem * static_cast<double>(LocalElems) +
-       Costs.RouterPerElem * static_cast<double>(RemoteElems)) /
+      (Costs.GridLocalPerElem * static_cast<double>(Counts.LocalElems) +
+       Costs.RouterPerElem * static_cast<double>(Counts.RemoteElems)) /
           static_cast<double>(DG.GridPEs);
 }
 
@@ -281,38 +344,81 @@ double CmRuntime::reduce(ReduceOp Op, int Src) {
   const PeArray &S = field(Src);
   const Geometry &Geo = *S.Geo;
 
-  bool First = true;
-  double Acc = 0;
-  int64_t CountTrue = 0;
-  std::vector<int64_t> Coord;
-  for (int64_t PE = 0; PE < Geo.GridPEs; ++PE) {
-    const double *Base = S.peBase(PE);
-    for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
-      if (!Geo.coordOf(PE, Off, Coord))
-        continue;
-      double V = Base[Off];
-      switch (Op) {
-      case ReduceOp::Sum:
-        Acc += V;
-        break;
-      case ReduceOp::Product:
-        Acc = First ? V : Acc * V;
-        break;
-      case ReduceOp::Max:
-        Acc = First ? V : (V > Acc ? V : Acc);
-        break;
-      case ReduceOp::Min:
-        Acc = First ? V : (V < Acc ? V : Acc);
-        break;
-      case ReduceOp::Count:
-      case ReduceOp::Any:
-      case ReduceOp::All:
-        CountTrue += V != 0;
-        break;
-      }
-      First = false;
-    }
-  }
+  // Per-chunk partial folds in PE order, combined in chunk order. The
+  // chunk decomposition is fixed by the PE count alone (ThreadPool
+  // contract), so the result is identical at every thread count; for Sum
+  // and Product the chunked combine may differ from a whole-machine left
+  // fold in the final ulps, exactly as the real machine's tree combine
+  // does (see programs_test's note on machine-vs-interpreter order).
+  struct Part {
+    bool Seen = false;
+    double Acc = 0;
+    int64_t CountTrue = 0;
+  };
+  Part Total = support::reduceChunksOrdered<Part>(
+      Pool, Geo.GridPEs,
+      [&](int64_t Begin, int64_t End) {
+        Part P;
+        std::vector<int64_t> Coord;
+        for (int64_t PE = Begin; PE < End; ++PE) {
+          const double *Base = S.peBase(PE);
+          for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+            if (!Geo.coordOf(PE, Off, Coord))
+              continue;
+            double V = Base[Off];
+            switch (Op) {
+            case ReduceOp::Sum:
+              P.Acc += V;
+              break;
+            case ReduceOp::Product:
+              P.Acc = P.Seen ? P.Acc * V : V;
+              break;
+            case ReduceOp::Max:
+              P.Acc = P.Seen ? (V > P.Acc ? V : P.Acc) : V;
+              break;
+            case ReduceOp::Min:
+              P.Acc = P.Seen ? (V < P.Acc ? V : P.Acc) : V;
+              break;
+            case ReduceOp::Count:
+            case ReduceOp::Any:
+            case ReduceOp::All:
+              P.CountTrue += V != 0;
+              break;
+            }
+            P.Seen = true;
+          }
+        }
+        return P;
+      },
+      [&](Part &A, const Part &P) {
+        if (!P.Seen)
+          return;
+        if (!A.Seen) {
+          A = P;
+          return;
+        }
+        switch (Op) {
+        case ReduceOp::Sum:
+          A.Acc += P.Acc;
+          break;
+        case ReduceOp::Product:
+          A.Acc *= P.Acc;
+          break;
+        case ReduceOp::Max:
+          A.Acc = P.Acc > A.Acc ? P.Acc : A.Acc;
+          break;
+        case ReduceOp::Min:
+          A.Acc = P.Acc < A.Acc ? P.Acc : A.Acc;
+          break;
+        case ReduceOp::Count:
+        case ReduceOp::Any:
+        case ReduceOp::All:
+          A.CountTrue += P.CountTrue;
+          break;
+        }
+      });
+  double Acc = Total.Acc;
+  int64_t CountTrue = Total.CountTrue;
 
   // Local vectorized reduce + log2(P) combine steps.
   double LocalCycles = static_cast<double>(Geo.SubgridElems) *
@@ -324,14 +430,13 @@ double CmRuntime::reduce(ReduceOp Op, int Src) {
   if (Op == ReduceOp::Sum || Op == ReduceOp::Product)
     Ledger.Flops += static_cast<uint64_t>(Geo.totalElements());
 
-  int64_t Total = Geo.totalElements();
   switch (Op) {
   case ReduceOp::Count:
     return static_cast<double>(CountTrue);
   case ReduceOp::Any:
     return CountTrue > 0 ? 1.0 : 0.0;
   case ReduceOp::All:
-    return CountTrue == Total ? 1.0 : 0.0;
+    return CountTrue == Geo.totalElements() ? 1.0 : 0.0;
   default:
     return Acc;
   }
@@ -346,64 +451,69 @@ void CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
   assert(Axis < SG.rank() && DG.rank() + 1 == SG.rank() &&
          "reduceAlongDim rank mismatch");
 
-  std::vector<int64_t> DC(DG.rank()), SC(SG.rank());
-  // Iterate the destination space; accumulate over the reduced axis.
-  std::vector<int64_t> Pos(DG.rank(), 0);
-  bool Empty = DG.totalElements() == 0;
-  while (!Empty) {
-    for (size_t K = 0, Out = 0; K < SG.rank(); ++K)
-      SC[K] = K == Axis ? 0 : Pos[Out++];
-    double Acc = 0;
-    int64_t CountTrue = 0;
-    for (int64_t K = 0; K < SG.Extents[Axis]; ++K) {
-      SC[Axis] = K;
-      int64_t PE, Off;
-      SG.locate(SC, PE, Off);
-      double V = S.peBase(PE)[Off];
-      switch (Op) {
-      case ReduceOp::Sum:
-        Acc += V;
-        break;
-      case ReduceOp::Product:
-        Acc = K == 0 ? V : Acc * V;
-        break;
-      case ReduceOp::Max:
-        Acc = K == 0 ? V : (V > Acc ? V : Acc);
-        break;
-      case ReduceOp::Min:
-        Acc = K == 0 ? V : (V < Acc ? V : Acc);
-        break;
-      case ReduceOp::Count:
-      case ReduceOp::Any:
-      case ReduceOp::All:
-        CountTrue += V != 0;
-        break;
-      }
-    }
-    if (Op == ReduceOp::Count)
-      Acc = static_cast<double>(CountTrue);
-    else if (Op == ReduceOp::Any)
-      Acc = CountTrue > 0 ? 1 : 0;
-    else if (Op == ReduceOp::All)
-      Acc = CountTrue == SG.Extents[Axis] ? 1 : 0;
-    if (D.Kind == ElemKind::Int)
-      Acc = std::trunc(Acc);
-    std::copy(Pos.begin(), Pos.end(), DC.begin());
-    int64_t DPE, DOff;
-    DG.locate(DC, DPE, DOff);
-    D.peBase(DPE)[DOff] = Acc;
+  // Every destination element accumulates its own source line along the
+  // reduced axis, in axis order, independently of all others - so chunks
+  // of the destination position space run concurrently and the result is
+  // bit-identical to the serial sweep.
+  support::parallelChunks(
+      Pool, DG.totalElements(), [&](int64_t, int64_t Begin, int64_t End) {
+        std::vector<int64_t> Pos(DG.rank()), DC(DG.rank()), SC(SG.rank());
+        // Decompose the chunk's first linear position (row-major).
+        int64_t L = Begin;
+        for (size_t K = DG.rank(); K-- > 0;) {
+          Pos[K] = L % DG.Extents[K];
+          L /= DG.Extents[K];
+        }
+        for (int64_t Done = Begin; Done < End; ++Done) {
+          for (size_t K = 0, Out = 0; K < SG.rank(); ++K)
+            SC[K] = K == Axis ? 0 : Pos[Out++];
+          double Acc = 0;
+          int64_t CountTrue = 0;
+          for (int64_t K = 0; K < SG.Extents[Axis]; ++K) {
+            SC[Axis] = K;
+            int64_t PE, Off;
+            SG.locate(SC, PE, Off);
+            double V = S.peBase(PE)[Off];
+            switch (Op) {
+            case ReduceOp::Sum:
+              Acc += V;
+              break;
+            case ReduceOp::Product:
+              Acc = K == 0 ? V : Acc * V;
+              break;
+            case ReduceOp::Max:
+              Acc = K == 0 ? V : (V > Acc ? V : Acc);
+              break;
+            case ReduceOp::Min:
+              Acc = K == 0 ? V : (V < Acc ? V : Acc);
+              break;
+            case ReduceOp::Count:
+            case ReduceOp::Any:
+            case ReduceOp::All:
+              CountTrue += V != 0;
+              break;
+            }
+          }
+          if (Op == ReduceOp::Count)
+            Acc = static_cast<double>(CountTrue);
+          else if (Op == ReduceOp::Any)
+            Acc = CountTrue > 0 ? 1 : 0;
+          else if (Op == ReduceOp::All)
+            Acc = CountTrue == SG.Extents[Axis] ? 1 : 0;
+          if (D.Kind == ElemKind::Int)
+            Acc = std::trunc(Acc);
+          std::copy(Pos.begin(), Pos.end(), DC.begin());
+          int64_t DPE, DOff;
+          DG.locate(DC, DPE, DOff);
+          D.peBase(DPE)[DOff] = Acc;
 
-    bool Done = true;
-    for (size_t K = Pos.size(); K-- > 0;) {
-      if (++Pos[K] < DG.Extents[K]) {
-        Done = false;
-        break;
-      }
-      Pos[K] = 0;
-    }
-    if (Done)
-      break;
-  }
+          for (size_t K = Pos.size(); K-- > 0;) {
+            if (++Pos[K] < DG.Extents[K])
+              break;
+            Pos[K] = 0;
+          }
+        }
+      });
 
   // Cost: local vectorized accumulate over the source subgrid plus
   // log2(grid along the reduced axis) combine steps, then a redistribution
@@ -430,20 +540,25 @@ void CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
   assert(Axis < DG.rank() && DG.rank() == SG.rank() + 1 &&
          "spreadAlongDim rank mismatch");
 
-  std::vector<int64_t> Coord, SC(SG.rank());
-  for (int64_t PE = 0; PE < DG.GridPEs; ++PE) {
-    double *Out = D.peBase(PE);
-    for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
-      if (!DG.coordOf(PE, Off, Coord))
-        continue;
-      for (size_t K = 0, In = 0; K < DG.rank(); ++K)
-        if (K != Axis)
-          SC[In++] = Coord[K];
-      int64_t SPE, SOff;
-      SG.locate(SC, SPE, SOff);
-      Out[Off] = S.peBase(SPE)[SOff];
-    }
-  }
+  // Pure broadcast: destination PEs only read the source, so chunks of
+  // them run concurrently with no accounting to reduce.
+  support::parallelChunks(
+      Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
+        std::vector<int64_t> Coord, SC(SG.rank());
+        for (int64_t PE = Begin; PE < End; ++PE) {
+          double *Out = D.peBase(PE);
+          for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
+            if (!DG.coordOf(PE, Off, Coord))
+              continue;
+            for (size_t K = 0, In = 0; K < DG.rank(); ++K)
+              if (K != Axis)
+                SC[In++] = Coord[K];
+            int64_t SPE, SOff;
+            SG.locate(SC, SPE, SOff);
+            Out[Off] = S.peBase(SPE)[SOff];
+          }
+        }
+      });
   // Broadcast through the router (each source element fans out).
   Ledger.CommCycles +=
       Costs.CommStartupCycles +

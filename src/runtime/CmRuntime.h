@@ -26,6 +26,11 @@
 #include <vector>
 
 namespace f90y {
+
+namespace support {
+class ThreadPool;
+} // namespace support
+
 namespace runtime {
 
 /// Element kind of a parallel field (storage is double either way;
@@ -72,9 +77,23 @@ struct CycleLedger {
 enum class ReduceOp { Sum, Product, Max, Min, Count, Any, All };
 
 /// The runtime system instance owned by one program execution.
+///
+/// Communication ops (cshift/eoshift/transpose/sectionCopy/reduce/
+/// reduceAlongDim/spreadAlongDim) are element-parallel over destination
+/// PEs; when a host thread pool is attached they sweep destination chunks
+/// concurrently, with ledger charges reduced per chunk in deterministic
+/// chunk order (support/ThreadPool.h), so every thread count produces
+/// bit-identical data and cycle totals.
 class CmRuntime {
 public:
-  explicit CmRuntime(const cm2::CostModel &Costs) : Costs(Costs) {}
+  explicit CmRuntime(const cm2::CostModel &Costs,
+                     support::ThreadPool *Pool = nullptr)
+      : Costs(Costs), Pool(Pool) {}
+
+  /// The host worker pool used for destination-parallel sweeps (null:
+  /// inline serial execution with the identical chunk decomposition).
+  support::ThreadPool *threadPool() const { return Pool; }
+  void setThreadPool(support::ThreadPool *P) { Pool = P; }
 
   const cm2::CostModel &costs() const { return Costs; }
   CycleLedger &ledger() { return Ledger; }
@@ -90,6 +109,9 @@ public:
 
   /// Allocates a zero-filled field; returns its handle.
   int allocField(const Geometry *Geo, ElemKind Kind);
+  /// Releases \p Handle. Any coordinate-field cache entry for it is
+  /// dropped too, so a later coordField for the same geometry rebuilds
+  /// instead of returning a dangling handle.
   void freeField(int Handle);
   PeArray &field(int Handle);
   const PeArray &field(int Handle) const;
@@ -147,6 +169,7 @@ public:
 
 private:
   const cm2::CostModel &Costs;
+  support::ThreadPool *Pool = nullptr;
   CycleLedger Ledger;
   std::map<std::string, std::unique_ptr<Geometry>> Geometries;
   std::map<int, PeArray> Fields;

@@ -1,0 +1,90 @@
+//===- tests/parallel_exec_test.cpp - serial vs parallel equivalence --------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism contract of the host thread pool: every sample program
+/// run at --threads=8 must produce the exact output and cycle ledger of
+/// the --threads=1 serial run. Chunk decomposition depends only on
+/// problem size, and per-chunk partials are combined in chunk order, so
+/// this holds bitwise, not just approximately.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+std::string readProgram(const std::string &Name) {
+  std::string Path = std::string(F90Y_SOURCE_DIR) + "/examples/programs/" +
+                     Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+cm2::CostModel machine() {
+  cm2::CostModel C;
+  C.NumPEs = 256; // Enough PEs that every op spans many chunks.
+  return C;
+}
+
+struct RunResult {
+  std::string Output;
+  runtime::CycleLedger Ledger;
+};
+
+RunResult runWithThreads(const host::HostProgram &Program,
+                         unsigned Threads) {
+  Execution Exec(machine(), ExecutionOptions{Threads});
+  auto Report = Exec.run(Program);
+  EXPECT_TRUE(Report.has_value()) << Exec.diags().str();
+  RunResult R;
+  if (Report) {
+    R.Output = Report->Output;
+    R.Ledger = Report->Ledger;
+  }
+  return R;
+}
+
+class ParallelExecTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParallelExecTest, ThreadCountDoesNotChangeResults) {
+  CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, machine());
+  Compilation C(Opts);
+  ASSERT_TRUE(C.compile(readProgram(GetParam()))) << C.diags().str();
+
+  RunResult Serial = runWithThreads(C.artifacts().Compiled.Program, 1);
+  RunResult Parallel = runWithThreads(C.artifacts().Compiled.Program, 8);
+
+  EXPECT_EQ(Serial.Output, Parallel.Output);
+  EXPECT_EQ(Serial.Ledger.NodeCycles, Parallel.Ledger.NodeCycles);
+  EXPECT_EQ(Serial.Ledger.CallCycles, Parallel.Ledger.CallCycles);
+  EXPECT_EQ(Serial.Ledger.CommCycles, Parallel.Ledger.CommCycles);
+  EXPECT_EQ(Serial.Ledger.HostCycles, Parallel.Ledger.HostCycles);
+  EXPECT_EQ(Serial.Ledger.OverlappedCycles,
+            Parallel.Ledger.OverlappedCycles);
+  EXPECT_EQ(Serial.Ledger.Flops, Parallel.Ledger.Flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(SamplePrograms, ParallelExecTest,
+                         ::testing::Values("fig10.f90", "subroutines.f90",
+                                           "swe.f90"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           return Name.substr(0, Name.find('.'));
+                         });
+
+} // namespace

@@ -6,8 +6,11 @@
 
 #include "peac/Executor.h"
 #include "peac/Peac.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 using namespace f90y;
 using namespace f90y::peac;
@@ -281,6 +284,112 @@ TEST(PeacExec, PaddingLanesDoNotCountAsFlops) {
   ExecResult Res = execute(R, Args, C);
   EXPECT_EQ(Res.Flops, 6u);
   EXPECT_DOUBLE_EQ(Res.NodeCycles, 28.0); // Still 2 iterations of cycles.
+}
+
+/// Builds `z = x / y` (P0 = x, P1 = y, P2 = z).
+Routine buildDivRoutine() {
+  Routine R;
+  R.Name = "Pdiv";
+  R.NumPtrArgs = 3;
+  Instruction Load;
+  Load.Op = Opcode::FLodV;
+  Load.Srcs = {Operand::mem(0)};
+  Load.DstVReg = 1;
+  R.Body.push_back(Load);
+  Instruction Div;
+  Div.Op = Opcode::FDivV;
+  Div.Srcs = {Operand::vreg(1), Operand::mem(1)};
+  Div.DstVReg = 2;
+  R.Body.push_back(Div);
+  Instruction Store;
+  Store.Op = Opcode::FStrV;
+  Store.Srcs = {Operand::vreg(2)};
+  Store.HasMemDst = true;
+  Store.MemDst = Operand::mem(2);
+  R.Body.push_back(Store);
+  return R;
+}
+
+TEST(PeacExec, TailLanesDoNotStorePastSubgrid) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R = buildDivRoutine();
+  // VP = 6: the second iteration computes lanes 6 and 7 over padding
+  // (0/0 = NaN here), but those stores must be masked off — the padding
+  // sentinels survive untouched.
+  std::vector<double> X(8, 0), Y(8, 0), Z(8, -7);
+  for (int I = 0; I < 6; ++I) {
+    X[static_cast<size_t>(I)] = 2.0 * I;
+    Y[static_cast<size_t>(I)] = 2.0;
+  }
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 6;
+  Args.Ptrs = {{X.data(), 8, 0}, {Y.data(), 8, 0}, {Z.data(), 8, 0}};
+  execute(R, Args, C);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_DOUBLE_EQ(Z[static_cast<size_t>(I)], I) << I;
+  EXPECT_DOUBLE_EQ(Z[6], -7);
+  EXPECT_DOUBLE_EQ(Z[7], -7);
+}
+
+TEST(PeacExec, DivisionFollowsIEEE) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R = buildDivRoutine();
+  std::vector<double> X = {1, -1, 0, 8}, Y = {0, 0, 0, 2}, Z(4, 0);
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 4;
+  Args.Ptrs = {{X.data(), 4, 0}, {Y.data(), 4, 0}, {Z.data(), 4, 0}};
+  execute(R, Args, C);
+  EXPECT_TRUE(std::isinf(Z[0]) && Z[0] > 0) << Z[0];
+  EXPECT_TRUE(std::isinf(Z[1]) && Z[1] < 0) << Z[1];
+  EXPECT_TRUE(std::isnan(Z[2])) << Z[2];
+  EXPECT_DOUBLE_EQ(Z[3], 4);
+}
+
+TEST(PeacExec, ModByZeroIsNaN) {
+  cm2::CostModel C = smallMachine(1);
+  Routine R = buildDivRoutine();
+  R.Body[1].Op = Opcode::FModV;
+  std::vector<double> X = {5, 5, -5, 7}, Y = {0, 3, 3, 0}, Z(4, 0);
+  ExecArgs Args;
+  Args.NumPEs = 1;
+  Args.SubgridElems = 4;
+  Args.Ptrs = {{X.data(), 4, 0}, {Y.data(), 4, 0}, {Z.data(), 4, 0}};
+  execute(R, Args, C);
+  EXPECT_TRUE(std::isnan(Z[0])) << Z[0];
+  EXPECT_DOUBLE_EQ(Z[1], 2);
+  EXPECT_DOUBLE_EQ(Z[2], -2);
+  EXPECT_TRUE(std::isnan(Z[3])) << Z[3];
+}
+
+TEST(PeacExec, ParallelSweepMatchesSerial) {
+  cm2::CostModel C = smallMachine(16);
+  Routine R = buildAddRoutine();
+  const int64_t VP = 7; // Odd count so every PE has a masked tail.
+  const size_t Total = 16 * 8;
+  std::vector<double> X(Total), Y(Total);
+  for (size_t I = 0; I < Total; ++I) {
+    X[I] = std::sqrt(static_cast<double>(I));
+    Y[I] = 1.0 / (1.0 + static_cast<double>(I));
+  }
+  auto Run = [&](support::ThreadPool *Pool, std::vector<double> &Z,
+                 ExecResult &Res) {
+    ExecArgs Args;
+    Args.NumPEs = 16;
+    Args.SubgridElems = VP;
+    Args.Ptrs = {{X.data(), 8, 0}, {Y.data(), 8, 0}, {Z.data(), 8, 0}};
+    Res = execute(R, Args, C, Pool);
+  };
+  std::vector<double> ZSerial(Total, -3), ZPar(Total, -3);
+  ExecResult RSerial, RPar;
+  Run(nullptr, ZSerial, RSerial);
+  support::ThreadPool Pool(4);
+  Run(&Pool, ZPar, RPar);
+  EXPECT_EQ(ZSerial, ZPar); // Bitwise: operator== on doubles.
+  EXPECT_EQ(RSerial.Flops, RPar.Flops);
+  EXPECT_DOUBLE_EQ(RSerial.NodeCycles, RPar.NodeCycles);
+  EXPECT_DOUBLE_EQ(RSerial.CallCycles, RPar.CallCycles);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 
 #include "runtime/CmRuntime.h"
 #include "runtime/Geometry.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -242,6 +243,60 @@ TEST_F(RuntimeTest, FreeFieldReleasesHandle) {
   RT.freeField(H);
   int H2 = RT.allocField(G, ElemKind::Real);
   EXPECT_NE(H, H2);
+}
+
+TEST_F(RuntimeTest, FreeFieldEvictsCoordCache) {
+  // Regression: freeing a cached coordinate field used to leave the
+  // stale handle in the cache, so the next coordField for the same
+  // geometry+dim returned a dangling handle.
+  const Geometry *G = RT.getGeometry({6, 3}, {1, 1});
+  int C1 = RT.coordField(G, 1);
+  int C2 = RT.coordField(G, 2);
+  RT.freeField(C1);
+  int C1b = RT.coordField(G, 1);
+  EXPECT_NE(C1b, C1); // A fresh field, not the freed handle.
+  EXPECT_DOUBLE_EQ(at(C1b, {0, 0}), 1);
+  EXPECT_DOUBLE_EQ(at(C1b, {5, 2}), 6);
+  // The other dim's cache entry is untouched.
+  EXPECT_EQ(RT.coordField(G, 2), C2);
+  // Freeing a non-coordinate field does not disturb the cache.
+  int H = RT.allocField(G, ElemKind::Real);
+  RT.freeField(H);
+  EXPECT_EQ(RT.coordField(G, 1), C1b);
+}
+
+TEST_F(RuntimeTest, CommOpsMatchSerialUnderThreadPool) {
+  // The same op sequence on a pooled runtime must produce bit-identical
+  // data and ledger charges as the serial (no-pool) runtime.
+  support::ThreadPool Pool(4);
+  CmRuntime PRT{Costs, &Pool};
+
+  auto fill = [](CmRuntime &R) {
+    const Geometry *G = R.getGeometry({12, 20}, {1, 1});
+    int Src = R.allocField(G, ElemKind::Real);
+    std::vector<int64_t> Coord(2);
+    for (Coord[0] = 0; Coord[0] < 12; ++Coord[0])
+      for (Coord[1] = 0; Coord[1] < 20; ++Coord[1])
+        R.writeElement(Src, Coord,
+                       0.5 * static_cast<double>(Coord[0] * 20 + Coord[1]));
+    return Src;
+  };
+  int SA = fill(RT), SB = fill(PRT);
+  int DA = RT.allocField(RT.field(SA).Geo, ElemKind::Real);
+  int DB = PRT.allocField(PRT.field(SB).Geo, ElemKind::Real);
+
+  RT.ledger().reset();
+  PRT.ledger().reset();
+  RT.cshift(DA, SA, 1, 3);
+  PRT.cshift(DB, SB, 1, 3);
+  RT.eoshift(DA, SA, 2, -2);
+  PRT.eoshift(DB, SB, 2, -2);
+  double RedA = RT.reduce(ReduceOp::Sum, SA);
+  double RedB = PRT.reduce(ReduceOp::Sum, SB);
+
+  EXPECT_EQ(RedA, RedB); // Bitwise.
+  EXPECT_EQ(RT.field(DA).Data, PRT.field(DB).Data);
+  EXPECT_EQ(RT.ledger().CommCycles, PRT.ledger().CommCycles);
 }
 
 } // namespace

@@ -8,8 +8,13 @@
 #include "support/Diagnostics.h"
 #include "support/SourceLocation.h"
 #include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
 
 using namespace f90y;
 
@@ -119,6 +124,82 @@ TEST(StringUtil, IsDigits) {
   EXPECT_FALSE(isDigits(""));
   EXPECT_FALSE(isDigits("12a"));
   EXPECT_FALSE(isDigits("-1"));
+}
+
+TEST(ThreadPool, ChunkingCoversRangeOnce) {
+  const int64_t N = 1000;
+  support::ThreadPool Pool(4);
+  // Chunks are disjoint, so distinct threads touch distinct indices.
+  std::vector<int> Hits(static_cast<size_t>(N), 0);
+  support::parallelChunks(&Pool, N,
+                          [&](int64_t, int64_t Begin, int64_t End) {
+                            for (int64_t I = Begin; I < End; ++I)
+                              Hits[static_cast<size_t>(I)]++;
+                          });
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[static_cast<size_t>(I)], 1) << "index " << I;
+}
+
+TEST(ThreadPool, ChunkDecompositionIsSizeOnly) {
+  // The chunk count and size depend on N alone (never the thread count);
+  // this is the root of the determinism contract.
+  EXPECT_EQ(support::ThreadPool::numChunks(0), 0);
+  EXPECT_EQ(support::ThreadPool::numChunks(1), 1);
+  EXPECT_EQ(support::ThreadPool::chunkSize(1), 1);
+  const int64_t N = 2048;
+  int64_t CS = support::ThreadPool::chunkSize(N);
+  int64_t Chunks = support::ThreadPool::numChunks(N);
+  EXPECT_GE(Chunks * CS, N);
+  EXPECT_LT((Chunks - 1) * CS, N);
+}
+
+TEST(ThreadPool, OrderedReduceBitIdenticalAcrossPools) {
+  // A floating-point sum whose value depends on association order: any
+  // pool (including none) must produce the exact same bits because the
+  // chunk partials are combined in chunk-index order.
+  const int64_t N = 12345;
+  auto Map = [](int64_t Begin, int64_t End) {
+    double S = 0;
+    for (int64_t I = Begin; I < End; ++I)
+      S += std::sqrt(static_cast<double>(I)) * 1e-3;
+    return S;
+  };
+  auto Combine = [](double &Acc, double Part) { Acc += Part; };
+  double Ref = support::reduceChunksOrdered<double>(nullptr, N, Map,
+                                                    Combine);
+  for (unsigned T : {1u, 2u, 3u, 8u}) {
+    support::ThreadPool Pool(T);
+    double Got =
+        support::reduceChunksOrdered<double>(&Pool, N, Map, Combine);
+    EXPECT_EQ(Ref, Got) << "thread count " << T;
+  }
+}
+
+TEST(ThreadPool, NestedParallelRunsInline) {
+  support::ThreadPool Pool(4);
+  std::atomic<int64_t> Total{0};
+  support::parallelChunks(&Pool, 256,
+                          [&](int64_t, int64_t Begin, int64_t End) {
+                            // Reentrant use from a worker must not
+                            // deadlock; it degrades to inline execution.
+                            support::parallelChunks(
+                                &Pool, End - Begin,
+                                [&](int64_t, int64_t B2, int64_t E2) {
+                                  Total += E2 - B2;
+                                });
+                          });
+  EXPECT_EQ(Total.load(), 256);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  support::ThreadPool Pool(1);
+  int64_t Sum = 0; // No synchronization needed: everything runs inline.
+  support::parallelChunks(&Pool, 100,
+                          [&](int64_t, int64_t Begin, int64_t End) {
+                            for (int64_t I = Begin; I < End; ++I)
+                              Sum += I;
+                          });
+  EXPECT_EQ(Sum, 99 * 100 / 2);
 }
 
 } // namespace

@@ -16,6 +16,8 @@
 ///   -emit-host       print the generated host (FE) code and stop
 ///   -profile=NAME    f90y (default) | cmf | naive
 ///   -pes=N           number of simulated PEs (default 2048)
+///   -threads=N       host threads for the simulation sweep (default: all
+///                    hardware threads; results are identical at any N)
 ///   -cm5             use the CM/5 machine description
 ///   -stats           print the cycle ledger after the run
 ///
@@ -41,7 +43,7 @@ void usage() {
       stderr,
       "usage: f90yc [options] file.f90\n"
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
-      "  -profile=f90y|cmf|naive   -pes=N   -cm5   -stats\n");
+      "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n");
 }
 
 } // namespace
@@ -52,6 +54,7 @@ int main(int argc, char **argv) {
   Profile Prof = Profile::F90Y;
   bool Stats = false;
   cm2::CostModel Machine;
+  ExecutionOptions ExecOpts;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -69,6 +72,12 @@ int main(int argc, char **argv) {
       Machine = cm2::CostModel::cm5();
     else if (Arg.rfind("-pes=", 0) == 0)
       Machine.NumPEs = static_cast<unsigned>(std::atoi(Arg.c_str() + 5));
+    else if (Arg.rfind("-threads=", 0) == 0)
+      ExecOpts.Threads =
+          static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--threads=", 0) == 0)
+      ExecOpts.Threads =
+          static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     else if (Arg.rfind("-profile=", 0) == 0) {
       std::string P = Arg.substr(9);
       if (P == "f90y")
@@ -132,7 +141,7 @@ int main(int argc, char **argv) {
     break;
   }
 
-  Execution Exec(Machine);
+  Execution Exec(Machine, ExecOpts);
   auto Report = Exec.run(C.artifacts().Compiled.Program);
   if (!Report) {
     std::fprintf(stderr, "f90yc: runtime error:\n%s",
