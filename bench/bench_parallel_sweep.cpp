@@ -47,7 +47,9 @@ Sample runWithThreads(const host::HostProgram &Program,
   // Min of two runs: the simulation is deterministic, so variance is
   // host noise only.
   for (int Rep = 0; Rep < 2; ++Rep) {
-    Execution Exec(Machine, ExecutionOptions{Threads});
+    ExecutionOptions EOpts;
+    EOpts.Threads = Threads;
+    Execution Exec(Machine, EOpts);
     auto T0 = std::chrono::steady_clock::now();
     auto Report = Exec.run(Program);
     auto T1 = std::chrono::steady_clock::now();

@@ -73,6 +73,12 @@ struct CostModel {
   unsigned CommStartupCycles = 480;
   /// Per combine step of a tree reduction (log2 P steps).
   unsigned ReduceStepCycles = 40;
+  /// Base backoff charged per recovery attempt after an injected fault
+  /// (transient comm retry, corruption rollback, PEAC trap replay). The
+  /// k-th attempt of one operation charges k times this, on top of
+  /// re-running the operation itself, so the ledger reflects the full
+  /// price of recovery.
+  unsigned FaultRetryBackoffCycles = 240;
 
   //===--------------------------------------------------------------------===//
   // Fieldwise (*Lisp baseline) costs

@@ -67,11 +67,18 @@ bool Compilation::compile(const std::string &Source) {
 
 std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
   RT.ledger().reset();
+  // Restart the fault schedule from op 0 so repeated runs of one
+  // Execution are identical (the schedule is a pure function of the seed
+  // and the per-kind op streams).
+  if (Injector)
+    Injector->reset();
   if (!Exec.run(Program))
     return std::nullopt;
   RunReport Report;
   Report.Ledger = RT.ledger();
   Report.Output = Exec.output();
   Report.ClockMHz = Costs.ClockMHz;
+  if (Injector)
+    Report.Faults = Injector->counters();
   return Report;
 }

@@ -25,6 +25,7 @@
 #include "host/HostExecutor.h"
 #include "nir/NIRContext.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 #include "transform/Transforms.h"
 
@@ -88,6 +89,8 @@ struct RunReport {
   runtime::CycleLedger Ledger;
   std::string Output;
   double ClockMHz = 7.0;
+  /// Injection/recovery account of the run (all-zero without an injector).
+  support::FaultCounters Faults;
 
   double seconds() const { return Ledger.total() / (ClockMHz * 1e6); }
   double gflops() const {
@@ -110,6 +113,18 @@ struct ExecutionOptions {
   /// cycle ledger are bit-identical at every setting; 1 runs the sweep
   /// serially inline on the calling thread.
   unsigned Threads = 0;
+  /// Deterministic fault-injection schedule. All-zero probabilities (the
+  /// default) attach no injector at all: the zero-fault fast path is the
+  /// pre-injection runtime, bit for bit.
+  support::FaultSpec Faults;
+  /// Seed of the fault schedule. Injection decisions are drawn on the
+  /// host thread per (kind, op index), so one seed produces one schedule
+  /// - and bit-identical output, ledger, and counters - at every Threads
+  /// setting.
+  uint64_t FaultSeed = 0;
+  /// Watchdog: fail the run after this many executed host statements
+  /// (0 = unlimited).
+  uint64_t MaxSteps = 0;
 };
 
 /// Executes a compiled program on the simulated CM/2. The execution object
@@ -118,14 +133,25 @@ class Execution {
 public:
   explicit Execution(const cm2::CostModel &Costs, ExecutionOptions EOpts = {})
       : Costs(Costs), Pool(EOpts.Threads), RT(this->Costs, &Pool),
-        Exec(RT, Diags) {}
+        Exec(RT, Diags) {
+    if (EOpts.Faults.any()) {
+      Injector = std::make_unique<support::FaultInjector>(EOpts.Faults,
+                                                          EOpts.FaultSeed);
+      RT.setFaultInjector(Injector.get());
+    }
+    Exec.setMaxSteps(EOpts.MaxSteps);
+  }
 
   host::HostExecutor &executor() { return Exec; }
   runtime::CmRuntime &runtime() { return RT; }
   support::ThreadPool &pool() { return Pool; }
   DiagnosticEngine &diags() { return Diags; }
+  /// The attached injector, or null when no fault kind is enabled.
+  support::FaultInjector *faultInjector() { return Injector.get(); }
 
-  /// Runs \p Program; nullopt on a simulated runtime error.
+  /// Runs \p Program; nullopt on a simulated runtime error (including a
+  /// fault that recovery could not absorb - retries exhausted, simulated
+  /// OOM, or the watchdog limit).
   std::optional<RunReport> run(const host::HostProgram &Program);
 
 private:
@@ -134,6 +160,7 @@ private:
   DiagnosticEngine Diags;
   runtime::CmRuntime RT;
   host::HostExecutor Exec;
+  std::unique_ptr<support::FaultInjector> Injector;
 };
 
 } // namespace driver

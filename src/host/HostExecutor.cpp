@@ -9,8 +9,10 @@
 #include "lower/Lowering.h"
 #include "nir/Printer.h"
 #include "peac/Executor.h"
+#include "support/FaultInjector.h"
 
 #include <cmath>
+#include <utility>
 
 using namespace f90y;
 using namespace f90y::host;
@@ -62,6 +64,7 @@ bool HostExecutor::run(const HostProgram &Prog) {
   Program = &Prog;
   Output.clear();
   Failed = false;
+  Steps = 0;
   Scalars.clear();
   ScalarKinds.clear();
   FieldHandles.clear();
@@ -192,7 +195,10 @@ RtVal HostExecutor::evalScalar(const N::Value *V) {
         Op = runtime::ReduceOp::Any;
       else
         Op = runtime::ReduceOp::All;
-      double R = RT.reduce(Op, Handle);
+      support::RtResult<double> Red = RT.tryReduce(Op, Handle);
+      if (!checkComm(Red.status()))
+        return RtVal::makeInt(0);
+      double R = Red.value();
       if (Name == "count")
         return RtVal::makeInt(static_cast<int64_t>(R));
       if (Name == "any" || Name == "all")
@@ -219,6 +225,7 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
   peac::ExecArgs Args;
   Args.NumPEs = static_cast<unsigned>(Geo->GridPEs);
   Args.SubgridElems = Geo->SubgridElems;
+  std::vector<int> PtrHandles; ///< FieldPtr args, for trap rollback.
   for (const PeacArgSpec &A : S->args()) {
     switch (A.K) {
     case PeacArgSpec::Kind::FieldPtr: {
@@ -234,6 +241,7 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
               "' has a different geometry than the computation block");
         return;
       }
+      PtrHandles.push_back(Handle);
       Args.Ptrs.push_back(
           {F.Data.data(), static_cast<size_t>(Geo->PaddedSubgrid), 0});
       break;
@@ -253,12 +261,42 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
   if (Failed)
     return;
 
-  peac::ExecResult Res =
-      peac::execute(R, Args, RT.costs(), RT.threadPool());
+  // Checkpoint the writable pointer arguments when node traps are in
+  // play: a trapped dispatch leaves real partial stores from the PEs that
+  // ran before the fault, and the replay must start from clean state.
+  // Coordinate subgrids are compiler-materialized constants no routine
+  // writes, so they need no checkpoint.
+  support::FaultInjector *FI = RT.faultInjector();
+  const bool TrapsEnabled =
+      FI && (FI->enabled(support::FaultKind::PeTrap) ||
+             FI->enabled(support::FaultKind::FpuException));
+  std::vector<std::pair<int, std::vector<double>>> Ckpts;
+  if (TrapsEnabled)
+    for (int Handle : PtrHandles)
+      Ckpts.emplace_back(Handle, RT.snapshotField(Handle));
+
   runtime::CycleLedger &L = RT.ledger();
-  L.NodeCycles += Res.NodeCycles;
-  L.CallCycles += Res.CallCycles;
-  L.Flops += Res.Flops;
+  peac::ExecResult Res;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    Res = peac::execute(R, Args, RT.costs(), RT.threadPool(), FI);
+    // Each attempt charges in full: the machine really ran (and, on a
+    // trap, really trapped), so replays make the ledger strictly larger.
+    L.NodeCycles += Res.NodeCycles;
+    L.CallCycles += Res.CallCycles;
+    L.Flops += Res.Flops;
+    if (Res.Status.isOk())
+      break;
+    if (Attempt > runtime::CmRuntime::MaxFaultRetries) {
+      error("PEAC dispatch of '" + R.Name +
+            "' failed permanently: " + Res.Status.str());
+      return;
+    }
+    for (const auto &[Handle, Saved] : Ckpts)
+      RT.restoreField(Handle, Saved);
+    ++FI->counters().Replays;
+    L.CallCycles += static_cast<double>(RT.costs().FaultRetryBackoffCycles) *
+                    Attempt;
+  }
 
   if (OverlapCommCompute) {
     std::set<std::string> Touched;
@@ -272,6 +310,11 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
 void HostExecutor::exec(const HostStmt *S) {
   if (Failed || !S)
     return;
+  if (MaxSteps && ++Steps > MaxSteps) {
+    error("watchdog: run exceeded the -max-steps limit of " +
+          std::to_string(MaxSteps) + " host statements");
+    return;
+  }
   runtime::CycleLedger &L = RT.ledger();
 
   switch (S->getKind()) {
@@ -283,7 +326,13 @@ void HostExecutor::exec(const HostStmt *S) {
     const auto *A = cast<AllocScopeStmt>(S);
     for (const auto &F : A->fields()) {
       const runtime::Geometry *Geo = RT.getGeometry(F.Extents, F.Los);
-      int Handle = RT.allocField(Geo, F.Kind);
+      support::RtResult<int> Alloc = RT.tryAllocField(Geo, F.Kind);
+      if (!Alloc.isOk()) {
+        error("allocation of array '" + F.Name +
+              "' failed: " + Alloc.status().str());
+        return;
+      }
+      int Handle = Alloc.value();
       FieldHandles[F.Name] = Handle;
       auto Preset = PresetArrays.find(F.Name);
       if (Preset != PresetArrays.end()) {
@@ -391,10 +440,11 @@ void HostExecutor::exec(const HostStmt *S) {
       return;
     }
     double Before = L.CommCycles;
-    if (C->isEndOff())
-      RT.eoshift(Dst, Src, C->dim(), C->shift());
-    else
-      RT.cshift(Dst, Src, C->dim(), C->shift());
+    support::RtStatus St = C->isEndOff()
+                               ? RT.eoshift(Dst, Src, C->dim(), C->shift())
+                               : RT.cshift(Dst, Src, C->dim(), C->shift());
+    if (!checkComm(St))
+      return;
     beginPendingComm(L.CommCycles - Before, C->dst(), C->src());
     return;
   }
@@ -406,7 +456,8 @@ void HostExecutor::exec(const HostStmt *S) {
       return;
     }
     double Before = L.CommCycles;
-    RT.sectionCopy(Dst, C->dstSec(), Src, C->srcSec());
+    if (!checkComm(RT.sectionCopy(Dst, C->dstSec(), Src, C->srcSec())))
+      return;
     beginPendingComm(L.CommCycles - Before, C->dst(), C->src());
     return;
   }
@@ -418,7 +469,8 @@ void HostExecutor::exec(const HostStmt *S) {
       return;
     }
     double Before = L.CommCycles;
-    RT.transpose(Dst, Src);
+    if (!checkComm(RT.transpose(Dst, Src)))
+      return;
     beginPendingComm(L.CommCycles - Before, T->dst(), T->src());
     return;
   }
@@ -430,13 +482,16 @@ void HostExecutor::exec(const HostStmt *S) {
       error("reduction over unallocated array '" + R->src() + "'");
       return;
     }
-    double V = RT.reduce(R->op(), Src);
+    support::RtResult<double> V = RT.tryReduce(R->op(), Src);
+    if (!checkComm(V.status()))
+      return;
     auto KindIt = ScalarKinds.find(R->dstScalar());
     if (KindIt == ScalarKinds.end()) {
       error("reduction into unallocated scalar '" + R->dstScalar() + "'");
       return;
     }
-    Scalars[R->dstScalar()] = convertFor(RtVal::makeReal(V), KindIt->second);
+    Scalars[R->dstScalar()] =
+        convertFor(RtVal::makeReal(V.value()), KindIt->second);
     return;
   }
   case HostStmt::Kind::ReduceDim: {
@@ -447,7 +502,8 @@ void HostExecutor::exec(const HostStmt *S) {
       return;
     }
     double Before = L.CommCycles;
-    RT.reduceAlongDim(R->op(), Dst, Src, R->dim());
+    if (!checkComm(RT.reduceAlongDim(R->op(), Dst, Src, R->dim())))
+      return;
     beginPendingComm(L.CommCycles - Before, R->dst(), R->src());
     return;
   }
@@ -459,7 +515,8 @@ void HostExecutor::exec(const HostStmt *S) {
       return;
     }
     double Before = L.CommCycles;
-    RT.spreadAlongDim(Dst, Src, Sp->dim());
+    if (!checkComm(RT.spreadAlongDim(Dst, Src, Sp->dim())))
+      return;
     beginPendingComm(L.CommCycles - Before, Sp->dst(), Sp->src());
     return;
   }
@@ -562,7 +619,10 @@ void HostExecutor::exec(const HostStmt *S) {
             error("PRINT of unallocated array '" + AV->getId() + "'");
             return;
           }
-          Line += RT.renderField(Handle);
+          support::RtResult<std::string> Rendered = RT.tryRenderField(Handle);
+          if (!checkComm(Rendered.status()))
+            return;
+          Line += Rendered.value();
           continue;
         }
       }

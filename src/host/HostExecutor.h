@@ -18,7 +18,9 @@
 #include "host/HostIR.h"
 #include "interp/RtValue.h"
 #include "support/Diagnostics.h"
+#include "support/RtStatus.h"
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <optional>
@@ -36,6 +38,10 @@ public:
 
   /// Executes \p Program to completion; false on a runtime error.
   bool run(const HostProgram &Program);
+
+  /// Watchdog: abort (as a runtime error) after \p N executed host
+  /// statements. 0 disables the limit.
+  void setMaxSteps(uint64_t N) { MaxSteps = N; }
 
   /// Enables the Section 5.3.2 extension model: communication may proceed
   /// concurrently with subsequent PEAC computation that touches none of
@@ -65,6 +71,8 @@ private:
   const HostProgram *Program = nullptr;
   std::string Output;
   bool Failed = false;
+  uint64_t MaxSteps = 0; ///< Watchdog statement limit (0: unlimited).
+  uint64_t Steps = 0;    ///< Statements executed so far this run.
 
   std::map<std::string, interp::RtVal> Scalars;
   std::map<std::string, runtime::ElemKind> ScalarKinds;
@@ -104,6 +112,15 @@ private:
     if (!Failed)
       Diags.error(SourceLocation(), Msg);
     Failed = true;
+  }
+
+  /// Folds a communication status into the run: true when Ok, otherwise
+  /// reports the (already retried and still failing) fault and fails.
+  bool checkComm(const support::RtStatus &St) {
+    if (St.isOk())
+      return true;
+    error("unrecovered communication fault: " + St.str());
+    return false;
   }
 
   void exec(const HostStmt *S);

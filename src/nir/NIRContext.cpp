@@ -6,6 +6,8 @@
 
 #include "nir/NIRContext.h"
 
+#include "support/RtStatus.h"
+
 using namespace f90y;
 using namespace f90y::nir;
 
@@ -32,8 +34,8 @@ const ScalarType *NIRContext::getScalarType(Type::Kind K) const {
   case Type::Kind::DField:
     break;
   }
-  assert(false && "getScalarType called with DField kind");
-  return nullptr;
+  support::checkFailed("scalar kind", "getScalarType called with DField kind",
+                       __FILE__, __LINE__);
 }
 
 const DFieldType *NIRContext::getDField(const Shape *S, const Type *Elem) {
@@ -72,12 +74,12 @@ NIRContext::getSection(std::vector<SectionTriplet> Triplets) {
 
 const BinaryValue *NIRContext::getBinary(BinaryOp Op, const Value *L,
                                          const Value *R) {
-  assert(L && R && "binary operands must be non-null");
+  F90Y_CHECK(L && R, "binary operands must be non-null");
   return make<BinaryValue>(Op, L, R);
 }
 
 const UnaryValue *NIRContext::getUnary(UnaryOp Op, const Value *V) {
-  assert(V && "unary operand must be non-null");
+  F90Y_CHECK(V, "unary operand must be non-null");
   return make<UnaryValue>(Op, V);
 }
 
@@ -109,13 +111,13 @@ const FcnCallValue *NIRContext::getFcnCall(std::string Callee,
 
 const AVarValue *NIRContext::getAVar(std::string Id,
                                      const FieldAction *Action) {
-  assert(Action && "AVAR requires a field action");
+  F90Y_CHECK(Action, "AVAR requires a field action");
   return make<AVarValue>(std::move(Id), Action);
 }
 
 const LocalCoordValue *NIRContext::getLocalCoord(std::string Domain,
                                                  unsigned Dim) {
-  assert(Dim >= 1 && "local_under dimensions are 1-based");
+  F90Y_CHECK(Dim >= 1, "local_under dimensions are 1-based");
   return make<LocalCoordValue>(std::move(Domain), Dim);
 }
 

@@ -6,11 +6,11 @@
 
 #include "peac/Executor.h"
 
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cmath>
 
 using namespace f90y;
@@ -180,9 +180,14 @@ void runPE(const Routine &R, const ExecArgs &Args,
 
 ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
                          const cm2::CostModel &Costs,
-                         support::ThreadPool *Pool) {
+                         support::ThreadPool *Pool,
+                         support::FaultInjector *FI) {
+  using support::FaultKind;
+  using support::RtCode;
+  using support::RtStatus;
+
   const unsigned Width = Costs.VectorWidth;
-  assert(Width <= MaxWidth && "vector width exceeds executor lanes");
+  F90Y_CHECK(Width <= MaxWidth, "vector width exceeds executor lanes");
   ExecResult Result;
 
   const int64_t Iters =
@@ -205,6 +210,31 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
       Args.SubgridElems <= 0
           ? 0
           : FlopsPerElem * static_cast<uint64_t>(Args.SubgridElems);
+
+  // Injected node faults. Both decisions are drawn on the calling (host)
+  // thread and both streams advance once per dispatch regardless of the
+  // outcome, so the schedule is independent of thread count and of which
+  // kinds are enabled together. A fired fault aborts the dispatch: the
+  // PEs before the (deterministically chosen) faulting one have already
+  // swept their subgrids - real partial stores the caller must roll back
+  // - and the full cycle charge stands, but no useful flops are counted.
+  if (FI) {
+    uint64_t TrapRaw = 0, FpuRaw = 0;
+    const bool Trap = FI->fire(FaultKind::PeTrap, &TrapRaw);
+    const bool Fpu = FI->fire(FaultKind::FpuException, &FpuRaw);
+    if (Trap || Fpu) {
+      const unsigned FaultPE = static_cast<unsigned>(
+          (Trap ? TrapRaw : FpuRaw) % (Args.NumPEs ? Args.NumPEs : 1));
+      for (unsigned PE = 0; PE < FaultPE; ++PE)
+        runPE(R, Args, Costs, PE, Width, Iters);
+      Result.Status = RtStatus::fault(
+          Trap ? RtCode::PeTrap : RtCode::FpuFault,
+          std::string(Trap ? "PE trap" : "FPU exception") + " on PE " +
+              std::to_string(FaultPE) + " during PEAC routine '" + R.Name +
+              "'");
+      return Result;
+    }
+  }
 
   // Functional sweep. PEs are data-parallel (each touches only its own
   // subgrid slice of every pointer binding), so chunks of PEs run

@@ -17,6 +17,7 @@
 #define F90Y_PEAC_EXECUTOR_H
 
 #include "peac/Peac.h"
+#include "support/RtStatus.h"
 
 #include <cstdint>
 #include <vector>
@@ -25,6 +26,7 @@ namespace f90y {
 
 namespace support {
 class ThreadPool;
+class FaultInjector;
 } // namespace support
 
 namespace peac {
@@ -52,6 +54,12 @@ struct ExecResult {
   double NodeCycles = 0;  ///< Sequencer cycles spent in the subgrid loop.
   double CallCycles = 0;  ///< Dispatch + IFIFO argument cycles.
   uint64_t Flops = 0;     ///< Floating ops executed (all PEs, real lanes).
+  /// Non-Ok when an injected PE trap or FPU exception aborted the sweep.
+  /// Cycles are still charged (the machine ran until the trap) but Flops
+  /// stays zero - a trapped dispatch produced no useful work. PEs below
+  /// the faulting one have already stored results, so the caller must
+  /// roll its pointer arguments back before replaying the dispatch.
+  support::RtStatus Status;
   double totalCycles() const { return NodeCycles + CallCycles; }
 };
 
@@ -69,9 +77,16 @@ struct ExecResult {
 /// Tail padding lanes of the last vector iteration may compute such
 /// values, but their stores to subgrid memory are masked to
 /// Args.SubgridElems, so padding is never written with them.
+///
+/// When \p FI is non-null, each dispatch consults it (on the calling host
+/// thread, so the fault schedule is thread-count independent) for a PE
+/// trap and an FPU exception before the sweep; a fired fault picks a
+/// deterministic faulting PE, completes only the PEs before it, and
+/// returns with ExecResult::Status non-Ok.
 ExecResult execute(const Routine &R, const ExecArgs &Args,
                    const cm2::CostModel &Costs,
-                   support::ThreadPool *Pool = nullptr);
+                   support::ThreadPool *Pool = nullptr,
+                   support::FaultInjector *FI = nullptr);
 
 } // namespace peac
 } // namespace f90y

@@ -6,15 +6,21 @@
 
 #include "runtime/CmRuntime.h"
 
+#include "support/FaultInjector.h"
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <new>
 
 using namespace f90y;
 using namespace f90y::runtime;
+using support::FaultInjector;
+using support::FaultKind;
+using support::RtCode;
+using support::RtResult;
+using support::RtStatus;
 
 const Geometry *CmRuntime::getGeometry(const std::vector<int64_t> &Extents,
                                        const std::vector<int64_t> &Los) {
@@ -31,14 +37,39 @@ const Geometry *CmRuntime::getGeometry(const std::vector<int64_t> &Extents,
   return Raw;
 }
 
-int CmRuntime::allocField(const Geometry *Geo, ElemKind Kind) {
+RtResult<int> CmRuntime::tryAllocField(const Geometry *Geo, ElemKind Kind) {
+  size_t Elems = static_cast<size_t>(Geo->GridPEs * Geo->PaddedSubgrid);
+  if (Injector && Injector->fire(FaultKind::AllocOom))
+    return RtStatus::fault(
+        RtCode::OutOfMemory,
+        "parallel heap exhausted allocating " + std::to_string(Elems) +
+            " elements for geometry " + Geo->signature());
   PeArray A;
   A.Geo = Geo;
   A.Kind = Kind;
-  A.Data.assign(static_cast<size_t>(Geo->GridPEs * Geo->PaddedSubgrid), 0.0);
+  try {
+    A.Data.assign(Elems, 0.0);
+  } catch (const std::bad_alloc &) {
+    return RtStatus::fault(RtCode::OutOfMemory,
+                           "host allocation of " + std::to_string(Elems) +
+                               " elements failed for geometry " +
+                               Geo->signature());
+  }
   int Handle = NextHandle++;
   Fields[Handle] = std::move(A);
   return Handle;
+}
+
+int CmRuntime::allocField(const Geometry *Geo, ElemKind Kind) {
+  // Compiler-internal and scaffolding allocations (coordinate subgrids,
+  // tests, benchmarks) bypass OOM injection: the fault model targets
+  // program field allocations, which go through tryAllocField.
+  FaultInjector *Saved = Injector;
+  Injector = nullptr;
+  RtResult<int> R = tryAllocField(Geo, Kind);
+  Injector = Saved;
+  F90Y_CHECK(R.isOk(), "unrecoverable internal field allocation failure");
+  return R.value();
 }
 
 void CmRuntime::freeField(int Handle) {
@@ -56,14 +87,84 @@ void CmRuntime::freeField(int Handle) {
 
 PeArray &CmRuntime::field(int Handle) {
   auto It = Fields.find(Handle);
-  assert(It != Fields.end() && "use of a freed or invalid field handle");
+  F90Y_CHECK(It != Fields.end(), "use of a freed or invalid field handle");
   return It->second;
 }
 
 const PeArray &CmRuntime::field(int Handle) const {
   auto It = Fields.find(Handle);
-  assert(It != Fields.end() && "use of a freed or invalid field handle");
+  F90Y_CHECK(It != Fields.end(), "use of a freed or invalid field handle");
   return It->second;
+}
+
+bool CmRuntime::isLiveField(int Handle) const {
+  return Fields.count(Handle) != 0;
+}
+
+std::vector<double> CmRuntime::snapshotField(int Handle) const {
+  return field(Handle).Data;
+}
+
+void CmRuntime::restoreField(int Handle, const std::vector<double> &Saved) {
+  PeArray &A = field(Handle);
+  F90Y_CHECK(Saved.size() == A.Data.size(),
+             "field checkpoint does not match the field's storage size");
+  // In-place copy: live PEAC pointer bindings into Data stay valid.
+  std::copy(Saved.begin(), Saved.end(), A.Data.begin());
+  if (Injector)
+    ++Injector->counters().Rollbacks;
+}
+
+RtStatus CmRuntime::runFaultableComm(FaultKind Transient, const char *OpName,
+                                     int DstHandle,
+                                     const std::function<void()> &Sweep) {
+  FaultInjector *FI = Injector;
+  if (!FI) { // Zero-fault fast path: no gates, no checkpoint.
+    Sweep();
+    return RtStatus::ok();
+  }
+
+  // Transient pre-transfer faults (dropped router message, grid-link
+  // timeout): the op fails before any data moves, charges the startup it
+  // wasted plus an escalating backoff, and is retried.
+  for (unsigned Attempt = 1; FI->fire(Transient); ++Attempt) {
+    Ledger.CommCycles +=
+        Costs.CommStartupCycles +
+        static_cast<double>(Costs.FaultRetryBackoffCycles) * Attempt;
+    if (Attempt > MaxFaultRetries)
+      return RtStatus::fault(
+          RtCode::CommFault,
+          std::string(OpName) + ": " +
+              (Transient == FaultKind::RouterDrop
+                   ? "router message dropped on "
+                   : "NEWS grid link timed out on ") +
+              std::to_string(Attempt) + " consecutive attempts; giving up");
+    ++FI->counters().Retries;
+  }
+
+  // The transfer itself, with end-to-end corruption detection. A
+  // corrupted transfer rolls the destination back to its pre-op
+  // checkpoint and redoes the whole sweep (recharging its cycles: the
+  // machine really repeats the work).
+  std::vector<double> Ckpt;
+  if (FI->enabled(FaultKind::Corruption) && DstHandle >= 0)
+    Ckpt = snapshotField(DstHandle);
+  for (unsigned Attempt = 1;; ++Attempt) {
+    Sweep();
+    if (!FI->fire(FaultKind::Corruption))
+      return RtStatus::ok();
+    if (Attempt > MaxFaultRetries)
+      return RtStatus::fault(RtCode::DataCorrupt,
+                             std::string(OpName) +
+                                 ": transfer checksum failed on " +
+                                 std::to_string(Attempt) +
+                                 " consecutive attempts; giving up");
+    if (DstHandle >= 0)
+      restoreField(DstHandle, Ckpt);
+    ++FI->counters().Retries;
+    Ledger.CommCycles +=
+        static_cast<double>(Costs.FaultRetryBackoffCycles) * Attempt;
+  }
 }
 
 int CmRuntime::coordField(const Geometry *Geo, unsigned Dim) {
@@ -130,12 +231,12 @@ int64_t CmRuntime::hopDistance(const Geometry &Geo, int64_t FromPE,
   return Fwd < N - Fwd ? Fwd : N - Fwd;
 }
 
-void CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
+RtStatus CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   PeArray &D = field(Dst);
   PeArray Snapshot;
   const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
   const Geometry &Geo = *D.Geo;
-  assert(S.Geo->Extents == Geo.Extents && "cshift requires a common shape");
+  F90Y_CHECK(S.Geo->Extents == Geo.Extents, "cshift requires a common shape");
   size_t Axis = static_cast<size_t>(Dim - 1);
   int64_t N = Geo.Extents[Axis];
 
@@ -143,44 +244,46 @@ void CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   // Wire time is accumulated as integer hop counts per chunk and combined
   // in chunk order: the ledger charge is exact and thread-count
   // independent.
-  struct Part {
-    int64_t LocalElems = 0;
-    int64_t WireHops = 0;
-  };
-  Part Total = support::reduceChunksOrdered<Part>(
-      Pool, Geo.GridPEs,
-      [&](int64_t Begin, int64_t End) {
-        Part P;
-        std::vector<int64_t> Coord;
-        for (int64_t PE = Begin; PE < End; ++PE) {
-          double *Out = D.peBase(PE);
-          for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
-            if (!Geo.coordOf(PE, Off, Coord))
-              continue;
-            Coord[Axis] = ((Coord[Axis] + Shift) % N + N) % N;
-            int64_t SrcPE, SrcOff;
-            Geo.locate(Coord, SrcPE, SrcOff);
-            Out[Off] = S.peBase(SrcPE)[SrcOff];
-            if (SrcPE == PE)
-              ++P.LocalElems;
-            else
-              P.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
+  return runFaultableComm(FaultKind::GridTimeout, "cshift", Dst, [&] {
+    struct Part {
+      int64_t LocalElems = 0;
+      int64_t WireHops = 0;
+    };
+    Part Total = support::reduceChunksOrdered<Part>(
+        Pool, Geo.GridPEs,
+        [&](int64_t Begin, int64_t End) {
+          Part P;
+          std::vector<int64_t> Coord;
+          for (int64_t PE = Begin; PE < End; ++PE) {
+            double *Out = D.peBase(PE);
+            for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+              if (!Geo.coordOf(PE, Off, Coord))
+                continue;
+              Coord[Axis] = ((Coord[Axis] + Shift) % N + N) % N;
+              int64_t SrcPE, SrcOff;
+              Geo.locate(Coord, SrcPE, SrcOff);
+              Out[Off] = S.peBase(SrcPE)[SrcOff];
+              if (SrcPE == PE)
+                ++P.LocalElems;
+              else
+                P.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
+            }
           }
-        }
-        return P;
-      },
-      [](Part &Acc, const Part &P) {
-        Acc.LocalElems += P.LocalElems;
-        Acc.WireHops += P.WireHops;
-      });
-  Ledger.CommCycles +=
-      Costs.CommStartupCycles +
-      (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
-       Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
-          static_cast<double>(Geo.GridPEs);
+          return P;
+        },
+        [](Part &Acc, const Part &P) {
+          Acc.LocalElems += P.LocalElems;
+          Acc.WireHops += P.WireHops;
+        });
+    Ledger.CommCycles +=
+        Costs.CommStartupCycles +
+        (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
+         Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
+            static_cast<double>(Geo.GridPEs);
+  });
 }
 
-void CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
+RtStatus CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   PeArray &D = field(Dst);
   PeArray Snapshot;
   const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
@@ -189,160 +292,168 @@ void CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   int64_t N = Geo.Extents[Axis];
 
   // Same destination-parallel sweep and exact hop accounting as cshift.
-  struct Part {
-    int64_t LocalElems = 0;
-    int64_t WireHops = 0;
-  };
-  Part Total = support::reduceChunksOrdered<Part>(
-      Pool, Geo.GridPEs,
-      [&](int64_t Begin, int64_t End) {
-        Part P;
-        std::vector<int64_t> Coord;
-        for (int64_t PE = Begin; PE < End; ++PE) {
-          double *Out = D.peBase(PE);
-          for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
-            if (!Geo.coordOf(PE, Off, Coord))
-              continue;
-            int64_t C = Coord[Axis] + Shift;
-            if (C < 0 || C >= N) {
-              Out[Off] = 0.0;
-              continue;
+  return runFaultableComm(FaultKind::GridTimeout, "eoshift", Dst, [&] {
+    struct Part {
+      int64_t LocalElems = 0;
+      int64_t WireHops = 0;
+    };
+    Part Total = support::reduceChunksOrdered<Part>(
+        Pool, Geo.GridPEs,
+        [&](int64_t Begin, int64_t End) {
+          Part P;
+          std::vector<int64_t> Coord;
+          for (int64_t PE = Begin; PE < End; ++PE) {
+            double *Out = D.peBase(PE);
+            for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+              if (!Geo.coordOf(PE, Off, Coord))
+                continue;
+              int64_t C = Coord[Axis] + Shift;
+              if (C < 0 || C >= N) {
+                Out[Off] = 0.0;
+                continue;
+              }
+              Coord[Axis] = C;
+              int64_t SrcPE, SrcOff;
+              Geo.locate(Coord, SrcPE, SrcOff);
+              Out[Off] = S.peBase(SrcPE)[SrcOff];
+              if (SrcPE == PE)
+                ++P.LocalElems;
+              else
+                P.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
             }
-            Coord[Axis] = C;
-            int64_t SrcPE, SrcOff;
-            Geo.locate(Coord, SrcPE, SrcOff);
-            Out[Off] = S.peBase(SrcPE)[SrcOff];
-            if (SrcPE == PE)
-              ++P.LocalElems;
-            else
-              P.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
           }
-        }
-        return P;
-      },
-      [](Part &Acc, const Part &P) {
-        Acc.LocalElems += P.LocalElems;
-        Acc.WireHops += P.WireHops;
-      });
-  Ledger.CommCycles +=
-      Costs.CommStartupCycles +
-      (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
-       Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
-          static_cast<double>(Geo.GridPEs);
+          return P;
+        },
+        [](Part &Acc, const Part &P) {
+          Acc.LocalElems += P.LocalElems;
+          Acc.WireHops += P.WireHops;
+        });
+    Ledger.CommCycles +=
+        Costs.CommStartupCycles +
+        (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
+         Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
+            static_cast<double>(Geo.GridPEs);
+  });
 }
 
-void CmRuntime::transpose(int Dst, int Src) {
+RtStatus CmRuntime::transpose(int Dst, int Src) {
   PeArray &D = field(Dst);
   PeArray Snapshot;
   const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
   const Geometry &DG = *D.Geo, &SG = *S.Geo;
-  assert(DG.rank() == 2 && SG.rank() == 2 && "transpose requires rank 2");
+  F90Y_CHECK(DG.rank() == 2 && SG.rank() == 2, "transpose requires rank 2");
 
-  support::parallelChunks(
-      Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
-        std::vector<int64_t> Coord, SrcCoord(2);
-        for (int64_t PE = Begin; PE < End; ++PE) {
-          double *Out = D.peBase(PE);
-          for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
-            if (!DG.coordOf(PE, Off, Coord))
-              continue;
-            SrcCoord[0] = Coord[1];
-            SrcCoord[1] = Coord[0];
-            int64_t SrcPE, SrcOff;
-            SG.locate(SrcCoord, SrcPE, SrcOff);
-            Out[Off] = S.peBase(SrcPE)[SrcOff];
+  return runFaultableComm(FaultKind::RouterDrop, "transpose", Dst, [&] {
+    support::parallelChunks(
+        Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
+          std::vector<int64_t> Coord, SrcCoord(2);
+          for (int64_t PE = Begin; PE < End; ++PE) {
+            double *Out = D.peBase(PE);
+            for (int64_t Off = 0; Off < DG.SubgridElems; ++Off) {
+              if (!DG.coordOf(PE, Off, Coord))
+                continue;
+              SrcCoord[0] = Coord[1];
+              SrcCoord[1] = Coord[0];
+              int64_t SrcPE, SrcOff;
+              SG.locate(SrcCoord, SrcPE, SrcOff);
+              Out[Off] = S.peBase(SrcPE)[SrcOff];
+            }
           }
-        }
-      });
-  // Transpose goes through the router; charge the per-element cost spread
-  // across the machine (all PEs inject concurrently).
-  Ledger.CommCycles +=
-      Costs.CommStartupCycles +
-      Costs.RouterPerElem * static_cast<double>(DG.totalElements()) /
-          static_cast<double>(DG.GridPEs);
+        });
+    // Transpose goes through the router; charge the per-element cost
+    // spread across the machine (all PEs inject concurrently).
+    Ledger.CommCycles +=
+        Costs.CommStartupCycles +
+        Costs.RouterPerElem * static_cast<double>(DG.totalElements()) /
+            static_cast<double>(DG.GridPEs);
+  });
 }
 
-void CmRuntime::sectionCopy(int Dst, const std::vector<SectionDim> &DstSec,
-                            int Src,
-                            const std::vector<SectionDim> &SrcSec) {
+RtStatus CmRuntime::sectionCopy(int Dst,
+                                const std::vector<SectionDim> &DstSec,
+                                int Src,
+                                const std::vector<SectionDim> &SrcSec) {
   PeArray &D = field(Dst);
   const PeArray &S = field(Src);
   const Geometry &DG = *D.Geo, &SG = *S.Geo;
-  assert(DstSec.size() == DG.rank() && SrcSec.size() == SG.rank() &&
-         "section rank mismatch");
+  F90Y_CHECK(DstSec.size() == DG.rank() && SrcSec.size() == SG.rank(),
+             "section rank mismatch");
 
   // Iterate the section's position space.
   int64_t Total = 1;
   for (const SectionDim &SD : DstSec)
     Total *= SD.Count;
   if (Total == 0)
-    return;
+    return RtStatus::ok();
 
-  // Buffer destination values first: overlapping src/dst sections of the
-  // same array keep Fortran vector semantics. The gather runs in parallel
-  // over chunks of the section's linear position space (each position owns
-  // its own Writes slot); the buffered writes are applied serially so
-  // degenerate sections with repeated destination positions keep the
-  // serial last-write order.
-  std::vector<std::pair<size_t, double>> Writes(static_cast<size_t>(Total));
-  struct Part {
-    int64_t LocalElems = 0;
-    int64_t RemoteElems = 0;
-  };
-  Part Counts = support::reduceChunksOrdered<Part>(
-      Pool, Total,
-      [&](int64_t Begin, int64_t End) {
-        Part P;
-        std::vector<int64_t> Pos(DstSec.size());
-        std::vector<int64_t> DC(DstSec.size()), SC(SrcSec.size());
-        // Decompose the chunk's first linear position (row-major).
-        int64_t L = Begin;
-        for (size_t K = DstSec.size(); K-- > 0;) {
-          Pos[K] = L % DstSec[K].Count;
-          L /= DstSec[K].Count;
-        }
-        for (int64_t Done = Begin; Done < End; ++Done) {
-          for (size_t K = 0; K < DstSec.size(); ++K) {
-            DC[K] = DstSec[K].Start + Pos[K] * DstSec[K].Stride;
-            SC[K] = SrcSec[K].Start + Pos[K] * SrcSec[K].Stride;
-          }
-          int64_t DPE, DOff, SPE, SOff;
-          DG.locate(DC, DPE, DOff);
-          SG.locate(SC, SPE, SOff);
-          double V = S.peBase(SPE)[SOff];
-          if (D.Kind == ElemKind::Int)
-            V = std::trunc(V);
-          Writes[static_cast<size_t>(Done)] = {
-              static_cast<size_t>(DPE * DG.PaddedSubgrid + DOff), V};
-          if (SPE == DPE)
-            ++P.LocalElems;
-          else
-            ++P.RemoteElems;
+  return runFaultableComm(FaultKind::RouterDrop, "section copy", Dst, [&] {
+    // Buffer destination values first: overlapping src/dst sections of the
+    // same array keep Fortran vector semantics. The gather runs in parallel
+    // over chunks of the section's linear position space (each position owns
+    // its own Writes slot); the buffered writes are applied serially so
+    // degenerate sections with repeated destination positions keep the
+    // serial last-write order.
+    std::vector<std::pair<size_t, double>> Writes(static_cast<size_t>(Total));
+    struct Part {
+      int64_t LocalElems = 0;
+      int64_t RemoteElems = 0;
+    };
+    Part Counts = support::reduceChunksOrdered<Part>(
+        Pool, Total,
+        [&](int64_t Begin, int64_t End) {
+          Part P;
+          std::vector<int64_t> Pos(DstSec.size());
+          std::vector<int64_t> DC(DstSec.size()), SC(SrcSec.size());
+          // Decompose the chunk's first linear position (row-major).
+          int64_t L = Begin;
           for (size_t K = DstSec.size(); K-- > 0;) {
-            if (++Pos[K] < DstSec[K].Count)
-              break;
-            Pos[K] = 0;
+            Pos[K] = L % DstSec[K].Count;
+            L /= DstSec[K].Count;
           }
-        }
-        return P;
-      },
-      [](Part &Acc, const Part &P) {
-        Acc.LocalElems += P.LocalElems;
-        Acc.RemoteElems += P.RemoteElems;
-      });
-  for (const auto &[Idx, V] : Writes)
-    D.Data[Idx] = V;
+          for (int64_t Done = Begin; Done < End; ++Done) {
+            for (size_t K = 0; K < DstSec.size(); ++K) {
+              DC[K] = DstSec[K].Start + Pos[K] * DstSec[K].Stride;
+              SC[K] = SrcSec[K].Start + Pos[K] * SrcSec[K].Stride;
+            }
+            int64_t DPE, DOff, SPE, SOff;
+            DG.locate(DC, DPE, DOff);
+            SG.locate(SC, SPE, SOff);
+            double V = S.peBase(SPE)[SOff];
+            if (D.Kind == ElemKind::Int)
+              V = std::trunc(V);
+            Writes[static_cast<size_t>(Done)] = {
+                static_cast<size_t>(DPE * DG.PaddedSubgrid + DOff), V};
+            if (SPE == DPE)
+              ++P.LocalElems;
+            else
+              ++P.RemoteElems;
+            for (size_t K = DstSec.size(); K-- > 0;) {
+              if (++Pos[K] < DstSec[K].Count)
+                break;
+              Pos[K] = 0;
+            }
+          }
+          return P;
+        },
+        [](Part &Acc, const Part &P) {
+          Acc.LocalElems += P.LocalElems;
+          Acc.RemoteElems += P.RemoteElems;
+        });
+    for (const auto &[Idx, V] : Writes)
+      D.Data[Idx] = V;
 
-  Ledger.CommCycles +=
-      Costs.CommStartupCycles +
-      (Costs.GridLocalPerElem * static_cast<double>(Counts.LocalElems) +
-       Costs.RouterPerElem * static_cast<double>(Counts.RemoteElems)) /
-          static_cast<double>(DG.GridPEs);
+    Ledger.CommCycles +=
+        Costs.CommStartupCycles +
+        (Costs.GridLocalPerElem * static_cast<double>(Counts.LocalElems) +
+         Costs.RouterPerElem * static_cast<double>(Counts.RemoteElems)) /
+            static_cast<double>(DG.GridPEs);
+  });
 }
 
-double CmRuntime::reduce(ReduceOp Op, int Src) {
+RtResult<double> CmRuntime::tryReduce(ReduceOp Op, int Src) {
   const PeArray &S = field(Src);
   const Geometry &Geo = *S.Geo;
+  double Out = 0;
 
   // Per-chunk partial folds in PE order, combined in chunk order. The
   // chunk decomposition is fixed by the PE count alone (ThreadPool
@@ -350,111 +461,126 @@ double CmRuntime::reduce(ReduceOp Op, int Src) {
   // and Product the chunked combine may differ from a whole-machine left
   // fold in the final ulps, exactly as the real machine's tree combine
   // does (see programs_test's note on machine-vs-interpreter order).
-  struct Part {
-    bool Seen = false;
-    double Acc = 0;
-    int64_t CountTrue = 0;
-  };
-  Part Total = support::reduceChunksOrdered<Part>(
-      Pool, Geo.GridPEs,
-      [&](int64_t Begin, int64_t End) {
-        Part P;
-        std::vector<int64_t> Coord;
-        for (int64_t PE = Begin; PE < End; ++PE) {
-          const double *Base = S.peBase(PE);
-          for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
-            if (!Geo.coordOf(PE, Off, Coord))
-              continue;
-            double V = Base[Off];
-            switch (Op) {
-            case ReduceOp::Sum:
-              P.Acc += V;
-              break;
-            case ReduceOp::Product:
-              P.Acc = P.Seen ? P.Acc * V : V;
-              break;
-            case ReduceOp::Max:
-              P.Acc = P.Seen ? (V > P.Acc ? V : P.Acc) : V;
-              break;
-            case ReduceOp::Min:
-              P.Acc = P.Seen ? (V < P.Acc ? V : P.Acc) : V;
-              break;
-            case ReduceOp::Count:
-            case ReduceOp::Any:
-            case ReduceOp::All:
-              P.CountTrue += V != 0;
-              break;
+  RtStatus St = runFaultableComm(FaultKind::GridTimeout, "reduce", -1, [&] {
+    struct Part {
+      bool Seen = false;
+      double Acc = 0;
+      int64_t CountTrue = 0;
+    };
+    Part Total = support::reduceChunksOrdered<Part>(
+        Pool, Geo.GridPEs,
+        [&](int64_t Begin, int64_t End) {
+          Part P;
+          std::vector<int64_t> Coord;
+          for (int64_t PE = Begin; PE < End; ++PE) {
+            const double *Base = S.peBase(PE);
+            for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+              if (!Geo.coordOf(PE, Off, Coord))
+                continue;
+              double V = Base[Off];
+              switch (Op) {
+              case ReduceOp::Sum:
+                P.Acc += V;
+                break;
+              case ReduceOp::Product:
+                P.Acc = P.Seen ? P.Acc * V : V;
+                break;
+              case ReduceOp::Max:
+                P.Acc = P.Seen ? (V > P.Acc ? V : P.Acc) : V;
+                break;
+              case ReduceOp::Min:
+                P.Acc = P.Seen ? (V < P.Acc ? V : P.Acc) : V;
+                break;
+              case ReduceOp::Count:
+              case ReduceOp::Any:
+              case ReduceOp::All:
+                P.CountTrue += V != 0;
+                break;
+              }
+              P.Seen = true;
             }
-            P.Seen = true;
           }
-        }
-        return P;
-      },
-      [&](Part &A, const Part &P) {
-        if (!P.Seen)
-          return;
-        if (!A.Seen) {
-          A = P;
-          return;
-        }
-        switch (Op) {
-        case ReduceOp::Sum:
-          A.Acc += P.Acc;
-          break;
-        case ReduceOp::Product:
-          A.Acc *= P.Acc;
-          break;
-        case ReduceOp::Max:
-          A.Acc = P.Acc > A.Acc ? P.Acc : A.Acc;
-          break;
-        case ReduceOp::Min:
-          A.Acc = P.Acc < A.Acc ? P.Acc : A.Acc;
-          break;
-        case ReduceOp::Count:
-        case ReduceOp::Any:
-        case ReduceOp::All:
-          A.CountTrue += P.CountTrue;
-          break;
-        }
-      });
-  double Acc = Total.Acc;
-  int64_t CountTrue = Total.CountTrue;
+          return P;
+        },
+        [&](Part &A, const Part &P) {
+          if (!P.Seen)
+            return;
+          if (!A.Seen) {
+            A = P;
+            return;
+          }
+          switch (Op) {
+          case ReduceOp::Sum:
+            A.Acc += P.Acc;
+            break;
+          case ReduceOp::Product:
+            A.Acc *= P.Acc;
+            break;
+          case ReduceOp::Max:
+            A.Acc = P.Acc > A.Acc ? P.Acc : A.Acc;
+            break;
+          case ReduceOp::Min:
+            A.Acc = P.Acc < A.Acc ? P.Acc : A.Acc;
+            break;
+          case ReduceOp::Count:
+          case ReduceOp::Any:
+          case ReduceOp::All:
+            A.CountTrue += P.CountTrue;
+            break;
+          }
+        });
 
-  // Local vectorized reduce + log2(P) combine steps.
-  double LocalCycles = static_cast<double>(Geo.SubgridElems) *
-                       Costs.VectorAluCycles /
-                       static_cast<double>(Costs.VectorWidth);
-  double Steps = std::ceil(std::log2(static_cast<double>(Geo.GridPEs) + 1));
-  Ledger.CommCycles += Costs.CommStartupCycles + LocalCycles +
-                       Steps * Costs.ReduceStepCycles;
-  if (Op == ReduceOp::Sum || Op == ReduceOp::Product)
-    Ledger.Flops += static_cast<uint64_t>(Geo.totalElements());
+    // Local vectorized reduce + log2(P) combine steps.
+    double LocalCycles = static_cast<double>(Geo.SubgridElems) *
+                         Costs.VectorAluCycles /
+                         static_cast<double>(Costs.VectorWidth);
+    double Steps =
+        std::ceil(std::log2(static_cast<double>(Geo.GridPEs) + 1));
+    Ledger.CommCycles += Costs.CommStartupCycles + LocalCycles +
+                         Steps * Costs.ReduceStepCycles;
+    if (Op == ReduceOp::Sum || Op == ReduceOp::Product)
+      Ledger.Flops += static_cast<uint64_t>(Geo.totalElements());
 
-  switch (Op) {
-  case ReduceOp::Count:
-    return static_cast<double>(CountTrue);
-  case ReduceOp::Any:
-    return CountTrue > 0 ? 1.0 : 0.0;
-  case ReduceOp::All:
-    return CountTrue == Geo.totalElements() ? 1.0 : 0.0;
-  default:
-    return Acc;
-  }
+    switch (Op) {
+    case ReduceOp::Count:
+      Out = static_cast<double>(Total.CountTrue);
+      break;
+    case ReduceOp::Any:
+      Out = Total.CountTrue > 0 ? 1.0 : 0.0;
+      break;
+    case ReduceOp::All:
+      Out = Total.CountTrue == Geo.totalElements() ? 1.0 : 0.0;
+      break;
+    default:
+      Out = Total.Acc;
+      break;
+    }
+  });
+  if (!St)
+    return St;
+  return Out;
 }
 
-void CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
-                               unsigned Dim) {
+double CmRuntime::reduce(ReduceOp Op, int Src) {
+  RtResult<double> R = tryReduce(Op, Src);
+  F90Y_CHECK(R.isOk(), "unrecoverable reduction fault");
+  return R.value();
+}
+
+RtStatus CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
+                                   unsigned Dim) {
   PeArray &D = field(Dst);
   const PeArray &S = field(Src);
   const Geometry &DG = *D.Geo, &SG = *S.Geo;
   size_t Axis = static_cast<size_t>(Dim - 1);
-  assert(Axis < SG.rank() && DG.rank() + 1 == SG.rank() &&
-         "reduceAlongDim rank mismatch");
+  F90Y_CHECK(Axis < SG.rank() && DG.rank() + 1 == SG.rank(),
+             "reduceAlongDim rank mismatch");
 
   // Every destination element accumulates its own source line along the
   // reduced axis, in axis order, independently of all others - so chunks
   // of the destination position space run concurrently and the result is
   // bit-identical to the serial sweep.
+  return runFaultableComm(FaultKind::GridTimeout, "reduce-dim", Dst, [&] {
   support::parallelChunks(
       Pool, DG.totalElements(), [&](int64_t, int64_t Begin, int64_t End) {
         std::vector<int64_t> Pos(DG.rank()), DC(DG.rank()), SC(SG.rank());
@@ -530,18 +656,20 @@ void CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
           static_cast<double>(DG.GridPEs > 0 ? DG.GridPEs : 1);
   if (Op == ReduceOp::Sum || Op == ReduceOp::Product)
     Ledger.Flops += static_cast<uint64_t>(SG.totalElements());
+  });
 }
 
-void CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
+RtStatus CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
   PeArray &D = field(Dst);
   const PeArray &S = field(Src);
   const Geometry &DG = *D.Geo, &SG = *S.Geo;
   size_t Axis = static_cast<size_t>(Dim - 1);
-  assert(Axis < DG.rank() && DG.rank() == SG.rank() + 1 &&
-         "spreadAlongDim rank mismatch");
+  F90Y_CHECK(Axis < DG.rank() && DG.rank() == SG.rank() + 1,
+             "spreadAlongDim rank mismatch");
 
   // Pure broadcast: destination PEs only read the source, so chunks of
   // them run concurrently with no accounting to reduce.
+  return runFaultableComm(FaultKind::RouterDrop, "spread", Dst, [&] {
   support::parallelChunks(
       Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
         std::vector<int64_t> Coord, SC(SG.rank());
@@ -564,13 +692,18 @@ void CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
       Costs.CommStartupCycles +
       Costs.RouterPerElem * static_cast<double>(DG.totalElements()) /
           static_cast<double>(DG.GridPEs > 0 ? DG.GridPEs : 1);
+  });
 }
 
-std::string CmRuntime::renderField(int Handle) {
+RtResult<std::string> CmRuntime::tryRenderField(int Handle) {
   const PeArray &A = field(Handle);
   const Geometry &Geo = *A.Geo;
-  // Row-major over global coordinates.
+  // Row-major over global coordinates; every element read crosses the
+  // router, so the whole render retries as one faultable op.
   std::string Out;
+  RtStatus St =
+      runFaultableComm(FaultKind::RouterDrop, "field render", -1, [&] {
+  Out.clear();
   std::vector<int64_t> Coord(Geo.rank(), 0);
   bool FirstElem = true;
   while (true) {
@@ -600,5 +733,14 @@ std::string CmRuntime::renderField(int Handle) {
   }
   Ledger.CommCycles +=
       Costs.RouterPerElem * static_cast<double>(Geo.totalElements());
+  });
+  if (!St)
+    return St;
   return Out;
+}
+
+std::string CmRuntime::renderField(int Handle) {
+  RtResult<std::string> R = tryRenderField(Handle);
+  F90Y_CHECK(R.isOk(), "unrecoverable field render fault");
+  return R.value();
 }

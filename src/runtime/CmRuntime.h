@@ -18,8 +18,10 @@
 
 #include "cm2/CostModel.h"
 #include "runtime/Geometry.h"
+#include "support/RtStatus.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,6 +31,8 @@ namespace f90y {
 
 namespace support {
 class ThreadPool;
+class FaultInjector;
+enum class FaultKind : unsigned;
 } // namespace support
 
 namespace runtime {
@@ -84,16 +88,34 @@ enum class ReduceOp { Sum, Product, Max, Min, Count, Any, All };
 /// concurrently, with ledger charges reduced per chunk in deterministic
 /// chunk order (support/ThreadPool.h), so every thread count produces
 /// bit-identical data and cycle totals.
+///
+/// When a FaultInjector is attached, comm ops pass through a recoverable
+/// fault path: transient faults (router drop, grid-link timeout) fail the
+/// op before any data moves and are retried with backoff cycles charged
+/// to the ledger; detected corruption rolls the destination field back to
+/// its pre-op checkpoint and redoes the transfer. Every injection
+/// decision is made on the calling (host) thread at op granularity, so
+/// the schedule and the recovery cost are independent of the thread
+/// count. Ops that exhaust MaxFaultRetries return a non-Ok RtStatus with
+/// a precise diagnostic instead of asserting.
 class CmRuntime {
 public:
   explicit CmRuntime(const cm2::CostModel &Costs,
                      support::ThreadPool *Pool = nullptr)
       : Costs(Costs), Pool(Pool) {}
 
+  /// Recovery attempts per operation before a fault becomes permanent.
+  static constexpr unsigned MaxFaultRetries = 8;
+
   /// The host worker pool used for destination-parallel sweeps (null:
   /// inline serial execution with the identical chunk decomposition).
   support::ThreadPool *threadPool() const { return Pool; }
   void setThreadPool(support::ThreadPool *P) { Pool = P; }
+
+  /// The fault injector consulted at every injection point (null: the
+  /// zero-fault fast path, identical to the pre-injection runtime).
+  support::FaultInjector *faultInjector() const { return Injector; }
+  void setFaultInjector(support::FaultInjector *FI) { Injector = FI; }
 
   const cm2::CostModel &costs() const { return Costs; }
   CycleLedger &ledger() { return Ledger; }
@@ -107,7 +129,12 @@ public:
   // Heap
   //===--------------------------------------------------------------------===//
 
-  /// Allocates a zero-filled field; returns its handle.
+  /// Allocates a zero-filled field; returns its handle, or a fault on
+  /// simulated (injected or genuine host) heap exhaustion.
+  support::RtResult<int> tryAllocField(const Geometry *Geo, ElemKind Kind);
+  /// Infallible convenience wrapper: aborts via F90Y_CHECK on allocation
+  /// failure. Test and benchmark scaffolding that never runs with an OOM
+  /// injector uses this form.
   int allocField(const Geometry *Geo, ElemKind Kind);
   /// Releases \p Handle. Any coordinate-field cache entry for it is
   /// dropped too, so a later coordField for the same geometry rebuilds
@@ -115,6 +142,19 @@ public:
   void freeField(int Handle);
   PeArray &field(int Handle);
   const PeArray &field(int Handle) const;
+  /// True when \p Handle names a live field.
+  bool isLiveField(int Handle) const;
+
+  //===--------------------------------------------------------------------===//
+  // Checkpointing (phase rollback/replay)
+  //===--------------------------------------------------------------------===//
+
+  /// Copies the field's raw subgrid storage for a later restoreField.
+  std::vector<double> snapshotField(int Handle) const;
+  /// Restores storage saved by snapshotField, in place (pointers into the
+  /// field's data - e.g. live PEAC bindings - stay valid) and counts one
+  /// rollback on the attached injector.
+  void restoreField(int Handle, const std::vector<double> &Saved);
 
   /// The lazily-materialized coordinate subgrid of \p Geo along \p Dim
   /// (1-based): each element holds its own global Fortran coordinate.
@@ -135,11 +175,11 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// dst(i) = src(i + Shift along Dim, circular). Grid communication.
-  void cshift(int Dst, int Src, unsigned Dim, int64_t Shift);
+  support::RtStatus cshift(int Dst, int Src, unsigned Dim, int64_t Shift);
   /// dst(i) = src(i + Shift along Dim), zero at the boundary.
-  void eoshift(int Dst, int Src, unsigned Dim, int64_t Shift);
+  support::RtStatus eoshift(int Dst, int Src, unsigned Dim, int64_t Shift);
   /// Rank-2 transpose through the router.
-  void transpose(int Dst, int Src);
+  support::RtStatus transpose(int Dst, int Src);
 
   /// One dimension of a constant section (zero-based start, stride,
   /// count).
@@ -149,27 +189,37 @@ public:
     int64_t Count = 0;
   };
   /// General section-to-section copy (the misaligned case); router.
-  void sectionCopy(int Dst, const std::vector<SectionDim> &DstSec, int Src,
-                   const std::vector<SectionDim> &SrcSec);
+  support::RtStatus sectionCopy(int Dst,
+                                const std::vector<SectionDim> &DstSec,
+                                int Src,
+                                const std::vector<SectionDim> &SrcSec);
 
   /// Full-field reduction to the front end.
+  support::RtResult<double> tryReduce(ReduceOp Op, int Src);
+  /// Infallible wrapper (aborts on a permanent injected fault; identical
+  /// to tryReduce when no injector is attached).
   double reduce(ReduceOp Op, int Src);
 
   /// Partial reduction along \p Dim (1-based): Dst has the source's shape
   /// with that dimension removed. Grid combine along one machine axis.
-  void reduceAlongDim(ReduceOp Op, int Dst, int Src, unsigned Dim);
+  support::RtStatus reduceAlongDim(ReduceOp Op, int Dst, int Src,
+                                   unsigned Dim);
 
   /// Broadcast along a new dimension \p Dim: Dst has the source's shape
   /// with that dimension inserted (F90 SPREAD).
-  void spreadAlongDim(int Dst, int Src, unsigned Dim);
+  support::RtStatus spreadAlongDim(int Dst, int Src, unsigned Dim);
 
   /// Renders the active elements of a field (host side, row-major), for
-  /// PRINT. Charges router element reads.
+  /// PRINT. Charges router element reads; element reads go through the
+  /// router, so the whole render can drop and be re-read.
+  support::RtResult<std::string> tryRenderField(int Handle);
+  /// Infallible wrapper, as for reduce().
   std::string renderField(int Handle);
 
 private:
   const cm2::CostModel &Costs;
   support::ThreadPool *Pool = nullptr;
+  support::FaultInjector *Injector = nullptr;
   CycleLedger Ledger;
   std::map<std::string, std::unique_ptr<Geometry>> Geometries;
   std::map<int, PeArray> Fields;
@@ -179,6 +229,15 @@ private:
   /// Torus hop distance between two PEs of \p Geo along dimension D.
   static int64_t hopDistance(const Geometry &Geo, int64_t FromPE,
                              int64_t ToPE, size_t D);
+
+  /// The shared recoverable-comm path: gates \p Sweep behind transient
+  /// fault injection of \p Transient (fail-fast, backoff, retry), runs it,
+  /// then checks for injected corruption; a corrupted transfer restores
+  /// \p DstHandle (when >= 0) from its pre-sweep checkpoint and redoes
+  /// the sweep. Returns non-Ok after MaxFaultRetries failed attempts.
+  support::RtStatus runFaultableComm(support::FaultKind Transient,
+                                     const char *OpName, int DstHandle,
+                                     const std::function<void()> &Sweep);
 };
 
 } // namespace runtime

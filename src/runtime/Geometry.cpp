@@ -6,7 +6,7 @@
 
 #include "runtime/Geometry.h"
 
-#include <cassert>
+#include "support/RtStatus.h"
 
 using namespace f90y;
 using namespace f90y::runtime;
@@ -14,7 +14,7 @@ using namespace f90y::runtime;
 Geometry Geometry::layout(std::vector<int64_t> Extents,
                           std::vector<int64_t> Los, int64_t MachinePEs,
                           unsigned Width) {
-  assert(!Extents.empty() && "geometry needs at least one dimension");
+  F90Y_CHECK(!Extents.empty(), "geometry needs at least one dimension");
   Geometry G;
   G.Extents = std::move(Extents);
   G.Los = std::move(Los);

@@ -1,0 +1,146 @@
+//===- support/FaultInjector.cpp - deterministic fault injection -------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <cstdlib>
+
+using namespace f90y;
+using namespace f90y::support;
+
+const char *support::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::RouterDrop:
+    return "router-drop";
+  case FaultKind::GridTimeout:
+    return "grid-timeout";
+  case FaultKind::Corruption:
+    return "corrupt";
+  case FaultKind::PeTrap:
+    return "pe-trap";
+  case FaultKind::FpuException:
+    return "fpu";
+  case FaultKind::AllocOom:
+    return "oom";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::any() const {
+  for (double P : Prob)
+    if (P > 0)
+      return true;
+  return false;
+}
+
+bool FaultSpec::parse(const std::string &Text, FaultSpec &Out,
+                      std::string &Error) {
+  FaultSpec Spec;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Entry =
+        Text.substr(Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+    Pos = Comma == std::string::npos ? Text.size() : Comma + 1;
+
+    size_t Colon = Entry.find(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 >= Entry.size()) {
+      Error = "malformed fault entry '" + Entry +
+              "' (expected <kind>:<probability>)";
+      return false;
+    }
+    std::string Kind = Entry.substr(0, Colon);
+    std::string Num = Entry.substr(Colon + 1);
+    char *End = nullptr;
+    double P = std::strtod(Num.c_str(), &End);
+    if (End == Num.c_str() || *End != '\0' || !(P >= 0.0) || P > 1.0) {
+      Error = "invalid probability '" + Num + "' for fault kind '" + Kind +
+              "' (expected a number in [0, 1])";
+      return false;
+    }
+
+    bool Known = false;
+    for (unsigned K = 0; K < NumFaultKinds; ++K) {
+      if (Kind == "all" || Kind == faultKindName(static_cast<FaultKind>(K))) {
+        Spec.Prob[K] = P;
+        Known = true;
+      }
+    }
+    if (Kind == "all")
+      Known = true;
+    if (!Known) {
+      Error = "unknown fault kind '" + Kind +
+              "' (expected router-drop, grid-timeout, corrupt, pe-trap, "
+              "fpu, oom, or all)";
+      return false;
+    }
+  }
+  Out = Spec;
+  return true;
+}
+
+uint64_t FaultCounters::totalInjected() const {
+  uint64_t Total = 0;
+  for (uint64_t N : Injected)
+    Total += N;
+  return Total;
+}
+
+std::string FaultCounters::str() const {
+  std::string S;
+  for (unsigned K = 0; K < NumFaultKinds; ++K) {
+    if (!Injected[K])
+      continue;
+    if (!S.empty())
+      S += ", ";
+    S += std::string(faultKindName(static_cast<FaultKind>(K))) + "=" +
+         std::to_string(Injected[K]);
+  }
+  if (S.empty())
+    S = "none";
+  return "faults {" + S + "}, retries " + std::to_string(Retries) +
+         ", rollbacks " + std::to_string(Rollbacks) + ", replays " +
+         std::to_string(Replays);
+}
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+bool FaultInjector::fire(FaultKind K, uint64_t *RawOut) {
+  unsigned Idx = static_cast<unsigned>(K);
+  uint64_t Op = OpIndex[Idx]++;
+  double P = Spec.Prob[Idx];
+  if (P <= 0)
+    return false;
+  // Two finalizer rounds decorrelate (seed, kind) from the op stream.
+  uint64_t Raw = mix64(mix64(Seed ^ (static_cast<uint64_t>(Idx) + 1) *
+                                        0xd1b54a32d192ed03ull) ^
+                       Op);
+  if (RawOut)
+    *RawOut = Raw;
+  // Top 53 bits as a uniform double in [0, 1).
+  double U = static_cast<double>(Raw >> 11) * 0x1.0p-53;
+  if (U >= P)
+    return false;
+  ++Counters.Injected[Idx];
+  return true;
+}
+
+void FaultInjector::reset() {
+  for (uint64_t &Op : OpIndex)
+    Op = 0;
+  Counters = FaultCounters();
+}

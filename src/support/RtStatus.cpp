@@ -1,0 +1,40 @@
+//===- support/RtStatus.cpp - recoverable runtime status ---------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RtStatus.h"
+
+using namespace f90y;
+using namespace f90y::support;
+
+const char *support::rtCodeName(RtCode Code) {
+  switch (Code) {
+  case RtCode::Ok:
+    return "ok";
+  case RtCode::CommFault:
+    return "comm-fault";
+  case RtCode::DataCorrupt:
+    return "data-corrupt";
+  case RtCode::PeTrap:
+    return "pe-trap";
+  case RtCode::FpuFault:
+    return "fpu-fault";
+  case RtCode::OutOfMemory:
+    return "out-of-memory";
+  case RtCode::StepLimit:
+    return "step-limit";
+  case RtCode::InvalidHandle:
+    return "invalid-handle";
+  }
+  return "unknown";
+}
+
+void support::checkFailed(const char *Cond, const char *Msg, const char *File,
+                          int Line) {
+  std::fprintf(stderr, "f90y fatal: %s (%s failed at %s:%d)\n", Msg, Cond,
+               File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,117 @@
+//===- support/RtStatus.h - recoverable runtime status ------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured status for the simulated CM/2 runtime. The machine is a real
+/// distributed system in the paper's world: router messages drop, NEWS
+/// links time out, PEs trap, the parallel heap fills. Those conditions are
+/// reported as an RtStatus (or RtResult<T> for value-returning calls)
+/// threaded from CmRuntime and the PEAC executor up through the host
+/// executor to driver::Execution::run, instead of tripping a debug-only
+/// assert. Invariant violations that indicate a compiler bug - not a
+/// machine condition - use F90Y_CHECK, which fires in Release builds too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SUPPORT_RTSTATUS_H
+#define F90Y_SUPPORT_RTSTATUS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace f90y {
+namespace support {
+
+/// Classified runtime condition. Every non-Ok code corresponds to a
+/// distinct machine failure mode with its own diagnostic wording.
+enum class RtCode {
+  Ok,
+  CommFault,     ///< Router drop / grid-link timeout past the retry bound.
+  DataCorrupt,   ///< Transfer corruption still detected after rollbacks.
+  PeTrap,        ///< A processing element trapped during a PEAC routine.
+  FpuFault,      ///< Unrecoverable FPU exception on a node datapath.
+  OutOfMemory,   ///< Simulated parallel-heap exhaustion.
+  StepLimit,     ///< Watchdog: the program exceeded -max-steps.
+  InvalidHandle, ///< Use of a freed or never-allocated field handle.
+};
+
+/// Renders the code as a short lowercase tag ("comm-fault", ...).
+const char *rtCodeName(RtCode Code);
+
+/// Status of one runtime operation: a code plus a precise diagnostic
+/// message (empty for Ok). Statuses are cheap to move and test.
+class RtStatus {
+public:
+  RtStatus() = default;
+
+  static RtStatus ok() { return RtStatus(); }
+  static RtStatus fault(RtCode Code, std::string Message) {
+    RtStatus S;
+    S.Code = Code;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool isOk() const { return Code == RtCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  RtCode code() const { return Code; }
+  const std::string &message() const { return Msg; }
+
+  /// "comm-fault: cshift: grid link timed out ..." (or "ok").
+  std::string str() const {
+    if (isOk())
+      return "ok";
+    return std::string(rtCodeName(Code)) + ": " + Msg;
+  }
+
+private:
+  RtCode Code = RtCode::Ok;
+  std::string Msg;
+};
+
+/// A value or a failure status. The value is only meaningful when the
+/// status is Ok; the default-constructed T keeps failed results safe to
+/// destroy and move.
+template <typename T> class RtResult {
+public:
+  RtResult(T Value) : Value(std::move(Value)) {}
+  RtResult(RtStatus Failure) : Status(std::move(Failure)) {}
+
+  bool isOk() const { return Status.isOk(); }
+  explicit operator bool() const { return isOk(); }
+
+  const RtStatus &status() const { return Status; }
+  T &value() { return Value; }
+  const T &value() const { return Value; }
+
+private:
+  RtStatus Status;
+  T Value{};
+};
+
+/// Internal: reports a failed F90Y_CHECK and aborts. Never returns.
+[[noreturn]] void checkFailed(const char *Cond, const char *Msg,
+                              const char *File, int Line);
+
+} // namespace support
+} // namespace f90y
+
+/// Release-safe invariant check: unlike assert it does not compile out
+/// under NDEBUG, so corrupted handles, malformed geometries, and broken IR
+/// invariants abort with a message instead of reading freed memory in
+/// production builds. Use RtStatus for conditions a correct program can
+/// hit at runtime; use F90Y_CHECK for conditions only a compiler bug can
+/// produce.
+#define F90Y_CHECK(Cond, Msg)                                                  \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::f90y::support::checkFailed(#Cond, Msg, __FILE__, __LINE__);            \
+  } while (false)
+
+#endif // F90Y_SUPPORT_RTSTATUS_H

@@ -243,6 +243,32 @@ TEST(DriverTest, LedgerCategoriesAreConsistent) {
   EXPECT_GT(Report->seconds(), 0.0);
 }
 
+TEST(DriverTest, RuntimeFailureYieldsNulloptAndDiagnostics) {
+  // The subscript is only known at run time, so this compiles cleanly and
+  // fails inside the simulated machine - the failure must surface as a
+  // structured diagnostic on the Execution, not an abort.
+  const char *Src = "program oob\n"
+                    "integer, parameter :: n = 4\n"
+                    "real a(n,n)\n"
+                    "real s\n"
+                    "integer i\n"
+                    "a = 1.0\n"
+                    "i = 37\n"
+                    "s = a(i,1)\n"
+                    "print *, s\n"
+                    "end program oob\n";
+  Compilation C(CompileOptions::forProfile(Profile::F90Y, machineWith(16)));
+  ASSERT_TRUE(C.compile(Src)) << C.diags().str();
+  EXPECT_FALSE(C.diags().hasErrors());
+
+  Execution Exec(machineWith(16));
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  EXPECT_FALSE(Report.has_value());
+  EXPECT_TRUE(Exec.diags().hasErrors());
+  EXPECT_NE(Exec.diags().str().find("out of bounds"), std::string::npos)
+      << Exec.diags().str();
+}
+
 TEST(DriverTest, GflopsForUsesExternalFlopCount) {
   RunReport R;
   R.Ledger.NodeCycles = 7e6; // Exactly one second at 7 MHz.

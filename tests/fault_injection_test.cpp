@@ -1,0 +1,362 @@
+//===- tests/fault_injection_test.cpp - deterministic fault injection -------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-injection determinism contract: a fixed -fault-seed produces
+/// one fault schedule - and therefore bit-identical program output, cycle
+/// ledger, and recovery counters - at every host thread count; recoverable
+/// schedules complete with exactly the fault-free program results; faults
+/// that recovery cannot absorb (retries exhausted, simulated OOM, the
+/// watchdog) surface as structured diagnostics, not aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace f90y;
+using namespace f90y::driver;
+using support::FaultCounters;
+using support::FaultInjector;
+using support::FaultKind;
+using support::FaultSpec;
+
+namespace {
+
+cm2::CostModel machine() {
+  cm2::CostModel C;
+  C.NumPEs = 16;
+  return C;
+}
+
+/// A program that crosses every faultable path: grid shifts, router
+/// transpose, full reductions, PEAC compute blocks, serial time stepping,
+/// and PRINT (rendered through the router).
+const char *faultyProgram() {
+  return "program faulty\n"
+         "integer, parameter :: n = 8\n"
+         "real a(n,n), b(n,n), c(n,n)\n"
+         "real s\n"
+         "integer i, j, t\n"
+         "forall (i=1:n, j=1:n) a(i,j) = sin(real(i))*real(j)\n"
+         "b = cshift(a, 1, 1) + cshift(a, -1, 2)\n"
+         "c = transpose(b)\n"
+         "s = 0.0\n"
+         "do t = 1, 4\n"
+         "  a = a + 0.25*(cshift(a,1,1) + cshift(a,-1,1) &\n"
+         "      + cshift(a,1,2) + cshift(a,-1,2))\n"
+         "  s = s + sum(a)/real(n*n)\n"
+         "end do\n"
+         "print *, 'checksum:', s, maxval(b), sum(c)\n"
+         "end program faulty\n";
+}
+
+/// Every recoverable kind; OOM is deliberately excluded (an allocation
+/// fault is permanent by design, so it belongs in the failure tests).
+const char *recoverableSpec() {
+  return "router-drop:0.05,grid-timeout:0.05,corrupt:0.05,"
+         "pe-trap:0.05,fpu:0.05";
+}
+
+ExecutionOptions optionsFor(const std::string &Spec, uint64_t Seed,
+                            unsigned Threads) {
+  ExecutionOptions O;
+  O.Threads = Threads;
+  O.FaultSeed = Seed;
+  std::string Error;
+  EXPECT_TRUE(FaultSpec::parse(Spec, O.Faults, Error)) << Error;
+  return O;
+}
+
+/// Everything one run produces that the determinism contract covers.
+struct Outcome {
+  bool Ok = false;
+  std::string Output;
+  std::string Diags;
+  runtime::CycleLedger Ledger;
+  FaultCounters Counters;
+  std::vector<double> FinalA; ///< Raw storage of array 'a' post-run.
+};
+
+Outcome runProgram(Compilation &C, const ExecutionOptions &EOpts) {
+  Execution Exec(machine(), EOpts);
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  Outcome O;
+  O.Diags = Exec.diags().str();
+  if (!Report)
+    return O;
+  O.Ok = true;
+  O.Output = Report->Output;
+  O.Ledger = Report->Ledger;
+  O.Counters = Report->Faults;
+  int H = Exec.executor().fieldHandle("a");
+  if (H >= 0)
+    O.FinalA = Exec.runtime().snapshotField(H);
+  return O;
+}
+
+void expectIdentical(const Outcome &A, const Outcome &B) {
+  ASSERT_TRUE(A.Ok) << A.Diags;
+  ASSERT_TRUE(B.Ok) << B.Diags;
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.FinalA, B.FinalA);
+  EXPECT_EQ(A.Ledger.NodeCycles, B.Ledger.NodeCycles);
+  EXPECT_EQ(A.Ledger.CallCycles, B.Ledger.CallCycles);
+  EXPECT_EQ(A.Ledger.CommCycles, B.Ledger.CommCycles);
+  EXPECT_EQ(A.Ledger.HostCycles, B.Ledger.HostCycles);
+  EXPECT_EQ(A.Ledger.Flops, B.Ledger.Flops);
+  EXPECT_TRUE(A.Counters == B.Counters)
+      << A.Counters.str() << " vs " << B.Counters.str();
+}
+
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  Compilation C{CompileOptions::forProfile(Profile::F90Y, machine())};
+
+  void SetUp() override {
+    ASSERT_TRUE(C.compile(faultyProgram())) << C.diags().str();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// FaultSpec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpecTest, ParsesSingleEntry) {
+  FaultSpec S;
+  std::string Error;
+  ASSERT_TRUE(FaultSpec::parse("router-drop:0.25", S, Error)) << Error;
+  EXPECT_DOUBLE_EQ(S.prob(FaultKind::RouterDrop), 0.25);
+  EXPECT_DOUBLE_EQ(S.prob(FaultKind::GridTimeout), 0.0);
+  EXPECT_TRUE(S.any());
+}
+
+TEST(FaultSpecTest, ParsesMultipleEntriesAndAll) {
+  FaultSpec S;
+  std::string Error;
+  ASSERT_TRUE(FaultSpec::parse("all:0.5,oom:0", S, Error)) << Error;
+  EXPECT_DOUBLE_EQ(S.prob(FaultKind::PeTrap), 0.5);
+  EXPECT_DOUBLE_EQ(S.prob(FaultKind::Corruption), 0.5);
+  EXPECT_DOUBLE_EQ(S.prob(FaultKind::AllocOom), 0.0); // Later wins.
+}
+
+TEST(FaultSpecTest, EmptySpecIsZero) {
+  FaultSpec S;
+  std::string Error;
+  ASSERT_TRUE(FaultSpec::parse("", S, Error)) << Error;
+  EXPECT_FALSE(S.any());
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  FaultSpec S;
+  std::string Error;
+  EXPECT_FALSE(FaultSpec::parse("router-drop", S, Error));
+  EXPECT_NE(Error.find("malformed"), std::string::npos) << Error;
+  EXPECT_FALSE(FaultSpec::parse("bogus-kind:0.5", S, Error));
+  EXPECT_NE(Error.find("unknown fault kind"), std::string::npos) << Error;
+  EXPECT_FALSE(FaultSpec::parse("corrupt:1.5", S, Error));
+  EXPECT_FALSE(FaultSpec::parse("corrupt:-0.1", S, Error));
+  EXPECT_FALSE(FaultSpec::parse("corrupt:abc", S, Error));
+  EXPECT_FALSE(FaultSpec::parse("corrupt:", S, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Injector schedule determinism (unit level)
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultSpec S;
+  std::string Error;
+  ASSERT_TRUE(FaultSpec::parse("all:0.3", S, Error));
+  FaultInjector A(S, 1234), B(S, 1234);
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    for (int I = 0; I < 200; ++I)
+      EXPECT_EQ(A.fire(static_cast<FaultKind>(K)),
+                B.fire(static_cast<FaultKind>(K)));
+  EXPECT_TRUE(A.counters() == B.counters());
+  EXPECT_GT(A.counters().totalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultSpec S;
+  std::string Error;
+  ASSERT_TRUE(FaultSpec::parse("corrupt:0.3", S, Error));
+  FaultInjector A(S, 1), B(S, 2);
+  bool Diverged = false;
+  for (int I = 0; I < 200; ++I)
+    if (A.fire(FaultKind::Corruption) != B.fire(FaultKind::Corruption))
+      Diverged = true;
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverFires) {
+  FaultInjector FI(FaultSpec(), 99);
+  for (int I = 0; I < 100; ++I)
+    for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+      EXPECT_FALSE(FI.fire(static_cast<FaultKind>(K)));
+  EXPECT_EQ(FI.counters().totalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, ResetRewindsTheSchedule) {
+  FaultSpec S;
+  std::string Error;
+  ASSERT_TRUE(FaultSpec::parse("pe-trap:0.4", S, Error));
+  FaultInjector FI(S, 7);
+  std::vector<bool> First;
+  for (int I = 0; I < 64; ++I)
+    First.push_back(FI.fire(FaultKind::PeTrap));
+  FI.reset();
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(FI.fire(FaultKind::PeTrap), First[static_cast<size_t>(I)]);
+}
+
+TEST(FaultInjectorTest, CountersRender) {
+  FaultCounters Z;
+  EXPECT_EQ(Z.str(),
+            "faults {none}, retries 0, rollbacks 0, replays 0");
+  Z.Injected[static_cast<unsigned>(FaultKind::RouterDrop)] = 3;
+  Z.Retries = 2;
+  EXPECT_EQ(Z.str(),
+            "faults {router-drop=3}, retries 2, rollbacks 0, replays 0");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end determinism and recovery
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, NoFaultSpecAttachesNoInjector) {
+  Execution Exec(machine(), ExecutionOptions());
+  EXPECT_EQ(Exec.faultInjector(), nullptr);
+  auto Report = Exec.run(C.artifacts().Compiled.Program);
+  ASSERT_TRUE(Report.has_value()) << Exec.diags().str();
+  EXPECT_EQ(Report->Faults.totalInjected(), 0u);
+}
+
+TEST_F(FaultInjectionTest, RecoverableSchedulePreservesProgramResults) {
+  Outcome Clean = runProgram(C, ExecutionOptions());
+  Outcome Faulty = runProgram(C, optionsFor(recoverableSpec(), 1, 1));
+  ASSERT_TRUE(Clean.Ok) << Clean.Diags;
+  ASSERT_TRUE(Faulty.Ok) << Faulty.Diags;
+  // Recovery is invisible to the program: identical output and data.
+  EXPECT_EQ(Faulty.Output, Clean.Output);
+  EXPECT_EQ(Faulty.FinalA, Clean.FinalA);
+  // ...but not to the machine: the schedule injected real faults and the
+  // ledger carries their recovery cost.
+  EXPECT_GT(Faulty.Counters.totalInjected(), 0u) << Faulty.Counters.str();
+  EXPECT_GT(Faulty.Ledger.total(), Clean.Ledger.total());
+}
+
+TEST_F(FaultInjectionTest, FaultScheduleIsThreadCountInvariant) {
+  Outcome T1 = runProgram(C, optionsFor(recoverableSpec(), 42, 1));
+  Outcome T8 = runProgram(C, optionsFor(recoverableSpec(), 42, 8));
+  EXPECT_GT(T1.Counters.totalInjected(), 0u) << T1.Counters.str();
+  expectIdentical(T1, T8);
+}
+
+TEST_F(FaultInjectionTest, SameSeedReproducesBitIdentically) {
+  Outcome A = runProgram(C, optionsFor(recoverableSpec(), 7, 2));
+  Outcome B = runProgram(C, optionsFor(recoverableSpec(), 7, 2));
+  expectIdentical(A, B);
+}
+
+TEST_F(FaultInjectionTest, CorruptionRollsBackAndRecovers) {
+  Outcome Clean = runProgram(C, ExecutionOptions());
+  Outcome Faulty = runProgram(C, optionsFor("corrupt:0.2", 3, 1));
+  ASSERT_TRUE(Faulty.Ok) << Faulty.Diags;
+  EXPECT_EQ(Faulty.Output, Clean.Output);
+  EXPECT_EQ(Faulty.FinalA, Clean.FinalA);
+  EXPECT_GT(Faulty.Counters.injected(FaultKind::Corruption), 0u)
+      << Faulty.Counters.str();
+  EXPECT_GT(Faulty.Counters.Rollbacks, 0u) << Faulty.Counters.str();
+}
+
+TEST_F(FaultInjectionTest, PeTrapReplaysDispatchAndRecovers) {
+  Outcome Clean = runProgram(C, ExecutionOptions());
+  Outcome Faulty = runProgram(C, optionsFor("pe-trap:0.3,fpu:0.3", 5, 1));
+  ASSERT_TRUE(Faulty.Ok) << Faulty.Diags;
+  EXPECT_EQ(Faulty.Output, Clean.Output);
+  EXPECT_EQ(Faulty.FinalA, Clean.FinalA);
+  EXPECT_GT(Faulty.Counters.Replays, 0u) << Faulty.Counters.str();
+  // Replayed dispatches recharge node time, never flops: the useful-work
+  // account matches the fault-free run exactly.
+  EXPECT_EQ(Faulty.Ledger.Flops, Clean.Ledger.Flops);
+  EXPECT_GT(Faulty.Ledger.NodeCycles, Clean.Ledger.NodeCycles);
+}
+
+#ifdef F90Y_SOURCE_DIR
+// The acceptance sweep: every shipped sample program, under an injected
+// recoverable schedule, is bit-identical at 1 and 8 threads and matches
+// its own fault-free output.
+TEST(FaultInjectionPrograms, SamplesAreThreadInvariantUnderFaults) {
+  const char *Programs[] = {"fig10.f90", "subroutines.f90", "swe.f90"};
+  for (const char *Name : Programs) {
+    SCOPED_TRACE(Name);
+    std::ifstream In(std::string(F90Y_SOURCE_DIR) + "/examples/programs/" +
+                     Name);
+    ASSERT_TRUE(In.good());
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Compilation C(CompileOptions::forProfile(Profile::F90Y, machine()));
+    ASSERT_TRUE(C.compile(Buf.str())) << C.diags().str();
+
+    Outcome Clean = runProgram(C, ExecutionOptions());
+    Outcome T1 = runProgram(C, optionsFor(recoverableSpec(), 11, 1));
+    Outcome T8 = runProgram(C, optionsFor(recoverableSpec(), 11, 8));
+    ASSERT_TRUE(Clean.Ok) << Clean.Diags;
+    expectIdentical(T1, T8);
+    EXPECT_EQ(T1.Output, Clean.Output);
+  }
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Unrecoverable faults surface as structured failures
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, ExhaustedRetriesFailTheRunWithDiagnostics) {
+  Outcome O = runProgram(C, optionsFor("grid-timeout:1", 0, 1));
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Diags.find("timed out"), std::string::npos) << O.Diags;
+  EXPECT_NE(O.Diags.find("error"), std::string::npos) << O.Diags;
+}
+
+TEST_F(FaultInjectionTest, SimulatedOomFailsAllocationStructurally) {
+  Outcome O = runProgram(C, optionsFor("oom:1", 0, 1));
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Diags.find("allocation"), std::string::npos) << O.Diags;
+  EXPECT_NE(O.Diags.find("out-of-memory"), std::string::npos) << O.Diags;
+}
+
+TEST_F(FaultInjectionTest, WatchdogBoundsTheRun) {
+  ExecutionOptions Tight;
+  Tight.Threads = 1;
+  Tight.MaxSteps = 5;
+  Outcome O = runProgram(C, Tight);
+  EXPECT_FALSE(O.Ok);
+  EXPECT_NE(O.Diags.find("watchdog"), std::string::npos) << O.Diags;
+
+  ExecutionOptions Roomy;
+  Roomy.Threads = 1;
+  Roomy.MaxSteps = 10000000;
+  EXPECT_TRUE(runProgram(C, Roomy).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Release-safe invariant checks
+//===----------------------------------------------------------------------===//
+
+TEST(FaultCheckDeathTest, InvalidFieldHandleAborts) {
+  cm2::CostModel Costs = machine();
+  runtime::CmRuntime RT(Costs);
+  EXPECT_DEATH(RT.field(424242), "freed or invalid");
+}
+
+} // namespace

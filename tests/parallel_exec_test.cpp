@@ -48,7 +48,9 @@ struct RunResult {
 
 RunResult runWithThreads(const host::HostProgram &Program,
                          unsigned Threads) {
-  Execution Exec(machine(), ExecutionOptions{Threads});
+  ExecutionOptions EOpts;
+  EOpts.Threads = Threads;
+  Execution Exec(machine(), EOpts);
   auto Report = Exec.run(Program);
   EXPECT_TRUE(Report.has_value()) << Exec.diags().str();
   RunResult R;

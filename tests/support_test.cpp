@@ -6,6 +6,7 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/RtStatus.h"
 #include "support/SourceLocation.h"
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
@@ -98,6 +99,76 @@ TEST(Diagnostics, ClearResets) {
   Diags.clear();
   EXPECT_FALSE(Diags.hasErrors());
   EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(Diagnostics, StrRendersAllKindsInOrder) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLocation(1, 2), "deprecated form");
+  Diags.error(SourceLocation(3, 4), "bad shape");
+  Diags.note(SourceLocation(3, 5), "declared here");
+  EXPECT_EQ(Diags.str(), "warning: 1:2: deprecated form\n"
+                         "error: 3:4: bad shape\n"
+                         "note: 3:5: declared here\n");
+  EXPECT_EQ(Diags.errorCount(), 1u);
+}
+
+TEST(Diagnostics, InvalidLocationOmitsPosition) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLocation(), "runtime condition with no source");
+  EXPECT_EQ(Diags.str(), "error: runtime condition with no source\n");
+}
+
+TEST(Diagnostics, WarningsAloneLeaveEngineClean) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLocation(5, 1), "unused variable");
+  Diags.warning(SourceLocation(9, 2), "implicit conversion");
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  EXPECT_EQ(Diags.diagnostics().size(), 2u);
+  EXPECT_EQ(Diags.str(), "warning: 5:1: unused variable\n"
+                         "warning: 9:2: implicit conversion\n");
+}
+
+TEST(RtStatus, OkByDefault) {
+  support::RtStatus S;
+  EXPECT_TRUE(S.isOk());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), support::RtCode::Ok);
+  EXPECT_EQ(S.str(), "ok");
+}
+
+TEST(RtStatus, FaultCarriesCodeAndMessage) {
+  support::RtStatus S = support::RtStatus::fault(
+      support::RtCode::CommFault, "cshift: link timed out");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_FALSE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), support::RtCode::CommFault);
+  EXPECT_EQ(S.str(), "comm-fault: cshift: link timed out");
+}
+
+TEST(RtStatus, CodeNamesAreDistinct) {
+  EXPECT_STREQ(support::rtCodeName(support::RtCode::DataCorrupt),
+               "data-corrupt");
+  EXPECT_STREQ(support::rtCodeName(support::RtCode::OutOfMemory),
+               "out-of-memory");
+  EXPECT_STREQ(support::rtCodeName(support::RtCode::StepLimit),
+               "step-limit");
+}
+
+TEST(RtResult, HoldsValueOrStatus) {
+  support::RtResult<int> Good(41);
+  EXPECT_TRUE(Good.isOk());
+  EXPECT_EQ(Good.value(), 41);
+
+  support::RtResult<int> Bad(support::RtStatus::fault(
+      support::RtCode::OutOfMemory, "heap exhausted"));
+  EXPECT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.status().code(), support::RtCode::OutOfMemory);
+}
+
+TEST(RtStatusDeathTest, CheckFailedAbortsWithMessage) {
+  EXPECT_DEATH(F90Y_CHECK(false, "the invariant text"),
+               "the invariant text");
 }
 
 TEST(StringUtil, ToLowerUpper) {

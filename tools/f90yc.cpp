@@ -18,8 +18,14 @@
 ///   -pes=N           number of simulated PEs (default 2048)
 ///   -threads=N       host threads for the simulation sweep (default: all
 ///                    hardware threads; results are identical at any N)
+///   -faults=SPEC     inject faults: kind:prob[,kind:prob...]; kinds are
+///                    router-drop, grid-timeout, corrupt, pe-trap, fpu,
+///                    oom, or all (e.g. -faults=all:0.01)
+///   -fault-seed=N    seed of the deterministic fault schedule (default 0)
+///   -max-steps=N     watchdog: abort after N executed host statements
 ///   -cm5             use the CM/5 machine description
-///   -stats           print the cycle ledger after the run
+///   -stats           print the cycle ledger (and any fault/recovery
+///                    counters) after the run
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +33,9 @@
 #include "host/Printer.h"
 #include "nir/Printer.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -43,7 +51,46 @@ void usage() {
       stderr,
       "usage: f90yc [options] file.f90\n"
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
-      "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n");
+      "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
+      "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n");
+}
+
+/// Strict decimal parse of a flag value: the whole string must be a
+/// number, and it must fit. atoi-style silent zeroes ("-pes=garbage")
+/// hide typos behind a valid-looking configuration.
+bool parseUint64(const std::string &Flag, const std::string &Text,
+                 uint64_t &Out) {
+  if (Text.empty() || Text[0] == '-' || Text[0] == '+') {
+    std::fprintf(stderr, "f90yc: invalid value '%s' for %s=N\n",
+                 Text.c_str(), Flag.c_str());
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "f90yc: invalid value '%s' for %s=N\n",
+                 Text.c_str(), Flag.c_str());
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+/// As parseUint64, additionally requiring the value to be a positive
+/// 32-bit count (PEs and threads: 0 of either is not a machine).
+bool parsePositiveCount(const std::string &Flag, const std::string &Text,
+                        unsigned &Out) {
+  uint64_t V = 0;
+  if (!parseUint64(Flag, Text, V))
+    return false;
+  if (V == 0 || V > 0xffffffffull) {
+    std::fprintf(stderr, "f90yc: %s must be a positive count, got '%s'\n",
+                 Flag.c_str(), Text.c_str());
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
 }
 
 } // namespace
@@ -70,15 +117,29 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (Arg == "-cm5")
       Machine = cm2::CostModel::cm5();
-    else if (Arg.rfind("-pes=", 0) == 0)
-      Machine.NumPEs = static_cast<unsigned>(std::atoi(Arg.c_str() + 5));
-    else if (Arg.rfind("-threads=", 0) == 0)
-      ExecOpts.Threads =
-          static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
-    else if (Arg.rfind("--threads=", 0) == 0)
-      ExecOpts.Threads =
-          static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
-    else if (Arg.rfind("-profile=", 0) == 0) {
+    else if (Arg.rfind("-pes=", 0) == 0) {
+      if (!parsePositiveCount("-pes", Arg.substr(5), Machine.NumPEs))
+        return 2;
+    } else if (Arg.rfind("-threads=", 0) == 0) {
+      if (!parsePositiveCount("-threads", Arg.substr(9), ExecOpts.Threads))
+        return 2;
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      if (!parsePositiveCount("--threads", Arg.substr(10), ExecOpts.Threads))
+        return 2;
+    } else if (Arg.rfind("-faults=", 0) == 0) {
+      std::string Error;
+      if (!support::FaultSpec::parse(Arg.substr(8), ExecOpts.Faults,
+                                     Error)) {
+        std::fprintf(stderr, "f90yc: -faults: %s\n", Error.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("-fault-seed=", 0) == 0) {
+      if (!parseUint64("-fault-seed", Arg.substr(12), ExecOpts.FaultSeed))
+        return 2;
+    } else if (Arg.rfind("-max-steps=", 0) == 0) {
+      if (!parseUint64("-max-steps", Arg.substr(11), ExecOpts.MaxSteps))
+        return 2;
+    } else if (Arg.rfind("-profile=", 0) == 0) {
       std::string P = Arg.substr(9);
       if (P == "f90y")
         Prof = Profile::F90Y;
@@ -146,6 +207,9 @@ int main(int argc, char **argv) {
   if (!Report) {
     std::fprintf(stderr, "f90yc: runtime error:\n%s",
                  Exec.diags().str().c_str());
+    if (Stats && Exec.faultInjector())
+      std::fprintf(stderr, "-- %s\n",
+                   Exec.faultInjector()->counters().str().c_str());
     return 1;
   }
   std::printf("%s", Report->Output.c_str());
@@ -159,6 +223,8 @@ int main(int argc, char **argv) {
                  Report->Ledger.CommCycles, Report->Ledger.HostCycles,
                  static_cast<unsigned long long>(Report->Ledger.Flops),
                  Report->gflops());
+    if (Exec.faultInjector())
+      std::fprintf(stderr, "-- %s\n", Report->Faults.str().c_str());
   }
   return 0;
 }
