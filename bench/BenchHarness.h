@@ -1,0 +1,91 @@
+//===- bench/BenchHarness.h - shared benchmark plumbing -----------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plumbing every wall-clock benchmark repeats: compile a workload
+/// (exiting with a diagnostic on failure), run it best-of-N under chosen
+/// ExecutionOptions, and compare cycle ledgers bit for bit. The
+/// simulation is deterministic, so best-of-N isolates host scheduling
+/// noise - variance between reps is never the simulated machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_BENCH_BENCHHARNESS_H
+#define F90Y_BENCH_BENCHHARNESS_H
+
+#include "driver/Driver.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace f90y {
+namespace bench {
+
+/// One measured configuration: best host wall time over the reps, plus
+/// the (rep-invariant) program output and cycle ledger.
+struct Sample {
+  double Millis = 0;
+  std::string Output;
+  runtime::CycleLedger Ledger;
+};
+
+/// Compiles \p Source under \p Profile for \p Machine; exits the process
+/// with the compiler's diagnostics on failure. Benchmarks have no
+/// recovery story for a broken workload, so dying here keeps call sites
+/// to one line.
+inline std::unique_ptr<driver::Compilation>
+compileOrDie(const std::string &Source, driver::Profile Profile,
+             const cm2::CostModel &Machine) {
+  auto C = std::make_unique<driver::Compilation>(
+      driver::CompileOptions::forProfile(Profile, Machine));
+  if (!C->compile(Source)) {
+    std::fprintf(stderr, "compile failed:\n%s", C->diags().str().c_str());
+    std::exit(1);
+  }
+  return C;
+}
+
+/// Runs \p Program \p Reps times under \p EOpts (fresh Execution each
+/// rep) and keeps the best wall time; exits with the runtime's
+/// diagnostics if any rep fails.
+inline Sample measure(const host::HostProgram &Program,
+                      const cm2::CostModel &Machine,
+                      const driver::ExecutionOptions &EOpts, int Reps) {
+  Sample S;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    driver::Execution Exec(Machine, EOpts);
+    auto T0 = std::chrono::steady_clock::now();
+    auto Report = Exec.run(Program);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Report) {
+      std::fprintf(stderr, "run failed:\n%s", Exec.diags().str().c_str());
+      std::exit(1);
+    }
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (Rep == 0 || Ms < S.Millis)
+      S.Millis = Ms;
+    S.Output = Report->Output;
+    S.Ledger = Report->Ledger;
+  }
+  return S;
+}
+
+/// Bit-exact ledger comparison, field by field (total() would mask
+/// compensating errors between categories).
+inline bool sameLedger(const runtime::CycleLedger &A,
+                       const runtime::CycleLedger &B) {
+  return A.NodeCycles == B.NodeCycles && A.CallCycles == B.CallCycles &&
+         A.CommCycles == B.CommCycles && A.HostCycles == B.HostCycles &&
+         A.OverlappedCycles == B.OverlappedCycles && A.Flops == B.Flops;
+}
+
+} // namespace bench
+} // namespace f90y
+
+#endif // F90Y_BENCH_BENCHHARNESS_H

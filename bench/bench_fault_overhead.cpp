@@ -19,55 +19,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "BenchHarness.h"
 #include "driver/Workloads.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 using namespace f90y;
 using namespace f90y::driver;
-
-namespace {
-
-struct Sample {
-  double Millis = 0; ///< Best of reps (simulation is deterministic).
-  std::string Output;
-  runtime::CycleLedger Ledger;
-};
-
-Sample measure(const host::HostProgram &Program,
-               const cm2::CostModel &Machine, const ExecutionOptions &EOpts,
-               int Reps) {
-  Sample S;
-  for (int Rep = 0; Rep < Reps; ++Rep) {
-    Execution Exec(Machine, EOpts);
-    auto T0 = std::chrono::steady_clock::now();
-    auto Report = Exec.run(Program);
-    auto T1 = std::chrono::steady_clock::now();
-    if (!Report) {
-      std::fprintf(stderr, "run failed:\n%s", Exec.diags().str().c_str());
-      std::exit(1);
-    }
-    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
-    if (Rep == 0 || Ms < S.Millis)
-      S.Millis = Ms;
-    S.Output = Report->Output;
-    S.Ledger = Report->Ledger;
-  }
-  return S;
-}
-
-bool sameLedger(const runtime::CycleLedger &A,
-                const runtime::CycleLedger &B) {
-  return A.NodeCycles == B.NodeCycles && A.CallCycles == B.CallCycles &&
-         A.CommCycles == B.CommCycles && A.HostCycles == B.HostCycles &&
-         A.OverlappedCycles == B.OverlappedCycles && A.Flops == B.Flops;
-}
-
-} // namespace
 
 int main(int argc, char **argv) {
   int64_t N = argc > 1 ? std::atoll(argv[1]) : 256;
@@ -82,17 +42,13 @@ int main(int argc, char **argv) {
               static_cast<long long>(N), static_cast<long long>(N),
               static_cast<long long>(Steps), Machine.NumPEs, Reps);
 
-  Compilation C(CompileOptions::forProfile(Profile::F90Y, Machine));
-  if (!C.compile(sweSource(N, Steps))) {
-    std::fprintf(stderr, "compile failed:\n%s", C.diags().str().c_str());
-    return 1;
-  }
-  const host::HostProgram &Program = C.artifacts().Compiled.Program;
+  auto C = bench::compileOrDie(sweSource(N, Steps), Profile::F90Y, Machine);
+  const host::HostProgram &Program = C->artifacts().Compiled.Program;
 
   // Baseline: no injector attached at all (the default fast path).
   ExecutionOptions Plain;
   Plain.Threads = 1; // Serial: measures per-op overhead, not pool noise.
-  Sample Base = measure(Program, Machine, Plain, Reps);
+  bench::Sample Base = bench::measure(Program, Machine, Plain, Reps);
 
   // Worst honest case of the plumbing: an injector IS attached (an
   // all-zero spec attaches none), so every transient gate and dispatch
@@ -105,10 +61,10 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "spec: %s\n", Error.c_str());
     return 1;
   }
-  Sample Probe = measure(Program, Machine, Probed, Reps);
+  bench::Sample Probe = bench::measure(Program, Machine, Probed, Reps);
 
   if (Probe.Output != Base.Output ||
-      !sameLedger(Probe.Ledger, Base.Ledger)) {
+      !bench::sameLedger(Probe.Ledger, Base.Ledger)) {
     std::fprintf(stderr,
                  "FAIL: never-firing injector changed the simulation\n");
     return 1;

@@ -18,11 +18,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "BenchHarness.h"
 #include "driver/Workloads.h"
 #include "support/ThreadPool.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,52 +29,6 @@
 
 using namespace f90y;
 using namespace f90y::driver;
-
-namespace {
-
-struct Sample {
-  unsigned Threads = 1;
-  double Millis = 0;
-  std::string Output;
-  runtime::CycleLedger Ledger;
-};
-
-Sample runWithThreads(const host::HostProgram &Program,
-                      const cm2::CostModel &Machine, unsigned Threads) {
-  Sample S;
-  S.Threads = Threads;
-  // Min of two runs: the simulation is deterministic, so variance is
-  // host noise only.
-  for (int Rep = 0; Rep < 2; ++Rep) {
-    ExecutionOptions EOpts;
-    EOpts.Threads = Threads;
-    Execution Exec(Machine, EOpts);
-    auto T0 = std::chrono::steady_clock::now();
-    auto Report = Exec.run(Program);
-    auto T1 = std::chrono::steady_clock::now();
-    if (!Report) {
-      std::fprintf(stderr, "run failed (%u threads):\n%s", Threads,
-                   Exec.diags().str().c_str());
-      std::exit(1);
-    }
-    double Ms =
-        std::chrono::duration<double, std::milli>(T1 - T0).count();
-    if (Rep == 0 || Ms < S.Millis)
-      S.Millis = Ms;
-    S.Output = Report->Output;
-    S.Ledger = Report->Ledger;
-  }
-  return S;
-}
-
-bool sameLedger(const runtime::CycleLedger &A,
-                const runtime::CycleLedger &B) {
-  return A.NodeCycles == B.NodeCycles && A.CallCycles == B.CallCycles &&
-         A.CommCycles == B.CommCycles && A.HostCycles == B.HostCycles &&
-         A.OverlappedCycles == B.OverlappedCycles && A.Flops == B.Flops;
-}
-
-} // namespace
 
 int main(int argc, char **argv) {
   int64_t N = argc > 1 ? std::atoll(argv[1]) : 512;
@@ -86,7 +39,6 @@ int main(int argc, char **argv) {
   if (MaxThreads == 0)
     MaxThreads = HW;
 
-  std::string Src = sweSource(N, Steps);
   cm2::CostModel Machine; // Full 2048-PE slicewise CM-2 at 7 MHz.
 
   std::printf("host-thread scaling of the CM/2 simulation (SWE %lldx%lld, "
@@ -94,12 +46,8 @@ int main(int argc, char **argv) {
               static_cast<long long>(N), static_cast<long long>(N),
               static_cast<long long>(Steps), Machine.NumPEs, HW);
 
-  Compilation C(CompileOptions::forProfile(Profile::F90Y, Machine));
-  if (!C.compile(Src)) {
-    std::fprintf(stderr, "compile failed:\n%s", C.diags().str().c_str());
-    return 1;
-  }
-  const host::HostProgram &Program = C.artifacts().Compiled.Program;
+  auto C = bench::compileOrDie(sweSource(N, Steps), Profile::F90Y, Machine);
+  const host::HostProgram &Program = C->artifacts().Compiled.Program;
 
   std::vector<unsigned> Counts{1};
   for (unsigned T = 2; T < MaxThreads; T *= 2)
@@ -108,14 +56,18 @@ int main(int argc, char **argv) {
     Counts.push_back(MaxThreads);
 
   std::printf("  %8s %10s %9s\n", "threads", "ms", "speedup");
-  Sample Serial;
+  bench::Sample Serial;
   bool Ok = true;
   for (unsigned T : Counts) {
-    Sample S = runWithThreads(Program, Machine, T);
+    ExecutionOptions EOpts;
+    EOpts.Threads = T;
+    // Min of two runs: the simulation is deterministic, so variance is
+    // host noise only.
+    bench::Sample S = bench::measure(Program, Machine, EOpts, 2);
     if (T == 1)
       Serial = S;
-    bool Same =
-        S.Output == Serial.Output && sameLedger(S.Ledger, Serial.Ledger);
+    bool Same = S.Output == Serial.Output &&
+                bench::sameLedger(S.Ledger, Serial.Ledger);
     std::printf("  %8u %10.2f %8.2fx%s\n", T, S.Millis,
                 Serial.Millis / S.Millis, Same ? "" : "  MISMATCH");
     if (!Same) {
@@ -124,8 +76,8 @@ int main(int argc, char **argv) {
                    "determinism violation at %u threads: output %s, "
                    "ledger %s\n",
                    T, S.Output == Serial.Output ? "equal" : "DIFFERS",
-                   sameLedger(S.Ledger, Serial.Ledger) ? "equal"
-                                                       : "DIFFERS");
+                   bench::sameLedger(S.Ledger, Serial.Ledger) ? "equal"
+                                                              : "DIFFERS");
     }
   }
 

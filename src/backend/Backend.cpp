@@ -8,6 +8,8 @@
 
 #include "lower/Lowering.h"
 #include "nir/Printer.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "transform/Phases.h"
 
 using namespace f90y;
@@ -492,5 +494,24 @@ std::unique_ptr<HostStmt> FECompiler::compileImp(const N::Imp *I) {
 std::optional<CompiledProgram>
 backend::compileProgram(const N::ProgramImp *Program,
                         const BackendOptions &Opts, DiagnosticEngine &Diags) {
-  return FECompiler(Opts, Diags).run(Program);
+  std::optional<CompiledProgram> Out = FECompiler(Opts, Diags).run(Program);
+  if (Out && (Opts.Trace || Opts.Metrics)) {
+    for (const peac::Routine &R : Out->Program.Routines) {
+      uint64_t Instrs = R.bodyInstructionCount();
+      uint64_t Slots = R.slotCount();
+      if (Opts.Trace)
+        Opts.Trace->wallInstant(R.Name, "backend",
+                                {observe::arg("instructions", Instrs),
+                                 observe::arg("slots", Slots),
+                                 observe::arg("spill_slots",
+                                              uint64_t(R.NumSpillSlots))});
+      if (Opts.Metrics) {
+        Opts.Metrics->count("backend.routines");
+        Opts.Metrics->count("backend.peac_instructions", Instrs);
+        Opts.Metrics->count("backend.issue_slots", Slots);
+        Opts.Metrics->observe("backend.routine_instructions", double(Instrs));
+      }
+    }
+  }
+  return Out;
 }

@@ -24,11 +24,20 @@
 #include <optional>
 
 namespace f90y {
+
+namespace observe {
+class TraceRecorder;
+class MetricsRegistry;
+} // namespace observe
+
 namespace backend {
 
 /// Whole-backend options (PE optimizations plus future host knobs).
 struct BackendOptions {
   PEOptions PE;
+  /// Optional observability sinks; null (the default) records nothing.
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
 };
 
 /// A compiled program: host code plus PEAC routines.

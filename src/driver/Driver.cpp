@@ -10,6 +10,7 @@
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
 #include "lower/Lowering.h"
+#include "observe/Json.h"
 
 using namespace f90y;
 using namespace f90y::driver;
@@ -37,28 +38,62 @@ CompileOptions CompileOptions::forProfile(Profile P, cm2::CostModel Costs) {
 }
 
 bool Compilation::compile(const std::string &Source) {
+  observe::WallSpan Whole(Trace, "compile", "phase");
+
   frontend::Lexer Lexer(Source, Diags);
-  frontend::Parser Parser(Lexer.lexAll(), ACtx, Diags);
-  auto File = Parser.parseSourceFile();
+  std::vector<frontend::Token> Tokens;
+  {
+    observe::WallSpan S(Trace, "lex", "phase");
+    Tokens = Lexer.lexAll();
+    S.addArg(observe::arg("tokens", static_cast<uint64_t>(Tokens.size())));
+  }
+  if (Metrics)
+    Metrics->gauge("frontend.tokens", static_cast<double>(Tokens.size()));
+
+  frontend::Parser Parser(std::move(Tokens), ACtx, Diags);
+  decltype(Parser.parseSourceFile()) File;
+  {
+    observe::WallSpan S(Trace, "parse", "phase");
+    File = Parser.parseSourceFile();
+  }
   if (!File)
     return false;
 
-  auto Unit = frontend::integrateProcedures(*File, ACtx, Diags);
+  decltype(frontend::integrateProcedures(*File, ACtx, Diags)) Unit;
+  {
+    observe::WallSpan S(Trace, "integrate", "phase");
+    Unit = frontend::integrateProcedures(*File, ACtx, Diags);
+  }
   if (!Unit)
     return false;
 
-  auto Lowered = lower::lowerProgram(*Unit, NCtx, Diags);
+  decltype(lower::lowerProgram(*Unit, NCtx, Diags)) Lowered;
+  {
+    observe::WallSpan S(Trace, "lower", "phase");
+    Lowered = lower::lowerProgram(*Unit, NCtx, Diags);
+  }
   if (!Lowered)
     return false;
   Arts.RawNIR = Lowered->Program;
 
-  Arts.OptimizedNIR =
-      transform::optimize(Arts.RawNIR, NCtx, Diags, Opts.Transforms);
+  {
+    observe::WallSpan S(Trace, "optimize", "phase");
+    Arts.OptimizedNIR =
+        transform::optimize(Arts.RawNIR, NCtx, Diags, Opts.Transforms);
+  }
   if (Diags.hasErrors())
     return false;
 
-  auto Compiled =
-      backend::compileProgram(Arts.OptimizedNIR, Opts.Backend, Diags);
+  decltype(backend::compileProgram(Arts.OptimizedNIR, Opts.Backend,
+                                   Diags)) Compiled;
+  {
+    observe::WallSpan S(Trace, "backend", "phase");
+    Compiled = backend::compileProgram(Arts.OptimizedNIR, Opts.Backend, Diags);
+    if (Compiled)
+      S.addArg(observe::arg(
+          "routines",
+          static_cast<uint64_t>(Compiled->Program.Routines.size())));
+  }
   if (!Compiled)
     return false;
   Arts.Compiled = std::move(*Compiled);
@@ -72,7 +107,35 @@ std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
   // and the per-kind op streams).
   if (Injector)
     Injector->reset();
-  if (!Exec.run(Program))
+  if (Trace)
+    Trace->resetCycleCursor(); // The cycle timeline restarts with the ledger.
+  bool Ok;
+  {
+    observe::WallSpan S(Trace, "execute", "phase");
+    Ok = Exec.run(Program);
+  }
+  if (Trace) // Flush the untraced tail so cycle spans tile the ledger.
+    Trace->closeCycles(RT.ledger().total());
+  if (Metrics) {
+    const runtime::CycleLedger &L = RT.ledger();
+    Metrics->gauge("ledger.node_cycles", L.NodeCycles);
+    Metrics->gauge("ledger.call_cycles", L.CallCycles);
+    Metrics->gauge("ledger.comm_cycles", L.CommCycles);
+    Metrics->gauge("ledger.host_cycles", L.HostCycles);
+    Metrics->gauge("ledger.overlapped_cycles", L.OverlappedCycles);
+    Metrics->gauge("ledger.total_cycles", L.total());
+    Metrics->gauge("ledger.flops", static_cast<double>(L.Flops));
+    if (Injector) {
+      const support::FaultCounters &F = Injector->counters();
+      for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+        if (F.Injected[K])
+          Metrics->gauge(std::string("fault.injected.") +
+                             support::faultKindName(
+                                 static_cast<support::FaultKind>(K)),
+                         static_cast<double>(F.Injected[K]));
+    }
+  }
+  if (!Ok)
     return std::nullopt;
   RunReport Report;
   Report.Ledger = RT.ledger();
@@ -81,4 +144,37 @@ std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
   if (Injector)
     Report.Faults = Injector->counters();
   return Report;
+}
+
+std::string RunReport::json() const {
+  namespace js = f90y::observe::json;
+  std::string Out = "{\n";
+  Out += "\"ledger\":{";
+  Out += "\"node_cycles\":" + js::number(Ledger.NodeCycles);
+  Out += ",\"call_cycles\":" + js::number(Ledger.CallCycles);
+  Out += ",\"comm_cycles\":" + js::number(Ledger.CommCycles);
+  Out += ",\"host_cycles\":" + js::number(Ledger.HostCycles);
+  Out += ",\"overlapped_cycles\":" + js::number(Ledger.OverlappedCycles);
+  Out += ",\"total_cycles\":" + js::number(Ledger.total());
+  Out += ",\"flops\":" + js::number(Ledger.Flops);
+  Out += "},\n";
+  Out += "\"clock_mhz\":" + js::number(ClockMHz);
+  Out += ",\"seconds\":" + js::number(seconds());
+  Out += ",\"gflops\":" + js::number(gflops());
+  Out += ",\n\"faults\":{";
+  Out += "\"injected\":{";
+  bool First = true;
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += js::quote(support::faultKindName(
+               static_cast<support::FaultKind>(K))) +
+           ":" + js::number(Faults.Injected[K]);
+  }
+  Out += "},\"retries\":" + js::number(Faults.Retries);
+  Out += ",\"rollbacks\":" + js::number(Faults.Rollbacks);
+  Out += ",\"replays\":" + js::number(Faults.Replays);
+  Out += "}\n}\n";
+  return Out;
 }

@@ -24,6 +24,8 @@
 #include "frontend/AST.h"
 #include "host/HostExecutor.h"
 #include "nir/NIRContext.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
@@ -76,12 +78,28 @@ public:
   DiagnosticEngine &diags() { return Diags; }
   nir::NIRContext &nirContext() { return NCtx; }
 
+  /// Attaches observability sinks for the next compile(): each pipeline
+  /// stage (lex, parse, integrate, lower, every NIR pass, backend) becomes
+  /// a wall-clock span, and per-stage metrics accumulate. Null pointers
+  /// (the default) are the zero-cost disabled path. The sinks are also
+  /// plumbed into Opts.Transforms and Opts.Backend.
+  void setObservability(observe::TraceRecorder *T, observe::MetricsRegistry *M) {
+    Trace = T;
+    Metrics = M;
+    Opts.Transforms.Trace = T;
+    Opts.Transforms.Metrics = M;
+    Opts.Backend.Trace = T;
+    Opts.Backend.Metrics = M;
+  }
+
 private:
   CompileOptions Opts;
   DiagnosticEngine Diags;
   frontend::ast::ASTContext ACtx;
   nir::NIRContext NCtx;
   Artifacts Arts;
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
 };
 
 /// Performance account of one simulated execution.
@@ -103,6 +121,11 @@ struct RunReport {
     double S = seconds();
     return S > 0 ? static_cast<double>(UsefulFlops) / S / 1e9 : 0.0;
   }
+
+  /// Deterministic JSON rendering of the report (the -stats-json flag):
+  /// ledger breakdown, flops, simulated seconds, sustained GFLOPS, and
+  /// fault/recovery counters.
+  std::string json() const;
 };
 
 /// How the simulation itself runs on the host (as opposed to what machine
@@ -125,6 +148,13 @@ struct ExecutionOptions {
   /// Watchdog: fail the run after this many executed host statements
   /// (0 = unlimited).
   uint64_t MaxSteps = 0;
+  /// Observability sinks wired through the pool, runtime, and host
+  /// executor (null: the zero-cost disabled path; the simulation is
+  /// bit-identical to an unobserved run). Cycle-domain events are stamped
+  /// from the ledger and recorded on the host thread only, so trace and
+  /// metric content is deterministic at every Threads setting.
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
 };
 
 /// Executes a compiled program on the simulated CM/2. The execution object
@@ -133,13 +163,16 @@ class Execution {
 public:
   explicit Execution(const cm2::CostModel &Costs, ExecutionOptions EOpts = {})
       : Costs(Costs), Pool(EOpts.Threads), RT(this->Costs, &Pool),
-        Exec(RT, Diags) {
+        Exec(RT, Diags), Trace(EOpts.Trace), Metrics(EOpts.Metrics) {
     if (EOpts.Faults.any()) {
       Injector = std::make_unique<support::FaultInjector>(EOpts.Faults,
                                                           EOpts.FaultSeed);
       RT.setFaultInjector(Injector.get());
     }
     Exec.setMaxSteps(EOpts.MaxSteps);
+    Pool.setTrace(Trace);
+    RT.setTrace(Trace);
+    RT.setMetrics(Metrics);
   }
 
   host::HostExecutor &executor() { return Exec; }
@@ -161,6 +194,8 @@ private:
   runtime::CmRuntime RT;
   host::HostExecutor Exec;
   std::unique_ptr<support::FaultInjector> Injector;
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
 };
 
 } // namespace driver

@@ -8,6 +8,8 @@
 
 #include "lower/Lowering.h"
 #include "nir/Printer.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "peac/Executor.h"
 #include "support/FaultInjector.h"
 
@@ -276,9 +278,52 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
       Ckpts.emplace_back(Handle, RT.snapshotField(Handle));
 
   runtime::CycleLedger &L = RT.ledger();
+  observe::TraceRecorder *Trace = RT.trace();
+  observe::MetricsRegistry *Metrics = RT.metrics();
+  const double BeforeTotal = L.total();
+  unsigned Replays = 0;
+
+  // Records the dispatch as one cycle-domain span bracketed by ledger
+  // totals. Called after the overlap accounting below, so the span's
+  // duration is the dispatch's *net* timeline contribution and cycle
+  // spans keep tiling the ledger exactly even under -overlap.
+  auto NoteDispatch = [&](const peac::ExecResult &Res, bool Ok) {
+    if (Trace) {
+      std::string Extents;
+      for (int64_t E : S->extents()) {
+        if (!Extents.empty())
+          Extents += 'x';
+        Extents += std::to_string(E);
+      }
+      std::vector<observe::TraceArg> A;
+      A.push_back(observe::arg("block",
+                               static_cast<uint64_t>(S->routineIndex())));
+      A.push_back(observe::arg("extents", Extents));
+      A.push_back(observe::arg("subgrid_elems",
+                               static_cast<int64_t>(Geo->SubgridElems)));
+      A.push_back(observe::arg("pes", static_cast<int64_t>(Geo->GridPEs)));
+      A.push_back(observe::arg("node_cycles", Res.NodeCycles));
+      A.push_back(observe::arg("call_cycles", Res.CallCycles));
+      A.push_back(observe::arg("flops", Res.Flops));
+      if (Replays)
+        A.push_back(observe::arg("replays", static_cast<uint64_t>(Replays)));
+      if (!Ok)
+        A.push_back(observe::arg("status", "fault"));
+      Trace->cycleSpan(R.Name, "peac", BeforeTotal, L.total(), std::move(A));
+    }
+    if (Metrics) {
+      Metrics->count("peac.calls");
+      Metrics->countCycles("peac.cycles", L.total() - BeforeTotal);
+      Metrics->observe("peac.subgrid_elems",
+                       static_cast<double>(Args.SubgridElems));
+      if (Replays)
+        Metrics->count("fault.replays", Replays);
+    }
+  };
+
   peac::ExecResult Res;
   for (unsigned Attempt = 1;; ++Attempt) {
-    Res = peac::execute(R, Args, RT.costs(), RT.threadPool(), FI);
+    Res = peac::execute(R, Args, RT.costs(), RT.threadPool(), FI, Metrics);
     // Each attempt charges in full: the machine really ran (and, on a
     // trap, really trapped), so replays make the ledger strictly larger.
     L.NodeCycles += Res.NodeCycles;
@@ -287,6 +332,7 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
     if (Res.Status.isOk())
       break;
     if (Attempt > runtime::CmRuntime::MaxFaultRetries) {
+      NoteDispatch(Res, /*Ok=*/false);
       error("PEAC dispatch of '" + R.Name +
             "' failed permanently: " + Res.Status.str());
       return;
@@ -294,8 +340,14 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
     for (const auto &[Handle, Saved] : Ckpts)
       RT.restoreField(Handle, Saved);
     ++FI->counters().Replays;
+    ++Replays;
     L.CallCycles += static_cast<double>(RT.costs().FaultRetryBackoffCycles) *
                     Attempt;
+    if (Trace)
+      Trace->cycleInstant("replay", "fault", L.total(),
+                          {observe::arg("routine", R.Name),
+                           observe::arg("attempt",
+                                        static_cast<uint64_t>(Attempt))});
   }
 
   if (OverlapCommCompute) {
@@ -305,6 +357,7 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
         Touched.insert(A.Field);
     overlapAgainstPending(Res.NodeCycles + Res.CallCycles, Touched);
   }
+  NoteDispatch(Res, /*Ok=*/true);
 }
 
 void HostExecutor::exec(const HostStmt *S) {
@@ -315,6 +368,8 @@ void HostExecutor::exec(const HostStmt *S) {
           std::to_string(MaxSteps) + " host statements");
     return;
   }
+  if (observe::MetricsRegistry *M = RT.metrics())
+    M->count("exec.statements");
   runtime::CycleLedger &L = RT.ledger();
 
   switch (S->getKind()) {

@@ -1,0 +1,313 @@
+//===- observe/Json.cpp - minimal JSON writer/parser -------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace f90y;
+using namespace f90y::observe;
+using namespace f90y::observe::json;
+
+std::string json::number(double V) {
+  if (std::isnan(V) || std::isinf(V))
+    return "null";
+  // Integers up to 2^53 print exactly without a fraction; everything else
+  // uses the shortest round-trip form %.17g produces.
+  if (V == std::floor(V) && std::fabs(V) < 9.007199254740992e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  // Try shorter representations first: the trimmed form is stable across
+  // platforms while %.17g may differ in its final digits' presentation.
+  for (int Prec = 1; Prec < 17; ++Prec) {
+    char Short[40];
+    std::snprintf(Short, sizeof(Short), "%.*g", Prec, V);
+    if (std::strtod(Short, nullptr) == V)
+      return Short;
+  }
+  return Buf;
+}
+
+std::string json::number(uint64_t V) { return std::to_string(V); }
+
+std::string json::number(int64_t V) { return std::to_string(V); }
+
+std::string json::quote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+const Value *Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+double Value::numOr(const std::string &Key, double Default) const {
+  const Value *V = get(Key);
+  return V && V->isNumber() ? V->Num : Default;
+}
+
+std::string Value::strOr(const std::string &Key,
+                         const std::string &Default) const {
+  const Value *V = get(Key);
+  return V && V->isString() ? V->Str : Default;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string. Depth is bounded so a
+/// pathological input cannot blow the stack.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parseTop(Value &Out) {
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after the JSON value");
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const std::string &Msg) {
+    Error = "offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // UTF-8 encode (surrogate pairs are not needed by our traces).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '"') {
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == '{') {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return false;
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      Out.K = Value::Kind::Null;
+      return true;
+    }
+    // Number.
+    const char *Start = Text.c_str() + Pos;
+    char *End = nullptr;
+    double V = std::strtod(Start, &End);
+    if (End == Start)
+      return fail("expected a JSON value");
+    Pos += static_cast<size_t>(End - Start);
+    Out.K = Value::Kind::Number;
+    Out.Num = V;
+    return true;
+  }
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string &Error) {
+  Out = Value();
+  Parser P(Text, Error);
+  return P.parseTop(Out);
+}

@@ -1,0 +1,75 @@
+//===- observe/Json.h - minimal JSON writer/parser ----------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal, dependency-free JSON toolkit for the observability
+/// subsystem: deterministic number/string rendering (used by the trace
+/// and metrics exporters, and by -stats-json) and a small recursive-
+/// descent parser (used by the f90y-trace summarizer and by tests that
+/// validate exported traces). Determinism matters here: two runs that
+/// record the same events must serialize to byte-identical text, so all
+/// formatting is locale-independent and round-trip precise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_OBSERVE_JSON_H
+#define F90Y_OBSERVE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace f90y {
+namespace observe {
+namespace json {
+
+/// Renders \p V with just enough digits to round-trip, trimming the
+/// exponent noise printf leaves ("1e+06" not "1e+006"); never emits
+/// locale decimal commas. NaN/Inf (not representable in JSON) render as
+/// null.
+std::string number(double V);
+std::string number(uint64_t V);
+std::string number(int64_t V);
+
+/// The JSON escape of \p S, including the surrounding quotes.
+std::string quote(const std::string &S);
+
+/// One parsed JSON value. Object member order is preserved as written
+/// (the trace format relies on no duplicate keys).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *get(const std::string &Key) const;
+  /// Convenience accessors with defaults for absent/mistyped members.
+  double numOr(const std::string &Key, double Default) const;
+  std::string strOr(const std::string &Key, const std::string &Default) const;
+};
+
+/// Parses \p Text into \p Out; false (with \p Error naming the offset and
+/// problem) on malformed input. The whole string must be one JSON value
+/// plus optional trailing whitespace.
+bool parse(const std::string &Text, Value &Out, std::string &Error);
+
+} // namespace json
+} // namespace observe
+} // namespace f90y
+
+#endif // F90Y_OBSERVE_JSON_H

@@ -1,0 +1,83 @@
+//===- observe/Metrics.h - named metrics registry -----------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe registry of named counters, gauges, and histograms with
+/// deterministic text/JSON export (names sorted, values rendered with
+/// round-trip precision). Holds only simulation-derived quantities -
+/// per-pass PhaseStats deltas, communication bytes by pattern, the PEAC
+/// vector-op mix, fault/retry counts - never wall-clock measurements, so
+/// two runs of one program export byte-identical metrics at every
+/// -threads=N.
+///
+/// Metric kinds:
+///   counter    monotone integer count (ops, bytes, dispatches)
+///   cycles     monotone double accumulator (simulated cycle charges)
+///   gauge      last-written double (per-pass phase counts and deltas)
+///   histogram  power-of-two buckets with count/sum (subgrid extents)
+///
+/// A null MetricsRegistry* is the disabled fast path everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_OBSERVE_METRICS_H
+#define F90Y_OBSERVE_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace f90y {
+namespace observe {
+
+class MetricsRegistry {
+public:
+  /// Adds \p Delta to the integer counter \p Name (created at 0).
+  void count(const std::string &Name, uint64_t Delta = 1);
+  /// Adds \p Delta to the double (cycle) accumulator \p Name.
+  void countCycles(const std::string &Name, double Delta);
+  /// Sets gauge \p Name to \p V (last write wins).
+  void gauge(const std::string &Name, double V);
+  /// Records one observation of \p V into histogram \p Name.
+  void observe(const std::string &Name, double V);
+
+  size_t size() const;
+  void clear();
+
+  /// One metric per line, sorted by name:
+  ///   comm.cshift.bytes            counter 4194304
+  ///   peac.subgrid_elems           hist count=24 sum=3072 buckets=[7:24]
+  std::string exportText() const;
+  /// {"metrics":{"name":{"type":...,"value":...},...}} - same ordering.
+  std::string exportJson() const;
+  /// Writes exportJson to \p Path; false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+  /// Current value of counter/cycles/gauge \p Name (0 when absent);
+  /// histogram sum for histograms. Test and summarizer convenience.
+  double value(const std::string &Name) const;
+
+private:
+  enum class Kind { Counter, Cycles, Gauge, Histogram };
+
+  struct Metric {
+    Kind K = Kind::Counter;
+    uint64_t Count = 0;               ///< Counter value / histogram count.
+    double Value = 0;                 ///< Cycles/gauge value / hist sum.
+    uint64_t Buckets[64] = {};        ///< Histogram: power-of-two buckets.
+  };
+
+  static unsigned bucketOf(double V);
+
+  mutable std::mutex Mutex;
+  std::map<std::string, Metric> Metrics; ///< Sorted: deterministic export.
+};
+
+} // namespace observe
+} // namespace f90y
+
+#endif // F90Y_OBSERVE_METRICS_H

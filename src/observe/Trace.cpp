@@ -1,0 +1,244 @@
+//===- observe/Trace.cpp - dual-clock trace recording ------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Trace.h"
+
+#include "observe/Json.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+using namespace f90y;
+using namespace f90y::observe;
+
+TraceArg observe::arg(std::string Key, const std::string &Str) {
+  return {std::move(Key), json::quote(Str)};
+}
+TraceArg observe::arg(std::string Key, const char *Str) {
+  return {std::move(Key), json::quote(Str)};
+}
+TraceArg observe::arg(std::string Key, double Num) {
+  return {std::move(Key), json::number(Num)};
+}
+TraceArg observe::arg(std::string Key, int64_t Num) {
+  return {std::move(Key), json::number(Num)};
+}
+TraceArg observe::arg(std::string Key, uint64_t Num) {
+  return {std::move(Key), json::number(Num)};
+}
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+uint64_t TraceRecorder::beginWall(std::string Name, const char *Cat) {
+  double Ts = nowUs();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Event E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Domain = ClockDomain::Wall;
+  E.Open = true;
+  E.Ts = Ts;
+  E.Seq = NextSeq++;
+  Events.push_back(std::move(E));
+  return Events.size() - 1;
+}
+
+void TraceRecorder::endWall(uint64_t Token, std::vector<TraceArg> Args) {
+  double Now = nowUs();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Token >= Events.size())
+    return;
+  Event &E = Events[Token];
+  if (!E.Open)
+    return;
+  E.Open = false;
+  E.Dur = Now - E.Ts;
+  E.Args = std::move(Args);
+}
+
+void TraceRecorder::wallInstant(std::string Name, const char *Cat,
+                                std::vector<TraceArg> Args) {
+  double Ts = nowUs();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Event E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Domain = ClockDomain::Wall;
+  E.Instant = true;
+  E.Ts = Ts;
+  E.Seq = NextSeq++;
+  E.Args = std::move(Args);
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::resetCycleCursor() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  CycleCursor = 0;
+}
+
+double TraceRecorder::cycleCursor() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return CycleCursor;
+}
+
+void TraceRecorder::cycleSpan(std::string Name, const char *Cat,
+                              double Begin, double End,
+                              std::vector<TraceArg> Args) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Begin > CycleCursor) {
+    // Untraced cycles between ops: front-end scalar statements and router
+    // element traffic, attributed to the host.
+    Event G;
+    G.Name = "host";
+    G.Cat = "host";
+    G.Domain = ClockDomain::Cycles;
+    G.Ts = CycleCursor;
+    G.Dur = Begin - CycleCursor;
+    G.Seq = NextSeq++;
+    Events.push_back(std::move(G));
+  }
+  Event E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Domain = ClockDomain::Cycles;
+  E.Ts = Begin;
+  E.Dur = End - Begin;
+  E.Seq = NextSeq++;
+  E.Args = std::move(Args);
+  Events.push_back(std::move(E));
+  CycleCursor = std::max(CycleCursor, End);
+}
+
+void TraceRecorder::cycleInstant(std::string Name, const char *Cat,
+                                 double At, std::vector<TraceArg> Args) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Event E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Domain = ClockDomain::Cycles;
+  E.Instant = true;
+  E.Ts = At;
+  E.Seq = NextSeq++;
+  E.Args = std::move(Args);
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::closeCycles(double UpTo) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (UpTo > CycleCursor) {
+    Event G;
+    G.Name = "host";
+    G.Cat = "host";
+    G.Domain = ClockDomain::Cycles;
+    G.Ts = CycleCursor;
+    G.Dur = UpTo - CycleCursor;
+    G.Seq = NextSeq++;
+    Events.push_back(std::move(G));
+    CycleCursor = UpTo;
+  }
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+  NextSeq = 0;
+  CycleCursor = 0;
+  Epoch = std::chrono::steady_clock::now();
+}
+
+std::string TraceRecorder::exportJson(bool NormalizeWall) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  // Lane (tid) per category, assigned in order of first appearance - a
+  // deterministic order, because recording order is deterministic.
+  std::map<std::pair<int, std::string>, int> Tids;
+  auto tidOf = [&](const Event &E) {
+    int Pid = E.Domain == ClockDomain::Wall ? 1 : 2;
+    auto Key = std::make_pair(Pid, std::string(E.Cat));
+    auto It = Tids.find(Key);
+    if (It != Tids.end())
+      return It->second;
+    int Tid = 0;
+    for (const auto &[K, V] : Tids)
+      if (K.first == Pid)
+        Tid = std::max(Tid, V);
+    Tid += 1;
+    Tids[Key] = Tid;
+    return Tid;
+  };
+  // Pre-assign lanes in event order so metadata can be emitted first.
+  for (const Event &E : Events)
+    tidOf(E);
+
+  std::string Out;
+  Out.reserve(Events.size() * 96 + 512);
+  Out += "{\"traceEvents\":[\n";
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"host wall-clock (us)\"}},\n";
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+         "\"args\":{\"name\":\"simulated CM/2 (cycles)\"}}";
+  for (const auto &[Key, Tid] : Tids) {
+    Out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    Out += std::to_string(Key.first);
+    Out += ",\"tid\":";
+    Out += std::to_string(Tid);
+    Out += ",\"args\":{\"name\":";
+    Out += json::quote(Key.second);
+    Out += "}}";
+  }
+  for (const Event &E : Events) {
+    bool Wall = E.Domain == ClockDomain::Wall;
+    double Ts = Wall && NormalizeWall ? 0 : E.Ts;
+    double Dur = Wall && NormalizeWall ? 0 : E.Dur;
+    Out += ",\n{\"name\":";
+    Out += json::quote(E.Name);
+    Out += ",\"cat\":";
+    Out += json::quote(E.Cat);
+    Out += E.Instant ? ",\"ph\":\"i\",\"s\":\"t\"" : ",\"ph\":\"X\"";
+    Out += ",\"pid\":";
+    Out += Wall ? "1" : "2";
+    Out += ",\"tid\":";
+    Out += std::to_string(Tids[{Wall ? 1 : 2, std::string(E.Cat)}]);
+    Out += ",\"ts\":";
+    Out += json::number(Ts);
+    if (!E.Instant) {
+      Out += ",\"dur\":";
+      Out += json::number(Dur);
+    }
+    Out += ",\"args\":{\"seq\":";
+    Out += json::number(E.Seq);
+    for (const TraceArg &A : E.Args) {
+      Out += ',';
+      Out += json::quote(A.Key);
+      Out += ':';
+      Out += A.Json;
+    }
+    Out += "}}";
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeJson(const std::string &Path,
+                              bool NormalizeWall) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << exportJson(NormalizeWall);
+  return static_cast<bool>(Out);
+}

@@ -6,6 +6,7 @@
 
 #include "peac/Executor.h"
 
+#include "observe/Metrics.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
@@ -181,7 +182,8 @@ void runPE(const Routine &R, const ExecArgs &Args,
 ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
                          const cm2::CostModel &Costs,
                          support::ThreadPool *Pool,
-                         support::FaultInjector *FI) {
+                         support::FaultInjector *FI,
+                         observe::MetricsRegistry *Metrics) {
   using support::FaultKind;
   using support::RtCode;
   using support::RtStatus;
@@ -210,6 +212,17 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
       Args.SubgridElems <= 0
           ? 0
           : FlopsPerElem * static_cast<uint64_t>(Args.SubgridElems);
+
+  // Vector-op mix: one sequencer broadcast of each body instruction per
+  // subgrid iteration, regardless of PE count (SIMD). Recorded on the
+  // calling thread before the sweep, so a later abort still reflects the
+  // instruction stream the machine issued.
+  if (Metrics && Iters > 0) {
+    Metrics->count("peac.dispatches");
+    for (const Instruction &I : R.Body)
+      Metrics->count(std::string("peac.op.") + opcodeName(I.Op),
+                     static_cast<uint64_t>(Iters));
+  }
 
   // Injected node faults. Both decisions are drawn on the calling (host)
   // thread and both streams advance once per dispatch regardless of the

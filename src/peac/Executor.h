@@ -24,6 +24,10 @@
 
 namespace f90y {
 
+namespace observe {
+class MetricsRegistry;
+} // namespace observe
+
 namespace support {
 class ThreadPool;
 class FaultInjector;
@@ -83,10 +87,15 @@ struct ExecResult {
 /// trap and an FPU exception before the sweep; a fired fault picks a
 /// deterministic faulting PE, completes only the PEs before it, and
 /// returns with ExecResult::Status non-Ok.
+///
+/// When \p Metrics is non-null, the dispatch's vector-op mix is recorded
+/// (one `peac.op.<mnemonic>` bump per instruction per subgrid iteration,
+/// on the calling thread - deterministic at any thread count).
 ExecResult execute(const Routine &R, const ExecArgs &Args,
                    const cm2::CostModel &Costs,
                    support::ThreadPool *Pool = nullptr,
-                   support::FaultInjector *FI = nullptr);
+                   support::FaultInjector *FI = nullptr,
+                   observe::MetricsRegistry *Metrics = nullptr);
 
 } // namespace peac
 } // namespace f90y

@@ -6,6 +6,8 @@
 
 #include "runtime/CmRuntime.h"
 
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/FaultInjector.h"
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
@@ -113,11 +115,58 @@ void CmRuntime::restoreField(int Handle, const std::vector<double> &Saved) {
   std::copy(Saved.begin(), Saved.end(), A.Data.begin());
   if (Injector)
     ++Injector->counters().Rollbacks;
+  if (Trace)
+    Trace->cycleInstant("rollback", "fault", Ledger.total(),
+                        {observe::arg("field", static_cast<int64_t>(Handle))});
+  if (Metrics)
+    Metrics->count("fault.rollbacks");
 }
 
 RtStatus CmRuntime::runFaultableComm(FaultKind Transient, const char *OpName,
                                      int DstHandle,
                                      const std::function<void()> &Sweep) {
+  if (!Trace && !Metrics) // Disabled observability: the untouched path.
+    return runFaultableCommGated(Transient, OpName, DstHandle, Sweep);
+
+  ObsGeo = nullptr;
+  ObsElems = ObsHops = 0;
+  const double Before = Ledger.total();
+  const uint64_t RetriesBefore = Injector ? Injector->counters().Retries : 0;
+  RtStatus St = runFaultableCommGated(Transient, OpName, DstHandle, Sweep);
+  const double After = Ledger.total();
+  const uint64_t Retries =
+      (Injector ? Injector->counters().Retries : 0) - RetriesBefore;
+  const int64_t Bytes = ObsElems * 8; // Fields store 8-byte elements.
+  if (Trace) {
+    std::vector<observe::TraceArg> Args;
+    if (ObsGeo)
+      Args.push_back(observe::arg("geometry", ObsGeo->signature()));
+    Args.push_back(observe::arg("elems", ObsElems));
+    Args.push_back(observe::arg("bytes", Bytes));
+    Args.push_back(observe::arg("hops", ObsHops));
+    if (Retries)
+      Args.push_back(observe::arg("retries", Retries));
+    if (!St)
+      Args.push_back(observe::arg("status", "fault"));
+    Trace->cycleSpan(OpName, "comm", Before, After, std::move(Args));
+  }
+  if (Metrics) {
+    std::string P = "comm.";
+    for (const char *C = OpName; *C; ++C)
+      P += *C == ' ' ? '-' : *C;
+    P += '.';
+    Metrics->count(P + "ops");
+    Metrics->count(P + "bytes", static_cast<uint64_t>(Bytes));
+    if (ObsHops)
+      Metrics->count(P + "hops", static_cast<uint64_t>(ObsHops));
+    Metrics->countCycles(P + "cycles", After - Before);
+  }
+  return St;
+}
+
+RtStatus CmRuntime::runFaultableCommGated(FaultKind Transient,
+                                          const char *OpName, int DstHandle,
+                                          const std::function<void()> &Sweep) {
   FaultInjector *FI = Injector;
   if (!FI) { // Zero-fault fast path: no gates, no checkpoint.
     Sweep();
@@ -140,6 +189,13 @@ RtStatus CmRuntime::runFaultableComm(FaultKind Transient, const char *OpName,
                    : "NEWS grid link timed out on ") +
               std::to_string(Attempt) + " consecutive attempts; giving up");
     ++FI->counters().Retries;
+    if (Trace)
+      Trace->cycleInstant("retry", "fault", Ledger.total(),
+                          {observe::arg("op", OpName),
+                           observe::arg("attempt",
+                                        static_cast<uint64_t>(Attempt))});
+    if (Metrics)
+      Metrics->count("fault.retries");
   }
 
   // The transfer itself, with end-to-end corruption detection. A
@@ -164,6 +220,13 @@ RtStatus CmRuntime::runFaultableComm(FaultKind Transient, const char *OpName,
     ++FI->counters().Retries;
     Ledger.CommCycles +=
         static_cast<double>(Costs.FaultRetryBackoffCycles) * Attempt;
+    if (Trace)
+      Trace->cycleInstant("retry", "fault", Ledger.total(),
+                          {observe::arg("op", OpName),
+                           observe::arg("attempt",
+                                        static_cast<uint64_t>(Attempt))});
+    if (Metrics)
+      Metrics->count("fault.retries");
   }
 }
 
@@ -194,6 +257,10 @@ double CmRuntime::readElement(int Handle,
   int64_t PE, Off;
   A.Geo->locate(ZeroCoord, PE, Off);
   Ledger.CommCycles += Costs.RouterPerElem;
+  if (Metrics) { // Scalar router traffic: too fine-grained for spans.
+    Metrics->count("comm.element-read.ops");
+    Metrics->countCycles("comm.element-read.cycles", Costs.RouterPerElem);
+  }
   return A.peBase(PE)[Off];
 }
 
@@ -204,6 +271,10 @@ void CmRuntime::writeElement(int Handle,
   int64_t PE, Off;
   A.Geo->locate(ZeroCoord, PE, Off);
   Ledger.CommCycles += Costs.RouterPerElem;
+  if (Metrics) {
+    Metrics->count("comm.element-write.ops");
+    Metrics->countCycles("comm.element-write.cycles", Costs.RouterPerElem);
+  }
   if (A.Kind == ElemKind::Int)
     V = std::trunc(V);
   else if (A.Kind == ElemKind::Bool)
@@ -275,6 +346,7 @@ RtStatus CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
           Acc.LocalElems += P.LocalElems;
           Acc.WireHops += P.WireHops;
         });
+    noteSweep(Geo, Geo.totalElements(), Total.WireHops);
     Ledger.CommCycles +=
         Costs.CommStartupCycles +
         (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
@@ -328,6 +400,7 @@ RtStatus CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
           Acc.LocalElems += P.LocalElems;
           Acc.WireHops += P.WireHops;
         });
+    noteSweep(Geo, Geo.totalElements(), Total.WireHops);
     Ledger.CommCycles +=
         Costs.CommStartupCycles +
         (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
@@ -360,6 +433,7 @@ RtStatus CmRuntime::transpose(int Dst, int Src) {
             }
           }
         });
+    noteSweep(DG, DG.totalElements(), /*Hops=*/0);
     // Transpose goes through the router; charge the per-element cost
     // spread across the machine (all PEs inject concurrently).
     Ledger.CommCycles +=
@@ -442,6 +516,7 @@ RtStatus CmRuntime::sectionCopy(int Dst,
     for (const auto &[Idx, V] : Writes)
       D.Data[Idx] = V;
 
+    noteSweep(DG, Total, /*Hops=*/0);
     Ledger.CommCycles +=
         Costs.CommStartupCycles +
         (Costs.GridLocalPerElem * static_cast<double>(Counts.LocalElems) +
@@ -530,6 +605,7 @@ RtResult<double> CmRuntime::tryReduce(ReduceOp Op, int Src) {
           }
         });
 
+    noteSweep(Geo, Geo.totalElements(), /*Hops=*/0);
     // Local vectorized reduce + log2(P) combine steps.
     double LocalCycles = static_cast<double>(Geo.SubgridElems) *
                          Costs.VectorAluCycles /
@@ -641,6 +717,7 @@ RtStatus CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
         }
       });
 
+  noteSweep(SG, SG.totalElements(), /*Hops=*/0);
   // Cost: local vectorized accumulate over the source subgrid plus
   // log2(grid along the reduced axis) combine steps, then a redistribution
   // of the rank-reduced result through the router.
@@ -687,6 +764,7 @@ RtStatus CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
           }
         }
       });
+  noteSweep(DG, DG.totalElements(), /*Hops=*/0);
   // Broadcast through the router (each source element fans out).
   Ledger.CommCycles +=
       Costs.CommStartupCycles +
@@ -731,6 +809,7 @@ RtResult<std::string> CmRuntime::tryRenderField(int Handle) {
     if (Done)
       break;
   }
+  noteSweep(Geo, Geo.totalElements(), /*Hops=*/0);
   Ledger.CommCycles +=
       Costs.RouterPerElem * static_cast<double>(Geo.totalElements());
   });

@@ -29,6 +29,11 @@
 
 namespace f90y {
 
+namespace observe {
+class TraceRecorder;
+class MetricsRegistry;
+} // namespace observe
+
 namespace support {
 class ThreadPool;
 class FaultInjector;
@@ -116,6 +121,16 @@ public:
   /// zero-fault fast path, identical to the pre-injection runtime).
   support::FaultInjector *faultInjector() const { return Injector; }
   void setFaultInjector(support::FaultInjector *FI) { Injector = FI; }
+
+  /// Observability sinks (null: the zero-cost disabled path). With Trace
+  /// set, every communication op becomes one cycle-domain span stamped
+  /// from the ledger (geometry, element/byte volume, wire hops, retries);
+  /// with Metrics set, per-pattern op/byte/hop/cycle counters accumulate.
+  /// Fault retries and rollbacks are recorded as instants under both.
+  void setTrace(observe::TraceRecorder *T) { Trace = T; }
+  observe::TraceRecorder *trace() const { return Trace; }
+  void setMetrics(observe::MetricsRegistry *M) { Metrics = M; }
+  observe::MetricsRegistry *metrics() const { return Metrics; }
 
   const cm2::CostModel &costs() const { return Costs; }
   CycleLedger &ledger() { return Ledger; }
@@ -220,6 +235,13 @@ private:
   const cm2::CostModel &Costs;
   support::ThreadPool *Pool = nullptr;
   support::FaultInjector *Injector = nullptr;
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
+  /// Geometry and data volume the in-flight comm sweep reported via
+  /// noteSweep (consumed by runFaultableComm's observation wrapper).
+  const Geometry *ObsGeo = nullptr;
+  int64_t ObsElems = 0;
+  int64_t ObsHops = 0;
   CycleLedger Ledger;
   std::map<std::string, std::unique_ptr<Geometry>> Geometries;
   std::map<int, PeArray> Fields;
@@ -235,9 +257,23 @@ private:
   /// then checks for injected corruption; a corrupted transfer restores
   /// \p DstHandle (when >= 0) from its pre-sweep checkpoint and redoes
   /// the sweep. Returns non-Ok after MaxFaultRetries failed attempts.
+  /// When observability sinks are attached the whole op (retries and
+  /// backoff included) is bracketed by ledger totals into one cycle span
+  /// and per-pattern metrics.
   support::RtStatus runFaultableComm(support::FaultKind Transient,
                                      const char *OpName, int DstHandle,
                                      const std::function<void()> &Sweep);
+  support::RtStatus runFaultableCommGated(support::FaultKind Transient,
+                                          const char *OpName, int DstHandle,
+                                          const std::function<void()> &Sweep);
+
+  /// Called from inside a comm sweep to report what moved (geometry,
+  /// active elements, wire hops) for the op's span/metrics.
+  void noteSweep(const Geometry &Geo, int64_t Elems, int64_t Hops) {
+    ObsGeo = &Geo;
+    ObsElems = Elems;
+    ObsHops = Hops;
+  }
 };
 
 } // namespace runtime

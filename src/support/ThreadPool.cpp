@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "observe/Trace.h"
+
 #include <algorithm>
 
 using namespace f90y;
@@ -88,6 +90,23 @@ void ThreadPool::parallelChunks(
   int64_t Chunks = numChunks(N);
   if (Chunks == 0)
     return;
+  if (!Trace || InParallel) {
+    dispatchChunks(N, Chunks, Fn);
+    return;
+  }
+  // Top-level traced job: one wall span on the calling thread. Reentrant
+  // calls are never recorded (they may run on workers, whose interleaving
+  // is not deterministic), so the event stream is identical at any thread
+  // count.
+  observe::WallSpan Span(Trace, "parallel-for", "pool");
+  Span.addArg(observe::arg("n", N));
+  Span.addArg(observe::arg("chunks", Chunks));
+  dispatchChunks(N, Chunks, Fn);
+}
+
+void ThreadPool::dispatchChunks(
+    int64_t N, int64_t Chunks,
+    const std::function<void(int64_t, int64_t, int64_t)> &Fn) {
   // A one-thread pool, a one-chunk job, and reentrant calls all take the
   // inline path: chunks run on the caller in index order. The decomposition
   // is identical either way, so so is the arithmetic.

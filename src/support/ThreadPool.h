@@ -36,6 +36,11 @@
 #include <vector>
 
 namespace f90y {
+
+namespace observe {
+class TraceRecorder;
+} // namespace observe
+
 namespace support {
 
 /// Fixed worker pool. Workers are spawned once at construction and live
@@ -52,6 +57,13 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   unsigned numThreads() const { return NumThreads; }
+
+  /// Attaches a trace recorder: every top-level parallelChunks job is
+  /// recorded as one wall-domain span on the calling (host) thread, so
+  /// the event stream stays deterministic at any thread count. Null
+  /// disables recording (the zero-overhead fast path).
+  void setTrace(observe::TraceRecorder *T) { Trace = T; }
+  observe::TraceRecorder *trace() const { return Trace; }
 
   /// Invokes Fn(Chunk, Begin, End) for every chunk of [0, N), blocking
   /// until all chunks complete. Chunk boundaries depend only on N.
@@ -82,7 +94,11 @@ private:
 
   void workerLoop();
   void runChunks(ParallelJob &Job);
+  void dispatchChunks(
+      int64_t N, int64_t Chunks,
+      const std::function<void(int64_t, int64_t, int64_t)> &Fn);
 
+  observe::TraceRecorder *Trace = nullptr;
   unsigned NumThreads = 1;
   std::vector<std::thread> Workers;
 

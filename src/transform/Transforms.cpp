@@ -7,10 +7,42 @@
 #include "transform/Transforms.h"
 
 #include "nir/Verifier.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+
+#include <functional>
+#include <string>
 
 using namespace f90y;
 using namespace f90y::transform;
 namespace N = f90y::nir;
+
+/// Runs one pass under an optional wall span, recording the phase-count
+/// deltas the pass produced as span args and per-pass gauges.
+static const N::Imp *
+runPass(const char *Name, const N::Imp *I, const TransformOptions &Opts,
+        const std::function<const N::Imp *(const N::Imp *)> &Pass) {
+  if (!Opts.Trace && !Opts.Metrics)
+    return Pass(I);
+  PhaseStats Before = countPhases(I);
+  observe::WallSpan Span(Opts.Trace, Name, "pass");
+  const N::Imp *Result = Pass(I);
+  PhaseStats After = countPhases(Result);
+  Span.addArg(observe::arg("comp_phases", uint64_t(After.ComputationPhases)));
+  Span.addArg(observe::arg("comm_phases",
+                           uint64_t(After.CommunicationPhases)));
+  Span.addArg(observe::arg("move_clauses", uint64_t(After.MoveClauses)));
+  if (Opts.Metrics) {
+    std::string Prefix = std::string("pass.") + Name + ".";
+    Opts.Metrics->gauge(Prefix + "comp_phases", After.ComputationPhases);
+    Opts.Metrics->gauge(Prefix + "comm_phases", After.CommunicationPhases);
+    Opts.Metrics->gauge(Prefix + "host_phases", After.HostScalarPhases);
+    Opts.Metrics->gauge(Prefix + "move_clauses", After.MoveClauses);
+    Opts.Metrics->gauge(Prefix + "move_clause_delta",
+                        double(After.MoveClauses) - double(Before.MoveClauses));
+  }
+  return Result;
+}
 
 const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
                                          N::NIRContext &Ctx,
@@ -19,20 +51,31 @@ const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
   const N::Imp *I = Program;
   unsigned ErrorsBefore = Diags.errorCount();
   if (Opts.ExtractComm)
-    I = extractComm(I, Ctx, Diags);
+    I = runPass("extract-comm", I, Opts, [&](const N::Imp *In) {
+      return extractComm(In, Ctx, Diags);
+    });
   if (Opts.MaskSections)
-    I = maskSections(I, Ctx, Diags);
+    I = runPass("mask-sections", I, Opts, [&](const N::Imp *In) {
+      return maskSections(In, Ctx, Diags);
+    });
   if (Opts.Blocking)
-    I = blockDomains(I, Ctx, Diags);
+    I = runPass("block-domains", I, Opts, [&](const N::Imp *In) {
+      return blockDomains(In, Ctx, Diags);
+    });
   if (Diags.errorCount() != ErrorsBefore)
     return Program;
   const auto *Result = cast<N::ProgramImp>(I);
-  if (!N::verify(Result, Diags))
-    return Program;
+  {
+    observe::WallSpan Span(Opts.Trace, "verify", "pass");
+    if (!N::verify(Result, Diags))
+      return Program;
+  }
   return Result;
 }
 
 static void countIn(const N::Imp *I, PhaseStats &Stats) {
+  if (!I)
+    return;
   switch (I->getKind()) {
   case N::Imp::Kind::Program:
     countIn(cast<N::ProgramImp>(I)->getBody(), Stats);

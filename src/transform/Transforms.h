@@ -32,6 +32,12 @@
 #include "transform/Phases.h"
 
 namespace f90y {
+
+namespace observe {
+class TraceRecorder;
+class MetricsRegistry;
+} // namespace observe
+
 namespace transform {
 
 /// Per-pass toggles (ablation benchmarks disable passes selectively).
@@ -39,6 +45,11 @@ struct TransformOptions {
   bool ExtractComm = true;
   bool MaskSections = true;
   bool Blocking = true;
+  /// Optional observability sinks; null (the default) is the zero-cost
+  /// disabled path. With Trace set each pass is a wall span; with Metrics
+  /// set the per-pass PhaseStats deltas are recorded as gauges.
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
 };
 
 /// Runs the enabled passes in order over \p Program and returns the

@@ -311,6 +311,69 @@ TEST_F(TransformTest, CommunicationPunctuatesBlocks) {
 }
 
 //===--------------------------------------------------------------------===//
+// countPhases edge cases (the per-pass observability gauges feed off it,
+// so the degenerate shapes must not crash or miscount)
+//===--------------------------------------------------------------------===//
+
+TEST_F(TransformTest, CountPhasesNullRootIsAllZero) {
+  PhaseStats S = countPhases(nullptr);
+  EXPECT_EQ(S.ComputationPhases, 0u);
+  EXPECT_EQ(S.CommunicationPhases, 0u);
+  EXPECT_EQ(S.HostScalarPhases, 0u);
+  EXPECT_EQ(S.MoveClauses, 0u);
+}
+
+TEST_F(TransformTest, CountPhasesEmptyProgram) {
+  const N::ProgramImp *Raw = lowerSrc("program p\nend\n");
+  ASSERT_NE(Raw, nullptr) << Diags.str();
+  PhaseStats S = countPhases(Raw);
+  EXPECT_EQ(S.ComputationPhases, 0u);
+  EXPECT_EQ(S.CommunicationPhases, 0u);
+  EXPECT_EQ(S.MoveClauses, 0u);
+}
+
+TEST_F(TransformTest, CountPhasesHostScalarOnlyProgram) {
+  // No arrays anywhere: nothing may classify as a PEAC computation or a
+  // communication phase.
+  const N::ProgramImp *Raw = lowerSrc("program p\n"
+                                      "integer n, m\n"
+                                      "n = 3\n"
+                                      "m = n + 1\n"
+                                      "end\n");
+  ASSERT_NE(Raw, nullptr) << Diags.str();
+  const N::ProgramImp *Opt = optimize(Raw, NCtx, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  for (const N::Imp *P : {static_cast<const N::Imp *>(Raw),
+                          static_cast<const N::Imp *>(Opt)}) {
+    PhaseStats S = countPhases(P);
+    EXPECT_EQ(S.ComputationPhases, 0u);
+    EXPECT_EQ(S.CommunicationPhases, 0u);
+    EXPECT_GE(S.HostScalarPhases, 1u);
+  }
+}
+
+TEST_F(TransformTest, CountPhasesSingleFusedMove) {
+  // Two same-domain assignments fuse into ONE MOVE carrying BOTH clauses:
+  // the clause count survives fusion even as the phase count drops.
+  const N::ProgramImp *Raw = lowerSrc("program p\n"
+                                      "integer, array(16,16) :: a, b\n"
+                                      "a = 1\n"
+                                      "b = a\n"
+                                      "end\n");
+  ASSERT_NE(Raw, nullptr) << Diags.str();
+  PhaseStats Before = countPhases(Raw);
+  EXPECT_EQ(Before.ComputationPhases, 2u);
+  EXPECT_EQ(Before.MoveClauses, 2u);
+
+  const N::ProgramImp *Opt = optimize(Raw, NCtx, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  PhaseStats After = countPhases(Opt);
+  EXPECT_EQ(After.ComputationPhases, 1u) << N::printImp(Opt);
+  EXPECT_EQ(After.MoveClauses, 2u) << N::printImp(Opt);
+  EXPECT_EQ(After.CommunicationPhases, 0u);
+}
+
+//===--------------------------------------------------------------------===//
 // Semantic preservation (differential against the interpreter)
 //===--------------------------------------------------------------------===//
 

@@ -1,0 +1,174 @@
+//===- tools/f90y-trace.cpp - trace summarizer -------------------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// f90y-trace: summarize a Chrome trace-event JSON file produced by
+/// `f90yc -trace=FILE`.
+///
+///   f90y-trace [-top=N] trace.json
+///
+/// Prints, per clock domain, the per-phase breakdown (event name, span
+/// count, total duration, share of the domain total) and the top-N
+/// longest individual spans. The cycle-domain total equals the run's
+/// cycle-ledger total (`f90yc -stats`): cycle spans tile the ledger, with
+/// untraced front-end time attributed to synthetic "host" spans.
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace f90y::observe;
+
+namespace {
+
+struct Span {
+  std::string Name;
+  std::string Cat;
+  double Ts = 0;
+  double Dur = 0;
+};
+
+struct Group {
+  uint64_t Count = 0;
+  double Total = 0;
+};
+
+void summarizeDomain(const char *Title, const char *Unit,
+                     const std::vector<Span> &Spans, uint64_t Instants,
+                     unsigned TopN) {
+  double DomainTotal = 0;
+  std::map<std::string, Group> Groups;
+  for (const Span &S : Spans) {
+    Group &G = Groups[S.Name];
+    G.Count += 1;
+    G.Total += S.Dur;
+    DomainTotal += S.Dur;
+  }
+
+  std::printf("== %s ==\n", Title);
+  if (Spans.empty()) {
+    std::printf("  (no spans)\n\n");
+    return;
+  }
+
+  std::vector<std::pair<std::string, Group>> Rows(Groups.begin(),
+                                                  Groups.end());
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    if (A.second.Total != B.second.Total)
+      return A.second.Total > B.second.Total;
+    return A.first < B.first;
+  });
+  std::printf("  %-24s %8s %16s %7s\n", "phase", "count", Unit, "share");
+  for (const auto &[Name, G] : Rows)
+    std::printf("  %-24s %8llu %16.1f %6.1f%%\n", Name.c_str(),
+                static_cast<unsigned long long>(G.Count), G.Total,
+                DomainTotal > 0 ? 100.0 * G.Total / DomainTotal : 0.0);
+  std::printf("  %-24s %8llu %16.1f\n", "total",
+              static_cast<unsigned long long>(Spans.size()), DomainTotal);
+  if (Instants)
+    std::printf("  (+ %llu instant events)\n",
+                static_cast<unsigned long long>(Instants));
+
+  std::vector<Span> Top = Spans;
+  std::stable_sort(Top.begin(), Top.end(),
+                   [](const Span &A, const Span &B) { return A.Dur > B.Dur; });
+  if (Top.size() > TopN)
+    Top.resize(TopN);
+  std::printf("  top %zu spans:\n", Top.size());
+  for (const Span &S : Top)
+    std::printf("    %-22s %-8s ts=%-14.1f dur=%.1f\n", S.Name.c_str(),
+                S.Cat.c_str(), S.Ts, S.Dur);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path;
+  unsigned TopN = 5;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-top=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Arg.c_str() + 5, &End, 10);
+      if (End == Arg.c_str() + 5 || *End != '\0' || V == 0) {
+        std::fprintf(stderr, "f90y-trace: invalid value for -top=N\n");
+        return 2;
+      }
+      TopN = static_cast<unsigned>(V);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "usage: f90y-trace [-top=N] trace.json\n");
+      return 2;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      std::fprintf(stderr, "f90y-trace: multiple input files\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: f90y-trace [-top=N] trace.json\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "f90y-trace: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  json::Value Root;
+  std::string Error;
+  if (!json::parse(Buf.str(), Root, Error)) {
+    std::fprintf(stderr, "f90y-trace: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  const json::Value *Events = Root.get("traceEvents");
+  if (!Events || !Events->isArray()) {
+    std::fprintf(stderr,
+                 "f90y-trace: %s: no traceEvents array (not a Chrome "
+                 "trace?)\n",
+                 Path.c_str());
+    return 1;
+  }
+
+  std::vector<Span> Wall, Cycles;
+  uint64_t WallInstants = 0, CycleInstants = 0;
+  for (const json::Value &E : Events->Arr) {
+    if (!E.isObject())
+      continue;
+    std::string Ph = E.strOr("ph", "");
+    if (Ph != "X" && Ph != "i")
+      continue;
+    bool IsWall = E.numOr("pid", 0) == 1;
+    if (Ph == "i") {
+      (IsWall ? WallInstants : CycleInstants) += 1;
+      continue;
+    }
+    Span S;
+    S.Name = E.strOr("name", "?");
+    S.Cat = E.strOr("cat", "");
+    S.Ts = E.numOr("ts", 0);
+    S.Dur = E.numOr("dur", 0);
+    (IsWall ? Wall : Cycles).push_back(std::move(S));
+  }
+
+  summarizeDomain("host wall-clock", "us", Wall, WallInstants, TopN);
+  summarizeDomain("simulated CM/2", "cycles", Cycles, CycleInstants, TopN);
+  return 0;
+}

@@ -26,12 +26,21 @@
 ///   -cm5             use the CM/5 machine description
 ///   -stats           print the cycle ledger (and any fault/recovery
 ///                    counters) after the run
+///   -stats-json=F    write the run report (ledger breakdown, flops,
+///                    GFLOPS, fault counters) to F as JSON
+///   -trace=F         record a dual-clock trace (compiler phases on the
+///                    host wall clock, execution on simulated cycles) and
+///                    write Chrome trace-event JSON to F
+///   -metrics=F       write the metrics registry (counters, gauges,
+///                    histograms) to F as JSON
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 #include "host/Printer.h"
 #include "nir/Printer.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -52,7 +61,8 @@ void usage() {
       "usage: f90yc [options] file.f90\n"
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
       "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
-      "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n");
+      "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n"
+      "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n");
 }
 
 /// Strict decimal parse of a flag value: the whole string must be a
@@ -100,6 +110,7 @@ int main(int argc, char **argv) {
   enum class Emit { Run, NIR, Blocked, Peac, Host } Mode = Emit::Run;
   Profile Prof = Profile::F90Y;
   bool Stats = false;
+  std::string StatsJsonPath, TracePath, MetricsPath;
   cm2::CostModel Machine;
   ExecutionOptions ExecOpts;
 
@@ -139,6 +150,24 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("-max-steps=", 0) == 0) {
       if (!parseUint64("-max-steps", Arg.substr(11), ExecOpts.MaxSteps))
         return 2;
+    } else if (Arg.rfind("-stats-json=", 0) == 0) {
+      StatsJsonPath = Arg.substr(12);
+      if (StatsJsonPath.empty()) {
+        std::fprintf(stderr, "f90yc: -stats-json needs a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("-trace=", 0) == 0) {
+      TracePath = Arg.substr(7);
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "f90yc: -trace needs a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("-metrics=", 0) == 0) {
+      MetricsPath = Arg.substr(9);
+      if (MetricsPath.empty()) {
+        std::fprintf(stderr, "f90yc: -metrics needs a file name\n");
+        return 2;
+      }
     } else if (Arg.rfind("-profile=", 0) == 0) {
       std::string P = Arg.substr(9);
       if (P == "f90y")
@@ -175,9 +204,34 @@ int main(int argc, char **argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
+  observe::TraceRecorder Trace;
+  observe::MetricsRegistry Metrics;
+  observe::TraceRecorder *TraceP = TracePath.empty() ? nullptr : &Trace;
+  observe::MetricsRegistry *MetricsP =
+      MetricsPath.empty() ? nullptr : &Metrics;
+  // Writes the requested observability files; returns false (with a
+  // diagnostic) if any cannot be written. Called on every exit path past
+  // compilation so a failed run still leaves its trace behind.
+  auto WriteObservability = [&]() {
+    bool Ok = true;
+    if (TraceP && !Trace.writeJson(TracePath)) {
+      std::fprintf(stderr, "f90yc: cannot write trace to '%s'\n",
+                   TracePath.c_str());
+      Ok = false;
+    }
+    if (MetricsP && !Metrics.writeJson(MetricsPath)) {
+      std::fprintf(stderr, "f90yc: cannot write metrics to '%s'\n",
+                   MetricsPath.c_str());
+      Ok = false;
+    }
+    return Ok;
+  };
+
   Compilation C(CompileOptions::forProfile(Prof, Machine));
+  C.setObservability(TraceP, MetricsP);
   if (!C.compile(Buf.str())) {
     std::fprintf(stderr, "%s", C.diags().str().c_str());
+    WriteObservability();
     return 1;
   }
   if (!C.diags().diagnostics().empty())
@@ -186,22 +240,24 @@ int main(int argc, char **argv) {
   switch (Mode) {
   case Emit::NIR:
     std::printf("%s", nir::printImp(C.artifacts().RawNIR).c_str());
-    return 0;
+    return WriteObservability() ? 0 : 1;
   case Emit::Blocked:
     std::printf("%s", nir::printImp(C.artifacts().OptimizedNIR).c_str());
-    return 0;
+    return WriteObservability() ? 0 : 1;
   case Emit::Peac:
     std::printf("%s", C.artifacts().Compiled.peacListing().c_str());
-    return 0;
+    return WriteObservability() ? 0 : 1;
   case Emit::Host:
     std::printf("%s",
                 host::printHostProgram(C.artifacts().Compiled.Program)
                     .c_str());
-    return 0;
+    return WriteObservability() ? 0 : 1;
   case Emit::Run:
     break;
   }
 
+  ExecOpts.Trace = TraceP;
+  ExecOpts.Metrics = MetricsP;
   Execution Exec(Machine, ExecOpts);
   auto Report = Exec.run(C.artifacts().Compiled.Program);
   if (!Report) {
@@ -210,6 +266,7 @@ int main(int argc, char **argv) {
     if (Stats && Exec.faultInjector())
       std::fprintf(stderr, "-- %s\n",
                    Exec.faultInjector()->counters().str().c_str());
+    WriteObservability();
     return 1;
   }
   std::printf("%s", Report->Output.c_str());
@@ -226,5 +283,15 @@ int main(int argc, char **argv) {
     if (Exec.faultInjector())
       std::fprintf(stderr, "-- %s\n", Report->Faults.str().c_str());
   }
-  return 0;
+  if (!StatsJsonPath.empty()) {
+    std::ofstream Out(StatsJsonPath);
+    if (Out)
+      Out << Report->json();
+    if (!Out) {
+      std::fprintf(stderr, "f90yc: cannot write run report to '%s'\n",
+                   StatsJsonPath.c_str());
+      return 1;
+    }
+  }
+  return WriteObservability() ? 0 : 1;
 }
