@@ -17,12 +17,16 @@
 #define F90Y_BENCH_BENCHHARNESS_H
 
 #include "driver/Driver.h"
+#include "observe/Json.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace f90y {
 namespace bench {
@@ -84,6 +88,55 @@ inline bool sameLedger(const runtime::CycleLedger &A,
          A.CommCycles == B.CommCycles && A.HostCycles == B.HostCycles &&
          A.OverlappedCycles == B.OverlappedCycles && A.Flops == B.Flops;
 }
+
+/// Machine-readable results: each benchmark fills one Report and writes
+/// it as `BENCH_<name>.json` in the working directory, which CI uploads
+/// as an artifact so run-to-run numbers can be compared without parsing
+/// stdout. Fields keep insertion order and are rendered with the
+/// observe/Json.h deterministic formatters, so everything except wall
+/// times is byte-stable across reruns.
+class Report {
+public:
+  explicit Report(std::string Name) : Name(std::move(Name)) {}
+
+  void set(const std::string &Key, double V) {
+    Fields.emplace_back(Key, observe::json::number(V));
+  }
+  void set(const std::string &Key, uint64_t V) {
+    Fields.emplace_back(Key, observe::json::number(V));
+  }
+  void set(const std::string &Key, int64_t V) {
+    Fields.emplace_back(Key, observe::json::number(V));
+  }
+  void set(const std::string &Key, int V) {
+    Fields.emplace_back(Key, observe::json::number(static_cast<int64_t>(V)));
+  }
+  void set(const std::string &Key, const std::string &V) {
+    Fields.emplace_back(Key, observe::json::quote(V));
+  }
+
+  /// Writes `BENCH_<name>.json`. Failure to write is reported but
+  /// non-fatal: the numbers were already printed to stdout.
+  bool write() const {
+    std::string Path = "BENCH_" + Name + ".json";
+    std::ofstream Out(Path);
+    if (!Out.good()) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    Out << "{\n  " << observe::json::quote("bench") << ": "
+        << observe::json::quote(Name);
+    for (const auto &F : Fields)
+      Out << ",\n  " << observe::json::quote(F.first) << ": " << F.second;
+    Out << "\n}\n";
+    std::printf("\nwrote %s\n", Path.c_str());
+    return Out.good();
+  }
+
+private:
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
 
 } // namespace bench
 } // namespace f90y

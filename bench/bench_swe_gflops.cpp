@@ -21,6 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchHarness.h"
 #include "baselines/Fieldwise.h"
 #include "driver/Driver.h"
 #include "driver/Workloads.h"
@@ -84,7 +85,10 @@ Row runProfile(const std::string &Name, const std::string &Src,
   return R;
 }
 
-void printRow(const Row &R) {
+/// Prints one table row and, when \p Key is given, records the measured
+/// GFLOPS into the machine-readable report as `gflops.<Key>`.
+void printRow(const Row &R, bench::Report *Rep = nullptr,
+              const char *Key = nullptr) {
   double Total = R.Ledger.total();
   auto Pct = [&](double C) { return Total > 0 ? 100.0 * C / Total : 0.0; };
   std::printf("  %-28s %8.2f", R.Name.c_str(), R.GFlops);
@@ -97,6 +101,8 @@ void printRow(const Row &R) {
                 Pct(R.Ledger.NodeCycles), Pct(R.Ledger.CallCycles),
                 Pct(R.Ledger.CommCycles), Pct(R.Ledger.HostCycles));
   std::printf("\n");
+  if (Rep && Key)
+    Rep->set(std::string("gflops.") + Key, R.GFlops);
 }
 
 } // namespace
@@ -117,6 +123,11 @@ int main(int argc, char **argv) {
   std::printf("useful flops (reference interpreter): %llu\n\n",
               static_cast<unsigned long long>(Flops));
 
+  bench::Report Rep("swe_gflops");
+  Rep.set("n", N);
+  Rep.set("steps", Steps);
+  Rep.set("useful_flops", Flops);
+
   std::printf("  %-28s %8s %8s\n", "configuration", "GFLOPS", "paper");
 
   // The *Lisp fieldwise baseline.
@@ -132,50 +143,59 @@ int main(int argc, char **argv) {
     R.Name = "*Lisp (fieldwise)";
     R.GFlops = FW.gflops(Machine);
     R.PaperGFlops = 1.89;
-    printRow(R);
+    printRow(R, &Rep, "fieldwise");
   }
 
   printRow(runProfile("CM Fortran v1.1 (slicewise)", Src,
                       CompileOptions::forProfile(Profile::CMFStyle, Machine),
-                      Flops, 2.79));
+                      Flops, 2.79),
+           &Rep, "cmf11_slicewise");
   printRow(runProfile("Fortran-90-Y", Src,
                       CompileOptions::forProfile(Profile::F90Y, Machine),
-                      Flops, 2.99));
+                      Flops, 2.99),
+           &Rep, "f90y");
 
   std::printf("\nablation (one optimization off at a time):\n");
   printRow(runProfile("F90-Y / naive node code", Src,
                       CompileOptions::forProfile(Profile::Naive, Machine),
-                      Flops, 0));
+                      Flops, 0),
+           &Rep, "naive");
   {
     CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
     O.Transforms.Blocking = false;
-    printRow(runProfile("F90-Y - blocking", Src, O, Flops, 0));
+    printRow(runProfile("F90-Y - blocking", Src, O, Flops, 0), &Rep,
+             "no_blocking");
   }
   {
     CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
     O.Backend.PE.Chaining = false;
-    printRow(runProfile("F90-Y - chaining", Src, O, Flops, 0));
+    printRow(runProfile("F90-Y - chaining", Src, O, Flops, 0), &Rep,
+             "no_chaining");
   }
   {
     CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
     O.Backend.PE.DualIssue = false;
-    printRow(runProfile("F90-Y - dual issue", Src, O, Flops, 0));
+    printRow(runProfile("F90-Y - dual issue", Src, O, Flops, 0), &Rep,
+             "no_dual_issue");
   }
   {
     CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
     O.Backend.PE.MaddFusion = false;
-    printRow(runProfile("F90-Y - multiply-add", Src, O, Flops, 0));
+    printRow(runProfile("F90-Y - multiply-add", Src, O, Flops, 0), &Rep,
+             "no_madd");
   }
   {
     CompileOptions O = CompileOptions::forProfile(Profile::F90Y, Machine);
     O.Backend.PE.CSE = false;
-    printRow(runProfile("F90-Y - CSE", Src, O, Flops, 0));
+    printRow(runProfile("F90-Y - CSE", Src, O, Flops, 0), &Rep, "no_cse");
   }
 
   std::printf("\nextension (paper Section 5.3.2, \"pipeline communication "
               "and computation\"):\n");
   printRow(runProfile("F90-Y + comm overlap", Src,
                       CompileOptions::forProfile(Profile::F90Y, Machine),
-                      Flops, 0, /*OverlapComm=*/true));
+                      Flops, 0, /*OverlapComm=*/true),
+           &Rep, "comm_overlap");
+  Rep.write();
   return 0;
 }

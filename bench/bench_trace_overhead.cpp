@@ -47,6 +47,24 @@ struct TracedRun {
   size_t Events = 0;
 };
 
+/// Drops `peac.engine.*` lines: the routine-cache hit/miss counters
+/// reflect host-side cache history (rep 2 hits on routines rep 1
+/// compiled), not simulated-machine state, so the byte-identical-across-
+/// reps contract excludes them.
+std::string stripEngineMetrics(const std::string &Text) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    End = End == std::string::npos ? Text.size() : End + 1;
+    std::string Line = Text.substr(Pos, End - Pos);
+    if (Line.rfind("peac.engine.", 0) != 0)
+      Out += Line;
+    Pos = End;
+  }
+  return Out;
+}
+
 TracedRun runTraced(const std::string &Source, const cm2::CostModel &Machine,
                     int Reps) {
   TracedRun R;
@@ -73,7 +91,7 @@ TracedRun runTraced(const std::string &Source, const cm2::CostModel &Machine,
     R.S.Output = S.Output;
     R.S.Ledger = S.Ledger;
     std::string Json = Trace.exportJson(/*NormalizeWall=*/true);
-    std::string Text = Metrics.exportText();
+    std::string Text = stripEngineMetrics(Metrics.exportText());
     if (Rep == 0) {
       R.TraceJson = std::move(Json);
       R.MetricsText = std::move(Text);

@@ -25,6 +25,7 @@
 #include "host/HostExecutor.h"
 #include "nir/NIRContext.h"
 #include "observe/Metrics.h"
+#include "peac/Engine.h"
 #include "observe/Trace.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
@@ -148,6 +149,13 @@ struct ExecutionOptions {
   /// Watchdog: fail the run after this many executed host statements
   /// (0 = unlimited).
   uint64_t MaxSteps = 0;
+  /// Which PEAC executor sweeps the simulated PEs (f90yc -exec=). The
+  /// compiled engine translates each routine once (cached per process)
+  /// and is the default; Interp selects the reference interpreter. The
+  /// two are bit-identical in everything the simulation produces -
+  /// output, ledger, flop and fault counters, traces - so this is a host
+  /// performance knob, not a machine-model one.
+  peac::EngineKind Engine = peac::EngineKind::Compiled;
   /// Observability sinks wired through the pool, runtime, and host
   /// executor (null: the zero-cost disabled path; the simulation is
   /// bit-identical to an unobserved run). Cycle-domain events are stamped
@@ -163,7 +171,8 @@ class Execution {
 public:
   explicit Execution(const cm2::CostModel &Costs, ExecutionOptions EOpts = {})
       : Costs(Costs), Pool(EOpts.Threads), RT(this->Costs, &Pool),
-        Exec(RT, Diags), Trace(EOpts.Trace), Metrics(EOpts.Metrics) {
+        Exec(RT, Diags), Engine(EOpts.Engine), Trace(EOpts.Trace),
+        Metrics(EOpts.Metrics) {
     if (EOpts.Faults.any()) {
       Injector = std::make_unique<support::FaultInjector>(EOpts.Faults,
                                                           EOpts.FaultSeed);
@@ -173,6 +182,7 @@ public:
     Pool.setTrace(Trace);
     RT.setTrace(Trace);
     RT.setMetrics(Metrics);
+    RT.setExecEngine(&Engine);
   }
 
   host::HostExecutor &executor() { return Exec; }
@@ -181,6 +191,9 @@ public:
   DiagnosticEngine &diags() { return Diags; }
   /// The attached injector, or null when no fault kind is enabled.
   support::FaultInjector *faultInjector() { return Injector.get(); }
+  /// The PEAC execution engine (ExecutionOptions::Engine selects its
+  /// kind; Compiled shares the process-wide routine cache).
+  peac::ExecutionEngine &execEngine() { return Engine; }
 
   /// Runs \p Program; nullopt on a simulated runtime error (including a
   /// fault that recovery could not absorb - retries exhausted, simulated
@@ -193,6 +206,7 @@ private:
   DiagnosticEngine Diags;
   runtime::CmRuntime RT;
   host::HostExecutor Exec;
+  peac::ExecutionEngine Engine;
   std::unique_ptr<support::FaultInjector> Injector;
   observe::TraceRecorder *Trace = nullptr;
   observe::MetricsRegistry *Metrics = nullptr;

@@ -10,6 +10,7 @@
 #include "nir/Printer.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "peac/Engine.h"
 #include "peac/Executor.h"
 #include "support/FaultInjector.h"
 
@@ -321,9 +322,17 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
     }
   };
 
+  // Dispatch through the runtime's execution engine when one is attached
+  // (the driver always attaches one; -exec= selects its kind). Standalone
+  // CmRuntime users without an engine get the reference interpreter -
+  // the two are bit-identical, so this is purely a host-speed choice.
+  peac::ExecutionEngine *Engine = RT.execEngine();
   peac::ExecResult Res;
   for (unsigned Attempt = 1;; ++Attempt) {
-    Res = peac::execute(R, Args, RT.costs(), RT.threadPool(), FI, Metrics);
+    Res = Engine ? Engine->execute(R, Args, RT.costs(), RT.threadPool(), FI,
+                                   Metrics)
+                 : peac::execute(R, Args, RT.costs(), RT.threadPool(), FI,
+                                 Metrics);
     // Each attempt charges in full: the machine really ran (and, on a
     // trap, really trapped), so replays make the ledger strictly larger.
     L.NodeCycles += Res.NodeCycles;

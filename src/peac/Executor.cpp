@@ -19,16 +19,17 @@ using namespace f90y::peac;
 
 namespace {
 
-constexpr unsigned MaxWidth = 8;
-
-/// Per-PE execution state for one routine run.
+/// Per-PE execution state for one routine run. Register scratch is sized
+/// to what the routine actually touches (Routine::scratchUse), not the
+/// machine's full file sizes; execute() asserts the machine bound once
+/// per dispatch.
 struct PEState {
   const ExecArgs &Args;
   unsigned PE;
   int64_t IterBase = 0; ///< Element index of lane 0 this iteration.
   unsigned Width;
-  std::vector<std::array<double, MaxWidth>> VRegs;
-  std::vector<std::array<double, MaxWidth>> Spill;
+  std::vector<std::array<double, MaxExecLanes>> VRegs;
+  std::vector<std::array<double, MaxExecLanes>> Spill;
 
   PEState(const ExecArgs &Args, unsigned PE, unsigned Width,
           unsigned NumVRegs, unsigned NumSpill)
@@ -138,11 +139,9 @@ double applyOp(Opcode Op, double A, double B, double C) {
 /// extent, so tail padding lanes running FDivV/FLogV/FSqrtV over padding
 /// never write Inf/NaN past SubgridElems. VReg and spill-slot writes are
 /// per-iteration scratch and stay unmasked.
-void runPE(const Routine &R, const ExecArgs &Args,
-           const cm2::CostModel &Costs, unsigned PE, unsigned Width,
-           int64_t Iters) {
-  PEState St(Args, PE, Width, /*NumVRegs=*/Costs.VectorRegs,
-             R.NumSpillSlots);
+void runPE(const Routine &R, const ExecArgs &Args, const ScratchUse &Use,
+           unsigned PE, unsigned Width, int64_t Iters) {
+  PEState St(Args, PE, Width, /*NumVRegs=*/Use.VRegs, Use.SpillSlots);
   for (int64_t It = 0; It < Iters; ++It) {
     St.IterBase = It * Width;
     const int64_t ValidLanes =
@@ -150,7 +149,7 @@ void runPE(const Routine &R, const ExecArgs &Args,
     for (const Instruction &I : R.Body) {
       // All lanes read before any lane writes (vector semantics; the
       // destination register or memory may alias a source).
-      double Tmp[MaxWidth];
+      double Tmp[MaxExecLanes];
       for (unsigned Lane = 0; Lane < Width; ++Lane) {
         double A = I.Srcs.size() > 0
                        ? St.read(I.Srcs[0], Lane, R.NumPtrArgs)
@@ -179,24 +178,26 @@ void runPE(const Routine &R, const ExecArgs &Args,
 
 } // namespace
 
-ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
-                         const cm2::CostModel &Costs,
-                         support::ThreadPool *Pool,
-                         support::FaultInjector *FI,
-                         observe::MetricsRegistry *Metrics) {
+ExecResult peac::detail::dispatch(const Routine &R, const ExecArgs &Args,
+                                  const cm2::CostModel &Costs,
+                                  support::ThreadPool *Pool,
+                                  support::FaultInjector *FI,
+                                  observe::MetricsRegistry *Metrics,
+                                  const SweepFn &Sweep) {
   using support::FaultKind;
   using support::RtCode;
   using support::RtStatus;
 
   const unsigned Width = Costs.VectorWidth;
-  F90Y_CHECK(Width <= MaxWidth, "vector width exceeds executor lanes");
+  F90Y_CHECK(Width <= MaxExecLanes, "vector width exceeds executor lanes");
   ExecResult Result;
 
   const int64_t Iters =
       Args.SubgridElems <= 0 ? 0 : (Args.SubgridElems + Width - 1) / Width;
 
   // Static SIMD cycle account: a property of the broadcast instruction
-  // stream, identical for every PE, so it is computed once up front.
+  // stream, identical for every PE (and for every sweep implementation),
+  // so it is computed once up front.
   Result.NodeCycles = static_cast<double>(Iters) *
                       R.cyclesPerIteration(Costs);
   Result.CallCycles =
@@ -216,12 +217,12 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
   // Vector-op mix: one sequencer broadcast of each body instruction per
   // subgrid iteration, regardless of PE count (SIMD). Recorded on the
   // calling thread before the sweep, so a later abort still reflects the
-  // instruction stream the machine issued.
+  // instruction stream the machine issued. Metric names are interned
+  // (opcodeMetricName), so this loop performs no allocation.
   if (Metrics && Iters > 0) {
     Metrics->count("peac.dispatches");
     for (const Instruction &I : R.Body)
-      Metrics->count(std::string("peac.op.") + opcodeName(I.Op),
-                     static_cast<uint64_t>(Iters));
+      Metrics->count(opcodeMetricName(I.Op), static_cast<uint64_t>(Iters));
   }
 
   // Injected node faults. Both decisions are drawn on the calling (host)
@@ -231,6 +232,8 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
   // PEs before the (deterministically chosen) faulting one have already
   // swept their subgrids - real partial stores the caller must roll back
   // - and the full cycle charge stands, but no useful flops are counted.
+  // The partial sweep uses the same Sweep as the full one, so the stores
+  // a trap leaves behind are engine-independent too.
   if (FI) {
     uint64_t TrapRaw = 0, FpuRaw = 0;
     const bool Trap = FI->fire(FaultKind::PeTrap, &TrapRaw);
@@ -239,7 +242,7 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
       const unsigned FaultPE = static_cast<unsigned>(
           (Trap ? TrapRaw : FpuRaw) % (Args.NumPEs ? Args.NumPEs : 1));
       for (unsigned PE = 0; PE < FaultPE; ++PE)
-        runPE(R, Args, Costs, PE, Width, Iters);
+        Sweep(PE);
       Result.Status = RtStatus::fault(
           Trap ? RtCode::PeTrap : RtCode::FpuFault,
           std::string(Trap ? "PE trap" : "FPU exception") + " on PE " +
@@ -258,11 +261,36 @@ ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
       [&](int64_t Begin, int64_t End) {
         uint64_t Part = 0;
         for (int64_t PE = Begin; PE < End; ++PE) {
-          runPE(R, Args, Costs, static_cast<unsigned>(PE), Width, Iters);
+          Sweep(static_cast<unsigned>(PE));
           Part += FlopsPerPE;
         }
         return Part;
       },
       [](uint64_t &Acc, uint64_t Part) { Acc += Part; });
   return Result;
+}
+
+ExecResult peac::execute(const Routine &R, const ExecArgs &Args,
+                         const cm2::CostModel &Costs,
+                         support::ThreadPool *Pool,
+                         support::FaultInjector *FI,
+                         observe::MetricsRegistry *Metrics) {
+  const ScratchUse Use = R.scratchUse();
+  F90Y_CHECK(Use.VRegs <= Costs.VectorRegs,
+             "PEAC routine uses more vector registers than the machine");
+  F90Y_CHECK(Use.SpillSlots <= R.NumSpillSlots,
+             "PEAC routine references undeclared spill slots");
+  F90Y_CHECK(Use.ScalarArgs <= Args.Scalars.size(),
+             "PEAC routine references unbound scalar arguments");
+  F90Y_CHECK(R.NumPtrArgs <= Args.Ptrs.size(),
+             "PEAC routine references unbound pointer arguments");
+
+  const unsigned Width = Costs.VectorWidth;
+  const int64_t Iters =
+      Args.SubgridElems <= 0 ? 0 : (Args.SubgridElems + Width - 1) / Width;
+  return detail::dispatch(
+      R, Args, Costs, Pool, FI, Metrics, [&R, &Args, &Use, Width,
+                                          Iters](unsigned PE) {
+        runPE(R, Args, Use, PE, Width, Iters);
+      });
 }

@@ -20,6 +20,7 @@
 #include "support/RtStatus.h"
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace f90y {
@@ -34,6 +35,10 @@ class FaultInjector;
 } // namespace support
 
 namespace peac {
+
+/// The executor's lane capacity; every engine checks the machine's
+/// vector width against it once per dispatch.
+constexpr unsigned MaxExecLanes = 8;
 
 /// Binding of one pointer argument to storage. PE p's subgrid base is
 /// `Data + p * PEStride + Offset`.
@@ -96,6 +101,27 @@ ExecResult execute(const Routine &R, const ExecArgs &Args,
                    support::ThreadPool *Pool = nullptr,
                    support::FaultInjector *FI = nullptr,
                    observe::MetricsRegistry *Metrics = nullptr);
+
+namespace detail {
+
+/// The functional sweep over one PE's subgrid slice, supplied by an
+/// execution engine (the reference interpreter or the pre-compiled
+/// engine of peac/Engine.h).
+using SweepFn = std::function<void(unsigned PE)>;
+
+/// The dispatch shell shared by every execution engine: the static cycle
+/// and flop account, the vector-op-mix metrics, the injected node-fault
+/// path (including the partial sweep of PEs before the faulting one), and
+/// the chunk-ordered parallel PE sweep. Engines differ only in \p Sweep -
+/// how one PE's subgrid is swept functionally - so everything the
+/// determinism contract covers (accounting, fault schedules, metrics)
+/// lives here exactly once and cannot diverge between engines.
+ExecResult dispatch(const Routine &R, const ExecArgs &Args,
+                    const cm2::CostModel &Costs, support::ThreadPool *Pool,
+                    support::FaultInjector *FI,
+                    observe::MetricsRegistry *Metrics, const SweepFn &Sweep);
+
+} // namespace detail
 
 } // namespace peac
 } // namespace f90y

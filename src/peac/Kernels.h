@@ -1,0 +1,336 @@
+//===- peac/Kernels.h - pre-specialized PEAC lane kernels ---------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane kernels of the pre-compiled PEAC execution engine
+/// (peac/Engine.h). Translation classifies every operand into an
+/// addressing form once (OperandRef), then each body instruction becomes
+/// one kernel call specialized on opcode x source arity: the kernel
+/// resolves its operands to lane pointers (a switch per *operand*, not
+/// per lane), evaluates the whole lane vector, and stores once - with the
+/// Srcs.size() checks and the tail-store mask hoisted out of the per-lane
+/// path.
+///
+/// Semantics are the reference interpreter's (peac/Executor.cpp), bit for
+/// bit: all lanes read before any lane writes (src/dst may alias),
+/// missing sources read as 0, IEEE-754 division on every computed lane,
+/// and stores to real subgrid memory masked to SubgridElems while VReg
+/// and spill writes stay unmasked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_PEAC_KERNELS_H
+#define F90Y_PEAC_KERNELS_H
+
+#include "peac/Executor.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace f90y {
+namespace peac {
+namespace engine {
+
+/// One vector register's worth of lanes, the unit of engine scratch.
+struct LaneVec {
+  double L[MaxExecLanes] = {};
+};
+
+/// A pre-resolved operand: the addressing form is classified at
+/// translation time, so the per-iteration path switches on a dense enum
+/// with everything it needs baked in.
+struct OperandRef {
+  enum class Form : uint8_t {
+    VReg,  ///< Index into the per-PE vector-register scratch.
+    SReg,  ///< Index into the per-dispatch broadcast scalar pool.
+    Imm,   ///< Index into the routine's pre-broadcast immediate pool.
+    Mem,   ///< Real subgrid memory: Bases[Index] + Offset + elem*Stride.
+    Spill, ///< Index into the per-PE spill scratch (offset/stride do not
+           ///< apply: a spill slot is one lane vector, as in the
+           ///< interpreter's PEState::memAddr).
+    None   ///< Absent source: reads as 0, never a destination.
+  };
+
+  Form F = Form::None;
+  uint32_t Index = 0;
+  int64_t Offset = 0; ///< Mem only.
+  int64_t Stride = 1; ///< Mem only.
+};
+
+/// Everything a kernel needs about the current (PE, iteration) pair.
+/// VRegs/Spill point at reusable per-thread scratch; Bases holds this
+/// PE's subgrid base pointer per pointer argument.
+struct PEContext {
+  LaneVec *VRegs = nullptr;
+  LaneVec *Spill = nullptr;
+  const LaneVec *ScalarPool = nullptr;
+  const LaneVec *ImmPool = nullptr;
+  double *const *Bases = nullptr;
+  int64_t IterBase = 0;   ///< Element index of lane 0 this iteration.
+  unsigned Width = 0;     ///< Machine vector width (<= MaxExecLanes).
+  unsigned StoreLanes = 0; ///< Lanes within SubgridElems this iteration.
+};
+
+/// The all-zero lane vector absent sources resolve to.
+inline const double *zeroLanes() {
+  static constexpr LaneVec Zeros{};
+  return Zeros.L;
+}
+
+/// Resolves a source operand to a lane pointer. Register files, scalar
+/// and immediate pools, and unit-stride memory all resolve to existing
+/// storage; only a strided memory read gathers into \p Scratch.
+/// FixedWidth = 0 means "use C.Width"; a nonzero value is a
+/// compile-time lane count the gather loop fully unrolls over.
+template <unsigned FixedWidth>
+inline const double *resolveSrc(const OperandRef &O, const PEContext &C,
+                                double *Scratch) {
+  switch (O.F) {
+  case OperandRef::Form::VReg:
+    return C.VRegs[O.Index].L;
+  case OperandRef::Form::Spill:
+    return C.Spill[O.Index].L;
+  case OperandRef::Form::SReg:
+    return C.ScalarPool[O.Index].L;
+  case OperandRef::Form::Imm:
+    return C.ImmPool[O.Index].L;
+  case OperandRef::Form::Mem: {
+    // Same address arithmetic as PEState::memAddr: base + offset +
+    // (iter_base + lane) * stride, in elements.
+    const double *P = C.Bases[O.Index] + O.Offset + C.IterBase * O.Stride;
+    if (O.Stride == 1)
+      return P;
+    const unsigned Width = FixedWidth ? FixedWidth : C.Width;
+    for (unsigned Lane = 0; Lane < Width; ++Lane)
+      Scratch[Lane] = P[static_cast<int64_t>(Lane) * O.Stride];
+    return Scratch;
+  }
+  case OperandRef::Form::None:
+    return zeroLanes();
+  }
+  return zeroLanes();
+}
+
+/// Stores a computed lane vector to a real-memory destination, masked to
+/// StoreLanes (the subgrid extent). VReg and spill destinations never
+/// reach here: kernels write those in place. The FixedWidth fast path
+/// covers every iteration but the subgrid tail.
+template <unsigned FixedWidth>
+inline void storeMem(const OperandRef &D, const PEContext &C,
+                     const double *Tmp) {
+  double *P = C.Bases[D.Index] + D.Offset + C.IterBase * D.Stride;
+  if (D.Stride == 1) {
+    if (FixedWidth != 0 && C.StoreLanes == FixedWidth) {
+      for (unsigned Lane = 0; Lane < FixedWidth; ++Lane)
+        P[Lane] = Tmp[Lane];
+      return;
+    }
+    for (unsigned Lane = 0; Lane < C.StoreLanes; ++Lane)
+      P[Lane] = Tmp[Lane];
+  } else {
+    for (unsigned Lane = 0; Lane < C.StoreLanes; ++Lane)
+      P[static_cast<int64_t>(Lane) * D.Stride] = Tmp[Lane];
+  }
+}
+
+/// One lane of \p Op. Must mirror the interpreter's applyOp exactly,
+/// including the non-total min/max orderings and IEEE division.
+template <Opcode Op>
+inline double evalLane(double A, double B, double C) {
+  if constexpr (Op == Opcode::FLodV || Op == Opcode::FMovV ||
+                Op == Opcode::FStrV)
+    return A;
+  else if constexpr (Op == Opcode::FAddV)
+    return A + B;
+  else if constexpr (Op == Opcode::FSubV)
+    return A - B;
+  else if constexpr (Op == Opcode::FMulV)
+    return A * B;
+  else if constexpr (Op == Opcode::FDivV)
+    return A / B;
+  else if constexpr (Op == Opcode::FMinV)
+    return A < B ? A : B;
+  else if constexpr (Op == Opcode::FMaxV)
+    return A > B ? A : B;
+  else if constexpr (Op == Opcode::FModV)
+    return std::fmod(A, B);
+  else if constexpr (Op == Opcode::FPowV)
+    return std::pow(A, B);
+  else if constexpr (Op == Opcode::FMAddV)
+    return A * B + C;
+  else if constexpr (Op == Opcode::FNegV)
+    return -A;
+  else if constexpr (Op == Opcode::FAbsV)
+    return std::fabs(A);
+  else if constexpr (Op == Opcode::FSqrtV)
+    return std::sqrt(A);
+  else if constexpr (Op == Opcode::FSinV)
+    return std::sin(A);
+  else if constexpr (Op == Opcode::FCosV)
+    return std::cos(A);
+  else if constexpr (Op == Opcode::FTanV)
+    return std::tan(A);
+  else if constexpr (Op == Opcode::FExpV)
+    return std::exp(A);
+  else if constexpr (Op == Opcode::FLogV)
+    return std::log(A);
+  else if constexpr (Op == Opcode::FTrncV)
+    return std::trunc(A);
+  else if constexpr (Op == Opcode::FNotV)
+    return A != 0 ? 0.0 : 1.0;
+  else if constexpr (Op == Opcode::FCmpEqV)
+    return A == B ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FCmpNeV)
+    return A != B ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FCmpLtV)
+    return A < B ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FCmpLeV)
+    return A <= B ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FCmpGtV)
+    return A > B ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FCmpGeV)
+    return A >= B ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FAndV)
+    return (A != 0 && B != 0) ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FOrV)
+    return (A != 0 || B != 0) ? 1.0 : 0.0;
+  else if constexpr (Op == Opcode::FSelV)
+    return A != 0 ? B : C;
+  else
+    return 0;
+}
+
+struct CompiledOp;
+using KernelFn = void (*)(const CompiledOp &, const PEContext &);
+
+/// One translated body instruction: the kernel pointer plus pre-resolved
+/// operands. Laid out flat so a routine's program is one contiguous walk.
+struct CompiledOp {
+  KernelFn Kernel = nullptr;
+  OperandRef Srcs[3];
+  OperandRef Dst;
+};
+
+/// The opcode x arity kernel body: resolve up to NSrcs operands (absent
+/// ones are all-zero lanes, as in the interpreter) and evaluate every
+/// lane. Register destinations are written in place - the per-lane
+/// evaluation reads lane L of every source before writing lane L, and
+/// lanes are independent, so a destination register aliasing a source is
+/// still read-before-write. A memory destination needs both the tail
+/// mask and full read-before-write against overlapping memory sources
+/// (e.g. a shifted store over its own input), so it evaluates into a
+/// temporary and stores once.
+template <Opcode Op, unsigned NSrcs, unsigned FixedWidth>
+inline void runLanes(const CompiledOp &I, const PEContext &C) {
+  [[maybe_unused]] double SA[MaxExecLanes], SB[MaxExecLanes],
+      SC[MaxExecLanes];
+  const double *A = zeroLanes();
+  const double *B = zeroLanes();
+  const double *Cv = zeroLanes();
+  if constexpr (NSrcs > 0)
+    A = resolveSrc<FixedWidth>(I.Srcs[0], C, SA);
+  if constexpr (NSrcs > 1)
+    B = resolveSrc<FixedWidth>(I.Srcs[1], C, SB);
+  if constexpr (NSrcs > 2)
+    Cv = resolveSrc<FixedWidth>(I.Srcs[2], C, SC);
+  const unsigned Width = FixedWidth ? FixedWidth : C.Width;
+  double Tmp[MaxExecLanes];
+  double *Out = Tmp;
+  if (I.Dst.F == OperandRef::Form::VReg)
+    Out = C.VRegs[I.Dst.Index].L;
+  else if (I.Dst.F == OperandRef::Form::Spill)
+    Out = C.Spill[I.Dst.Index].L;
+  if constexpr (FixedWidth != 0) {
+    // Snapshot the source lanes into provably-local arrays first: Out may
+    // alias a source (dst == src register), which would otherwise force
+    // the compiler to assume every store invalidates the source loads.
+    // The snapshot is exactly the read-all-lanes-before-write the
+    // semantics require, and it unblocks vectorizing the eval+store loop.
+    double LA[FixedWidth], LB[FixedWidth], LC[FixedWidth];
+    for (unsigned Lane = 0; Lane < FixedWidth; ++Lane) {
+      LA[Lane] = A[Lane];
+      LB[Lane] = B[Lane];
+      LC[Lane] = Cv[Lane];
+    }
+    for (unsigned Lane = 0; Lane < FixedWidth; ++Lane)
+      Out[Lane] = evalLane<Op>(LA[Lane], LB[Lane], LC[Lane]);
+  } else {
+    for (unsigned Lane = 0; Lane < Width; ++Lane)
+      Tmp[Lane] = evalLane<Op>(A[Lane], B[Lane], Cv[Lane]);
+    if (Out != Tmp)
+      for (unsigned Lane = 0; Lane < Width; ++Lane)
+        Out[Lane] = Tmp[Lane];
+  }
+  if (Out == Tmp)
+    storeMem<FixedWidth>(I.Dst, C, Tmp);
+}
+
+/// The dispatched kernel: branches once on the machine's vector width so
+/// the dominant width-4 case runs with compile-time lane counts (fully
+/// unrolled and vectorizable); any other width takes the generic path.
+template <Opcode Op, unsigned NSrcs>
+void kernel(const CompiledOp &I, const PEContext &C) {
+  if (C.Width == 4)
+    runLanes<Op, NSrcs, 4>(I, C);
+  else
+    runLanes<Op, NSrcs, 0>(I, C);
+}
+
+template <Opcode Op>
+KernelFn kernelForArity(unsigned NSrcs) {
+  static constexpr KernelFn Table[4] = {&kernel<Op, 0>, &kernel<Op, 1>,
+                                        &kernel<Op, 2>, &kernel<Op, 3>};
+  // The interpreter reads at most three sources; extras are ignored.
+  return Table[NSrcs > 3 ? 3 : NSrcs];
+}
+
+/// The kernel for one instruction, by opcode and actual source count.
+inline KernelFn lookupKernel(Opcode Op, unsigned NSrcs) {
+  switch (Op) {
+#define F90Y_PEAC_KERNEL_CASE(OP)                                            \
+  case Opcode::OP:                                                           \
+    return kernelForArity<Opcode::OP>(NSrcs);
+    F90Y_PEAC_KERNEL_CASE(FLodV)
+    F90Y_PEAC_KERNEL_CASE(FStrV)
+    F90Y_PEAC_KERNEL_CASE(FMovV)
+    F90Y_PEAC_KERNEL_CASE(FAddV)
+    F90Y_PEAC_KERNEL_CASE(FSubV)
+    F90Y_PEAC_KERNEL_CASE(FMulV)
+    F90Y_PEAC_KERNEL_CASE(FDivV)
+    F90Y_PEAC_KERNEL_CASE(FMinV)
+    F90Y_PEAC_KERNEL_CASE(FMaxV)
+    F90Y_PEAC_KERNEL_CASE(FModV)
+    F90Y_PEAC_KERNEL_CASE(FPowV)
+    F90Y_PEAC_KERNEL_CASE(FMAddV)
+    F90Y_PEAC_KERNEL_CASE(FNegV)
+    F90Y_PEAC_KERNEL_CASE(FAbsV)
+    F90Y_PEAC_KERNEL_CASE(FSqrtV)
+    F90Y_PEAC_KERNEL_CASE(FSinV)
+    F90Y_PEAC_KERNEL_CASE(FCosV)
+    F90Y_PEAC_KERNEL_CASE(FTanV)
+    F90Y_PEAC_KERNEL_CASE(FExpV)
+    F90Y_PEAC_KERNEL_CASE(FLogV)
+    F90Y_PEAC_KERNEL_CASE(FTrncV)
+    F90Y_PEAC_KERNEL_CASE(FNotV)
+    F90Y_PEAC_KERNEL_CASE(FCmpEqV)
+    F90Y_PEAC_KERNEL_CASE(FCmpNeV)
+    F90Y_PEAC_KERNEL_CASE(FCmpLtV)
+    F90Y_PEAC_KERNEL_CASE(FCmpLeV)
+    F90Y_PEAC_KERNEL_CASE(FCmpGtV)
+    F90Y_PEAC_KERNEL_CASE(FCmpGeV)
+    F90Y_PEAC_KERNEL_CASE(FAndV)
+    F90Y_PEAC_KERNEL_CASE(FOrV)
+    F90Y_PEAC_KERNEL_CASE(FSelV)
+#undef F90Y_PEAC_KERNEL_CASE
+  }
+  return nullptr;
+}
+
+} // namespace engine
+} // namespace peac
+} // namespace f90y
+
+#endif // F90Y_PEAC_KERNELS_H

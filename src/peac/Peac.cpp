@@ -8,6 +8,8 @@
 
 #include "support/StringUtil.h"
 
+#include <algorithm>
+
 using namespace f90y;
 using namespace f90y::peac;
 
@@ -77,6 +79,23 @@ const char *peac::opcodeName(Opcode Op) {
     return "fselv";
   }
   return "f???v";
+}
+
+const std::string &peac::opcodeMetricName(Opcode Op) {
+  // Interned once per process: dispatch accounting bumps one counter per
+  // body instruction, and building "peac.op." + mnemonic there would put
+  // a heap allocation on the hot path.
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    constexpr unsigned NumOpcodes =
+        static_cast<unsigned>(Opcode::FSelV) + 1;
+    V.reserve(NumOpcodes);
+    for (unsigned I = 0; I < NumOpcodes; ++I)
+      V.push_back(std::string("peac.op.") +
+                  opcodeName(static_cast<Opcode>(I)));
+    return V;
+  }();
+  return Names[static_cast<unsigned>(Op)];
 }
 
 bool peac::isFloatingArith(Opcode Op) {
@@ -170,6 +189,35 @@ double peac::instructionCycles(const Instruction &I,
   default:
     return Costs.VectorAluCycles;
   }
+}
+
+ScratchUse Routine::scratchUse() const {
+  ScratchUse Use;
+  auto NoteOperand = [&](const Operand &O) {
+    switch (O.K) {
+    case Operand::Kind::VReg:
+      Use.VRegs = std::max(Use.VRegs, O.Reg + 1);
+      break;
+    case Operand::Kind::SReg:
+      Use.ScalarArgs = std::max(Use.ScalarArgs, O.Reg + 1);
+      break;
+    case Operand::Kind::Mem:
+      if (O.Reg >= NumPtrArgs)
+        Use.SpillSlots = std::max(Use.SpillSlots, O.Reg - NumPtrArgs + 1);
+      break;
+    case Operand::Kind::Imm:
+      break;
+    }
+  };
+  for (const Instruction &I : Body) {
+    for (const Operand &S : I.Srcs)
+      NoteOperand(S);
+    if (I.HasMemDst)
+      NoteOperand(I.MemDst);
+    else
+      Use.VRegs = std::max(Use.VRegs, I.DstVReg + 1);
+  }
+  return Use;
 }
 
 unsigned Routine::slotCount() const {

@@ -80,6 +80,10 @@ bool isFloatingArith(Opcode Op);
 unsigned flopsPerElement(Opcode Op);
 /// Mnemonic ("faddv").
 const char *opcodeName(Opcode Op);
+/// The interned metrics-registry key for \p Op ("peac.op.faddv"). Stable
+/// storage for the life of the process, so per-dispatch accounting never
+/// rebuilds the string.
+const std::string &opcodeMetricName(Opcode Op);
 
 /// One instruction operand.
 struct Operand {
@@ -154,6 +158,16 @@ struct Instruction {
   std::string str() const;
 };
 
+/// The register-file footprint a routine actually touches, computed by
+/// one scan of the body. Executors size per-PE scratch from this (not
+/// from the machine's full file sizes) and check it against the machine
+/// once per dispatch.
+struct ScratchUse {
+  unsigned VRegs = 0;      ///< Max vector register referenced, plus one.
+  unsigned SpillSlots = 0; ///< Max spill slot referenced, plus one.
+  unsigned ScalarArgs = 0; ///< Max scalar register referenced, plus one.
+};
+
 /// A complete PEAC routine: one virtual subgrid loop.
 struct Routine {
   std::string Name;
@@ -161,6 +175,11 @@ struct Routine {
   unsigned NumScalarArgs = 0; ///< aS0..: scalar broadcast values (IFIFO).
   unsigned NumSpillSlots = 0; ///< 4-wide scratch slots in PE memory.
   std::vector<Instruction> Body;
+
+  /// Scans the body for the registers it actually references (vector
+  /// destinations and sources, scalar sources, and memory operands with
+  /// Reg >= NumPtrArgs, which address spill slots).
+  ScratchUse scratchUse() const;
 
   /// Renders the routine in Figure 12 style.
   std::string str() const;

@@ -40,6 +40,10 @@ class FaultInjector;
 enum class FaultKind : unsigned;
 } // namespace support
 
+namespace peac {
+class ExecutionEngine;
+} // namespace peac
+
 namespace runtime {
 
 /// Element kind of a parallel field (storage is double either way;
@@ -121,6 +125,13 @@ public:
   /// zero-fault fast path, identical to the pre-injection runtime).
   support::FaultInjector *faultInjector() const { return Injector; }
   void setFaultInjector(support::FaultInjector *FI) { Injector = FI; }
+
+  /// The PEAC execution engine dispatches run through (null: the host
+  /// executor falls back to the reference interpreter, peac::execute).
+  /// Either setting produces bit-identical results; the engine is a host
+  /// performance choice, not a machine-model one.
+  peac::ExecutionEngine *execEngine() const { return ExecEngine; }
+  void setExecEngine(peac::ExecutionEngine *E) { ExecEngine = E; }
 
   /// Observability sinks (null: the zero-cost disabled path). With Trace
   /// set, every communication op becomes one cycle-domain span stamped
@@ -235,6 +246,7 @@ private:
   const cm2::CostModel &Costs;
   support::ThreadPool *Pool = nullptr;
   support::FaultInjector *Injector = nullptr;
+  peac::ExecutionEngine *ExecEngine = nullptr;
   observe::TraceRecorder *Trace = nullptr;
   observe::MetricsRegistry *Metrics = nullptr;
   /// Geometry and data volume the in-flight comm sweep reported via

@@ -1,0 +1,500 @@
+//===- tests/exec_engine_test.cpp - interp vs compiled engine equivalence ---===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled PEAC execution engine's contract (peac/Engine.h): for any
+/// routine, it is bit-identical to the reference interpreter - subgrid
+/// memory byte for byte, flops, and the cycle account - at every host
+/// thread count, fault schedules included. Exercised by a randomized
+/// property test over all opcodes, every operand form (mem/vreg/sreg/imm,
+/// spill slots, strided and aliased memory), zero divisors, and odd
+/// subgrid extents forcing masked tails; plus directed tests of the
+/// routine cache (compile-once, fingerprint invalidation) and whole
+/// compiled programs under -exec=interp vs -exec=compiled.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "observe/Metrics.h"
+#include "peac/Engine.h"
+#include "peac/Executor.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+using namespace f90y;
+using namespace f90y::peac;
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// Randomized routine equivalence
+//===--------------------------------------------------------------------===//
+
+/// One randomly generated dispatch: a routine plus the storage and
+/// argument bindings to run it against. Buffers hold the pristine input
+/// state; every run starts from a fresh copy.
+struct RandomCase {
+  Routine R;
+  unsigned NumPEs = 1;
+  int64_t SubgridElems = 1;
+  size_t PEStride = 0;
+  std::vector<unsigned> PtrBuf; ///< Buffer index per pointer arg (aliasing).
+  std::vector<std::vector<double>> Buffers;
+  std::vector<double> Scalars;
+};
+
+unsigned canonicalArity(Opcode Op) {
+  switch (Op) {
+  case Opcode::FMAddV:
+  case Opcode::FSelV:
+    return 3;
+  case Opcode::FLodV:
+  case Opcode::FStrV:
+  case Opcode::FMovV:
+  case Opcode::FNegV:
+  case Opcode::FAbsV:
+  case Opcode::FSqrtV:
+  case Opcode::FSinV:
+  case Opcode::FCosV:
+  case Opcode::FTanV:
+  case Opcode::FExpV:
+  case Opcode::FLogV:
+  case Opcode::FTrncV:
+  case Opcode::FNotV:
+    return 1;
+  default:
+    return 2;
+  }
+}
+
+RandomCase makeCase(std::mt19937_64 &Rng, const cm2::CostModel &Costs) {
+  auto Pick = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+
+  RandomCase C;
+  C.R.Name = "rand";
+  C.R.NumPtrArgs = static_cast<unsigned>(Pick(1, 3));
+  C.R.NumScalarArgs = 2;
+  C.R.NumSpillSlots = static_cast<unsigned>(Pick(0, 2));
+  C.NumPEs = static_cast<unsigned>(Pick(1, 6));
+  C.SubgridElems = Pick(1, 20); // Odd extents force masked tails.
+
+  // Worst-case addressable extent: offset <= 2, stride <= 2, at most
+  // ceil(20/4)*4 = 20 padded elements. Sized so PE subgrids never
+  // overlap (the executor's data-parallel contract).
+  C.PEStride = 48;
+
+  // Fewer distinct buffers than pointer args sometimes aliases two args
+  // to one array, exercising read-before-write across operands.
+  const unsigned NumBuffers = static_cast<unsigned>(
+      Pick(1, static_cast<int>(C.R.NumPtrArgs)));
+  for (unsigned P = 0; P < C.R.NumPtrArgs; ++P)
+    C.PtrBuf.push_back(static_cast<unsigned>(Pick(0, NumBuffers - 1)));
+
+  // Every element initialized (reads of tail padding are defined and
+  // identical across engines); ~1 in 6 values is exactly zero so FDivV /
+  // FModV hit IEEE zero-divisor lanes.
+  std::uniform_real_distribution<double> Val(-8.0, 8.0);
+  for (unsigned B = 0; B < NumBuffers; ++B) {
+    std::vector<double> Buf(static_cast<size_t>(C.NumPEs) * C.PEStride);
+    for (double &V : Buf)
+      V = Pick(0, 5) == 0 ? 0.0 : Val(Rng);
+    C.Buffers.push_back(std::move(Buf));
+  }
+  C.Scalars = {Val(Rng), Pick(0, 2) == 0 ? 0.0 : Val(Rng)};
+
+  const unsigned MemRegs = C.R.NumPtrArgs + C.R.NumSpillSlots;
+  auto RandomOperand = [&]() {
+    switch (Pick(0, 9)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3: // Mem (real or spill).
+      return Operand::mem(static_cast<unsigned>(Pick(0, MemRegs - 1)),
+                          /*Offset=*/Pick(0, 2),
+                          /*Stride=*/Pick(0, 9) == 0 ? 0 : Pick(1, 2));
+    case 4:
+    case 5:
+    case 6: // VReg.
+      return Operand::vreg(static_cast<unsigned>(
+          Pick(0, static_cast<int>(Costs.VectorRegs) - 1)));
+    case 7:
+    case 8: // SReg.
+      return Operand::sreg(static_cast<unsigned>(Pick(0, 1)));
+    default: // Imm.
+      return Operand::imm(Pick(0, 4) == 0 ? 0.0 : Val(Rng));
+    }
+  };
+
+  const int BodyLen = Pick(3, 14);
+  for (int I = 0; I < BodyLen; ++I) {
+    Instruction Ins;
+    Ins.Op = static_cast<Opcode>(
+        Pick(0, static_cast<int>(Opcode::FSelV)));
+    // Mostly the canonical arity, sometimes over- or under-supplied
+    // sources (missing ones read as zero; extras are ignored).
+    const unsigned NSrcs = Pick(0, 4) == 0
+                               ? static_cast<unsigned>(Pick(0, 3))
+                               : canonicalArity(Ins.Op);
+    for (unsigned S = 0; S < NSrcs; ++S)
+      Ins.Srcs.push_back(RandomOperand());
+    if (Pick(0, 9) < 3) {
+      Ins.HasMemDst = true;
+      Ins.MemDst =
+          Operand::mem(static_cast<unsigned>(Pick(0, MemRegs - 1)),
+                       Pick(0, 2), Pick(0, 9) == 0 ? 0 : Pick(1, 2));
+    } else {
+      Ins.DstVReg = static_cast<unsigned>(
+          Pick(0, static_cast<int>(Costs.VectorRegs) - 1));
+    }
+    C.R.Body.push_back(Ins);
+  }
+
+  // Always end with a real-memory store so the run's effect is visible
+  // in subgrid memory.
+  Instruction Store;
+  Store.Op = Opcode::FStrV;
+  Store.Srcs = {Operand::vreg(0)};
+  Store.HasMemDst = true;
+  Store.MemDst = Operand::mem(
+      static_cast<unsigned>(Pick(0, static_cast<int>(C.R.NumPtrArgs) - 1)));
+  C.R.Body.push_back(Store);
+  return C;
+}
+
+/// The post-run state of one execution: final buffer bytes + account.
+struct RunOut {
+  std::vector<std::vector<double>> Mem;
+  ExecResult Res;
+};
+
+RunOut runCase(const RandomCase &C, const cm2::CostModel &Costs,
+               EngineKind Kind, support::ThreadPool *Pool,
+               RoutineCache *Cache) {
+  RunOut Out;
+  Out.Mem = C.Buffers; // Fresh copy of the pristine inputs.
+  ExecArgs Args;
+  Args.NumPEs = C.NumPEs;
+  Args.SubgridElems = C.SubgridElems;
+  Args.Scalars = C.Scalars;
+  for (unsigned P = 0; P < C.R.NumPtrArgs; ++P)
+    Args.Ptrs.push_back({Out.Mem[C.PtrBuf[P]].data(), C.PEStride, 0});
+  if (Kind == EngineKind::Interp) {
+    Out.Res = peac::execute(C.R, Args, Costs, Pool);
+  } else {
+    ExecutionEngine Engine(EngineKind::Compiled, Cache);
+    Out.Res = Engine.execute(C.R, Args, Costs, Pool);
+  }
+  return Out;
+}
+
+/// Byte comparison (doubles may be NaN; equality on bits is the
+/// contract, not IEEE ==).
+bool sameBytes(const std::vector<std::vector<double>> &A,
+               const std::vector<std::vector<double>> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I].size() != B[I].size())
+      return false;
+    if (std::memcmp(A[I].data(), B[I].data(),
+                    A[I].size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+TEST(ExecEngineEquivalence, RandomRoutinesMatchInterpreterBitForBit) {
+  cm2::CostModel Costs;
+  Costs.NumPEs = 8;
+  std::mt19937_64 Rng(0xf90d5eed);
+  support::ThreadPool Pool(8);
+  RoutineCache Cache;
+
+  for (int Case = 0; Case < 60; ++Case) {
+    RandomCase C = makeCase(Rng, Costs);
+    RunOut Ref = runCase(C, Costs, EngineKind::Interp, nullptr, nullptr);
+
+    struct Variant {
+      const char *Name;
+      EngineKind Kind;
+      support::ThreadPool *Pool;
+    } Variants[] = {
+        {"interp/threads=8", EngineKind::Interp, &Pool},
+        {"compiled/threads=1", EngineKind::Compiled, nullptr},
+        {"compiled/threads=8", EngineKind::Compiled, &Pool},
+    };
+    for (const Variant &V : Variants) {
+      RunOut Got = runCase(C, Costs, V.Kind, V.Pool, &Cache);
+      EXPECT_TRUE(sameBytes(Ref.Mem, Got.Mem))
+          << "case " << Case << " (" << V.Name
+          << "): subgrid memory diverged\n"
+          << C.R.str();
+      EXPECT_EQ(Ref.Res.Flops, Got.Res.Flops) << "case " << Case;
+      EXPECT_EQ(Ref.Res.NodeCycles, Got.Res.NodeCycles) << "case " << Case;
+      EXPECT_EQ(Ref.Res.CallCycles, Got.Res.CallCycles) << "case " << Case;
+    }
+  }
+}
+
+TEST(ExecEngineEquivalence, ManyPEsSpanMultipleChunks) {
+  // Enough PEs that the pool splits the sweep into many chunks; the
+  // compiled engine's per-thread scratch must still keep PEs independent.
+  cm2::CostModel Costs;
+  std::mt19937_64 Rng(77);
+  support::ThreadPool Pool(8);
+  RoutineCache Cache;
+  for (int Case = 0; Case < 6; ++Case) {
+    RandomCase C = makeCase(Rng, Costs);
+    C.NumPEs = 150;
+    for (auto &Buf : C.Buffers) {
+      Buf.resize(static_cast<size_t>(C.NumPEs) * C.PEStride);
+      std::mt19937_64 Fill(Case * 1000 + 17);
+      std::uniform_real_distribution<double> Val(-4.0, 4.0);
+      for (double &V : Buf)
+        V = Val(Fill);
+    }
+    RunOut Ref = runCase(C, Costs, EngineKind::Interp, nullptr, nullptr);
+    RunOut Got = runCase(C, Costs, EngineKind::Compiled, &Pool, &Cache);
+    EXPECT_TRUE(sameBytes(Ref.Mem, Got.Mem)) << C.R.str();
+    EXPECT_EQ(Ref.Res.Flops, Got.Res.Flops);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Scratch sizing
+//===--------------------------------------------------------------------===//
+
+TEST(ScratchUse, ScansRegistersSpillSlotsAndScalars) {
+  Routine R;
+  R.NumPtrArgs = 2;
+  R.NumSpillSlots = 3;
+  Instruction I;
+  I.Op = Opcode::FMAddV;
+  I.Srcs = {Operand::vreg(5), Operand::sreg(3), Operand::mem(1)};
+  I.DstVReg = 2;
+  R.Body.push_back(I);
+  Instruction Sp;
+  Sp.Op = Opcode::FStrV;
+  Sp.Srcs = {Operand::vreg(0)};
+  Sp.HasMemDst = true;
+  Sp.MemDst = Operand::mem(4); // Spill slot 2 (4 - NumPtrArgs).
+  R.Body.push_back(Sp);
+
+  ScratchUse Use = R.scratchUse();
+  EXPECT_EQ(Use.VRegs, 6u);      // aV5 is the max referenced.
+  EXPECT_EQ(Use.ScalarArgs, 4u); // aS3.
+  EXPECT_EQ(Use.SpillSlots, 3u); // Slot 2.
+}
+
+TEST(ScratchUse, EmptyRoutineUsesNothing) {
+  Routine R;
+  ScratchUse Use = R.scratchUse();
+  EXPECT_EQ(Use.VRegs, 0u);
+  EXPECT_EQ(Use.ScalarArgs, 0u);
+  EXPECT_EQ(Use.SpillSlots, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Routine cache
+//===--------------------------------------------------------------------===//
+
+/// z = x + K over 2 PEs; small enough to eyeball.
+RandomCase addCase(double K) {
+  RandomCase C;
+  C.R.Name = "addk";
+  C.R.NumPtrArgs = 2;
+  C.NumPEs = 2;
+  C.SubgridElems = 5;
+  C.PEStride = 8;
+  Instruction Load;
+  Load.Op = Opcode::FLodV;
+  Load.Srcs = {Operand::mem(0)};
+  Load.DstVReg = 1;
+  C.R.Body.push_back(Load);
+  Instruction Add;
+  Add.Op = Opcode::FAddV;
+  Add.Srcs = {Operand::vreg(1), Operand::imm(K)};
+  Add.DstVReg = 2;
+  C.R.Body.push_back(Add);
+  Instruction Store;
+  Store.Op = Opcode::FStrV;
+  Store.Srcs = {Operand::vreg(2)};
+  Store.HasMemDst = true;
+  Store.MemDst = Operand::mem(1);
+  C.R.Body.push_back(Store);
+  C.PtrBuf = {0, 1};
+  C.Buffers.resize(2, std::vector<double>(16, 0.0));
+  for (int I = 0; I < 16; ++I)
+    C.Buffers[0][static_cast<size_t>(I)] = I;
+  return C;
+}
+
+TEST(RoutineCache, TimestepLoopCompilesOnce) {
+  cm2::CostModel Costs;
+  RoutineCache Cache;
+  observe::MetricsRegistry Metrics;
+  ExecutionEngine Engine(EngineKind::Compiled, &Cache);
+  RandomCase C = addCase(1.0);
+
+  for (int Step = 0; Step < 5; ++Step) {
+    auto Mem = C.Buffers;
+    ExecArgs Args;
+    Args.NumPEs = C.NumPEs;
+    Args.SubgridElems = C.SubgridElems;
+    for (unsigned P = 0; P < C.R.NumPtrArgs; ++P)
+      Args.Ptrs.push_back({Mem[P].data(), C.PEStride, 0});
+    Engine.execute(C.R, Args, Costs, nullptr, nullptr, &Metrics);
+  }
+
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 4u);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Metrics.value("peac.engine.cache.misses"), 1u);
+  EXPECT_EQ(Metrics.value("peac.engine.cache.hits"), 4u);
+}
+
+TEST(RoutineCache, FingerprintCatchesInPlaceMutation) {
+  // Same Routine object, body mutated between dispatches: the address
+  // matches but the fingerprint must not, so the cache recompiles and
+  // the run reflects the new body.
+  cm2::CostModel Costs;
+  RoutineCache Cache;
+  ExecutionEngine Engine(EngineKind::Compiled, &Cache);
+  RandomCase C = addCase(1.0);
+
+  auto RunOnce = [&]() {
+    auto Mem = C.Buffers;
+    ExecArgs Args;
+    Args.NumPEs = C.NumPEs;
+    Args.SubgridElems = C.SubgridElems;
+    for (unsigned P = 0; P < C.R.NumPtrArgs; ++P)
+      Args.Ptrs.push_back({Mem[P].data(), C.PEStride, 0});
+    Engine.execute(C.R, Args, Costs);
+    return Mem[1];
+  };
+
+  std::vector<double> First = RunOnce();
+  EXPECT_DOUBLE_EQ(First[0], 1.0); // 0 + 1
+  C.R.Body[1].Srcs[1] = Operand::imm(10.0);
+  std::vector<double> Second = RunOnce();
+  EXPECT_DOUBLE_EQ(Second[0], 10.0); // 0 + 10
+  EXPECT_EQ(Cache.misses(), 2u);
+  EXPECT_EQ(Cache.hits(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Whole programs: -exec=interp vs -exec=compiled
+//===--------------------------------------------------------------------===//
+
+std::string readProgram(const std::string &Name) {
+  std::string Path = std::string(F90Y_SOURCE_DIR) + "/examples/programs/" +
+                     Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+struct ProgramRun {
+  std::string Output;
+  runtime::CycleLedger Ledger;
+  support::FaultCounters Faults;
+  bool Ok = false;
+};
+
+ProgramRun runProgram(const host::HostProgram &Program,
+                      const cm2::CostModel &Machine, EngineKind Kind,
+                      unsigned Threads, const std::string &FaultSpec = "",
+                      uint64_t Seed = 0) {
+  driver::ExecutionOptions EOpts;
+  EOpts.Threads = Threads;
+  EOpts.Engine = Kind;
+  EOpts.FaultSeed = Seed;
+  if (!FaultSpec.empty()) {
+    std::string Error;
+    EXPECT_TRUE(support::FaultSpec::parse(FaultSpec, EOpts.Faults, Error))
+        << Error;
+  }
+  driver::Execution Exec(Machine, EOpts);
+  auto Report = Exec.run(Program);
+  ProgramRun R;
+  EXPECT_TRUE(Report.has_value()) << Exec.diags().str();
+  if (!Report)
+    return R;
+  R.Ok = true;
+  R.Output = Report->Output;
+  R.Ledger = Report->Ledger;
+  R.Faults = Report->Faults;
+  return R;
+}
+
+void expectSameRun(const ProgramRun &A, const ProgramRun &B) {
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Ledger.NodeCycles, B.Ledger.NodeCycles);
+  EXPECT_EQ(A.Ledger.CallCycles, B.Ledger.CallCycles);
+  EXPECT_EQ(A.Ledger.CommCycles, B.Ledger.CommCycles);
+  EXPECT_EQ(A.Ledger.HostCycles, B.Ledger.HostCycles);
+  EXPECT_EQ(A.Ledger.OverlappedCycles, B.Ledger.OverlappedCycles);
+  EXPECT_EQ(A.Ledger.Flops, B.Ledger.Flops);
+  EXPECT_TRUE(A.Faults == B.Faults)
+      << A.Faults.str() << " vs " << B.Faults.str();
+}
+
+class ExecEngineProgramTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(ExecEngineProgramTest, CompiledMatchesInterpAtEveryThreadCount) {
+  cm2::CostModel Machine;
+  Machine.NumPEs = 256;
+  driver::Compilation C(
+      driver::CompileOptions::forProfile(driver::Profile::F90Y, Machine));
+  ASSERT_TRUE(C.compile(readProgram(GetParam()))) << C.diags().str();
+  const host::HostProgram &Program = C.artifacts().Compiled.Program;
+
+  ProgramRun Ref = runProgram(Program, Machine, EngineKind::Interp, 1);
+  expectSameRun(Ref, runProgram(Program, Machine, EngineKind::Compiled, 1));
+  expectSameRun(Ref, runProgram(Program, Machine, EngineKind::Compiled, 8));
+}
+
+TEST_P(ExecEngineProgramTest, FaultSchedulesAreEngineIndependent) {
+  // A fired PE trap sweeps the PEs before the faulting one and replays
+  // after rollback; the partial stores and the recovery account must be
+  // identical under either engine.
+  cm2::CostModel Machine;
+  Machine.NumPEs = 64;
+  driver::Compilation C(
+      driver::CompileOptions::forProfile(driver::Profile::F90Y, Machine));
+  ASSERT_TRUE(C.compile(readProgram(GetParam()))) << C.diags().str();
+  const host::HostProgram &Program = C.artifacts().Compiled.Program;
+
+  const char *Spec = "pe-trap:0.05,fpu:0.05,corrupt:0.03";
+  ProgramRun Ref =
+      runProgram(Program, Machine, EngineKind::Interp, 1, Spec, 9);
+  expectSameRun(
+      Ref, runProgram(Program, Machine, EngineKind::Compiled, 1, Spec, 9));
+  expectSameRun(
+      Ref, runProgram(Program, Machine, EngineKind::Compiled, 8, Spec, 9));
+}
+
+INSTANTIATE_TEST_SUITE_P(SamplePrograms, ExecEngineProgramTest,
+                         ::testing::Values("fig10.f90", "swe.f90"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           return Name.substr(0, Name.find('.'));
+                         });
+
+} // namespace

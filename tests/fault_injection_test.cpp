@@ -267,6 +267,21 @@ TEST_F(FaultInjectionTest, SameSeedReproducesBitIdentically) {
   expectIdentical(A, B);
 }
 
+TEST_F(FaultInjectionTest, FaultScheduleIsEngineInvariant) {
+  // Injection decisions are drawn per dispatch on the host thread and PE
+  // traps partial-sweep through the engine's own sweep function, so the
+  // schedule, the partial stores, and the recovery account are identical
+  // under the interpreter and the compiled engine.
+  ExecutionOptions Interp = optionsFor(recoverableSpec(), 42, 2);
+  Interp.Engine = peac::EngineKind::Interp;
+  ExecutionOptions Compiled = optionsFor(recoverableSpec(), 42, 2);
+  Compiled.Engine = peac::EngineKind::Compiled;
+  Outcome A = runProgram(C, Interp);
+  Outcome B = runProgram(C, Compiled);
+  EXPECT_GT(A.Counters.totalInjected(), 0u) << A.Counters.str();
+  expectIdentical(A, B);
+}
+
 TEST_F(FaultInjectionTest, CorruptionRollsBackAndRecovers) {
   Outcome Clean = runProgram(C, ExecutionOptions());
   Outcome Faulty = runProgram(C, optionsFor("corrupt:0.2", 3, 1));

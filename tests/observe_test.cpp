@@ -287,6 +287,28 @@ struct TracedRun {
   bool SawComm = false, SawPeac = false;
 };
 
+/// Drops `peac.engine.*` lines from a metrics export. The routine-cache
+/// hit/miss counters reflect host-side cache history (a run may hit on
+/// routines a previous run in the same process compiled), so comparisons
+/// of metric content *across runs* normalize them away; everything else
+/// in the export describes the simulated machine and must match exactly.
+std::string stripEngineMetrics(const std::string &Text) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    else
+      ++End;
+    std::string Line = Text.substr(Pos, End - Pos);
+    if (Line.rfind("peac.engine.", 0) != 0)
+      Out += Line;
+    Pos = End;
+  }
+  return Out;
+}
+
 TracedRun runTraced(const std::string &Source, unsigned Threads) {
   TracedRun Out;
   TraceRecorder Trace;
@@ -308,7 +330,7 @@ TracedRun runTraced(const std::string &Source, unsigned Threads) {
   Out.Output = Report->Output;
   Out.LedgerTotal = Report->Ledger.total();
   Out.NormalizedTrace = Trace.exportJson(/*NormalizeWall=*/true);
-  Out.MetricsText = Metrics.exportText();
+  Out.MetricsText = stripEngineMetrics(Metrics.exportText());
 
   json::Value V;
   for (const json::Value *E : traceEvents(Out.NormalizedTrace, V)) {

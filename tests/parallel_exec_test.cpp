@@ -46,10 +46,11 @@ struct RunResult {
   runtime::CycleLedger Ledger;
 };
 
-RunResult runWithThreads(const host::HostProgram &Program,
-                         unsigned Threads) {
+RunResult runWith(const host::HostProgram &Program, unsigned Threads,
+                  peac::EngineKind Engine) {
   ExecutionOptions EOpts;
   EOpts.Threads = Threads;
+  EOpts.Engine = Engine;
   Execution Exec(machine(), EOpts);
   auto Report = Exec.run(Program);
   EXPECT_TRUE(Report.has_value()) << Exec.diags().str();
@@ -61,24 +62,30 @@ RunResult runWithThreads(const host::HostProgram &Program,
   return R;
 }
 
+void expectSame(const RunResult &Serial, const RunResult &Other) {
+  EXPECT_EQ(Serial.Output, Other.Output);
+  EXPECT_EQ(Serial.Ledger.NodeCycles, Other.Ledger.NodeCycles);
+  EXPECT_EQ(Serial.Ledger.CallCycles, Other.Ledger.CallCycles);
+  EXPECT_EQ(Serial.Ledger.CommCycles, Other.Ledger.CommCycles);
+  EXPECT_EQ(Serial.Ledger.HostCycles, Other.Ledger.HostCycles);
+  EXPECT_EQ(Serial.Ledger.OverlappedCycles, Other.Ledger.OverlappedCycles);
+  EXPECT_EQ(Serial.Ledger.Flops, Other.Ledger.Flops);
+}
+
 class ParallelExecTest : public ::testing::TestWithParam<const char *> {};
 
-TEST_P(ParallelExecTest, ThreadCountDoesNotChangeResults) {
+TEST_P(ParallelExecTest, ThreadCountAndEngineDoNotChangeResults) {
   CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, machine());
   Compilation C(Opts);
   ASSERT_TRUE(C.compile(readProgram(GetParam()))) << C.diags().str();
+  const host::HostProgram &Program = C.artifacts().Compiled.Program;
 
-  RunResult Serial = runWithThreads(C.artifacts().Compiled.Program, 1);
-  RunResult Parallel = runWithThreads(C.artifacts().Compiled.Program, 8);
-
-  EXPECT_EQ(Serial.Output, Parallel.Output);
-  EXPECT_EQ(Serial.Ledger.NodeCycles, Parallel.Ledger.NodeCycles);
-  EXPECT_EQ(Serial.Ledger.CallCycles, Parallel.Ledger.CallCycles);
-  EXPECT_EQ(Serial.Ledger.CommCycles, Parallel.Ledger.CommCycles);
-  EXPECT_EQ(Serial.Ledger.HostCycles, Parallel.Ledger.HostCycles);
-  EXPECT_EQ(Serial.Ledger.OverlappedCycles,
-            Parallel.Ledger.OverlappedCycles);
-  EXPECT_EQ(Serial.Ledger.Flops, Parallel.Ledger.Flops);
+  // Reference: serial interpreter. Every thread count x engine combination
+  // must reproduce it bitwise.
+  RunResult Serial = runWith(Program, 1, peac::EngineKind::Interp);
+  expectSame(Serial, runWith(Program, 8, peac::EngineKind::Interp));
+  expectSame(Serial, runWith(Program, 1, peac::EngineKind::Compiled));
+  expectSame(Serial, runWith(Program, 8, peac::EngineKind::Compiled));
 }
 
 INSTANTIATE_TEST_SUITE_P(SamplePrograms, ParallelExecTest,

@@ -18,6 +18,9 @@
 ///   -pes=N           number of simulated PEs (default 2048)
 ///   -threads=N       host threads for the simulation sweep (default: all
 ///                    hardware threads; results are identical at any N)
+///   -exec=KIND       PEAC executor: compiled (default; translate each
+///                    routine once, cached) | interp (the reference
+///                    interpreter); results are identical either way
 ///   -faults=SPEC     inject faults: kind:prob[,kind:prob...]; kinds are
 ///                    router-drop, grid-timeout, corrupt, pe-trap, fpu,
 ///                    oom, or all (e.g. -faults=all:0.01)
@@ -61,6 +64,7 @@ void usage() {
       "usage: f90yc [options] file.f90\n"
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
       "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
+      "  -exec=compiled|interp\n"
       "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n"
       "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n");
 }
@@ -137,6 +141,18 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--threads=", 0) == 0) {
       if (!parsePositiveCount("--threads", Arg.substr(10), ExecOpts.Threads))
         return 2;
+    } else if (Arg.rfind("-exec=", 0) == 0) {
+      std::string E = Arg.substr(6);
+      if (E == "interp")
+        ExecOpts.Engine = peac::EngineKind::Interp;
+      else if (E == "compiled")
+        ExecOpts.Engine = peac::EngineKind::Compiled;
+      else {
+        std::fprintf(stderr, "f90yc: unknown executor '%s' for -exec="
+                             "compiled|interp\n",
+                     E.c_str());
+        return 2;
+      }
     } else if (Arg.rfind("-faults=", 0) == 0) {
       std::string Error;
       if (!support::FaultSpec::parse(Arg.substr(8), ExecOpts.Faults,
