@@ -326,6 +326,50 @@ FECompiler::compileHostClause(const N::MoveClause &C) {
                                            C.Src, Guard);
 }
 
+/// Fuses runs of adjacent shift statements of the same source field along
+/// the same axis (same cshift/eoshift flavor) into one MultiShiftStmt:
+/// the exchange pays the grid's communication startup once. Conservative
+/// guards keep the fused exchange identical to the unfused sequence: a
+/// clause whose destination aliases the source, or repeats an earlier
+/// destination in the run, ends the run. Multi-clause communication MOVEs
+/// only arise from the comm-schedule transform, so the default pipeline
+/// is unaffected.
+static void coalesceShifts(std::vector<std::unique_ptr<HostStmt>> &Stmts) {
+  std::vector<std::unique_ptr<HostStmt>> Out;
+  size_t I = 0;
+  while (I < Stmts.size()) {
+    const auto *First = dyn_cast<CShiftStmt>(Stmts[I].get());
+    if (!First || First->dst() == First->src()) {
+      Out.push_back(std::move(Stmts[I++]));
+      continue;
+    }
+    std::vector<MultiShiftStmt::ShiftReq> Reqs;
+    Reqs.push_back({First->dst(), First->shift()});
+    size_t J = I + 1;
+    for (; J < Stmts.size(); ++J) {
+      const auto *Next = dyn_cast<CShiftStmt>(Stmts[J].get());
+      if (!Next || Next->src() != First->src() ||
+          Next->dim() != First->dim() ||
+          Next->isEndOff() != First->isEndOff() ||
+          Next->dst() == Next->src())
+        break;
+      bool Repeats = false;
+      for (const MultiShiftStmt::ShiftReq &R : Reqs)
+        Repeats = Repeats || R.Dst == Next->dst();
+      if (Repeats)
+        break;
+      Reqs.push_back({Next->dst(), Next->shift()});
+    }
+    if (Reqs.size() > 1)
+      Out.push_back(std::make_unique<MultiShiftStmt>(
+          std::move(Reqs), First->src(), First->dim(), First->isEndOff()));
+    else
+      Out.push_back(std::move(Stmts[I]));
+    I = J;
+  }
+  Stmts = std::move(Out);
+}
+
 std::unique_ptr<HostStmt> FECompiler::compileMove(const N::MoveImp *M) {
   switch (transform::classifyAction(M)) {
   case transform::PhaseKind::Computation:
@@ -338,6 +382,7 @@ std::unique_ptr<HostStmt> FECompiler::compileMove(const N::MoveImp *M) {
         return nullptr;
       Stmts.push_back(std::move(S));
     }
+    coalesceShifts(Stmts);
     return seqOf(std::move(Stmts));
   }
   case transform::PhaseKind::HostScalar: {

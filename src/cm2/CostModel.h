@@ -81,6 +81,19 @@ struct CostModel {
   unsigned FaultRetryBackoffCycles = 240;
 
   //===--------------------------------------------------------------------===//
+  // Communication overlap (split-phase comm, -comm=overlap)
+  //===--------------------------------------------------------------------===//
+
+  /// Fraction of an in-flight exchange's cycles that independent node
+  /// computation can hide (1.0: the paper's spill-overlap model, where
+  /// the sequencer fully double-buffers; lower values model interference
+  /// between the data network and the node memory system).
+  double CommOverlapEfficiency = 1.0;
+  /// Front-end bookkeeping charged per split-phase issue/wait token pair
+  /// (0: token handling is free next to the exchange's startup).
+  unsigned CommIssueCycles = 0;
+
+  //===--------------------------------------------------------------------===//
   // Fieldwise (*Lisp baseline) costs
   //===--------------------------------------------------------------------===//
 

@@ -146,6 +146,13 @@ struct ExecutionOptions {
   /// - and bit-identical output, ledger, and counters - at every Threads
   /// setting.
   uint64_t FaultSeed = 0;
+  /// Split-phase communication (f90yc -comm=overlap): exchanges issue
+  /// eagerly and drain under subsequent independent PEAC computation,
+  /// crediting the hidden cycles to the ledger's OverlappedCycles.
+  /// Program output is bit-identical either way; only the timing model
+  /// changes. Off here (the paper's strict model) so existing embedders
+  /// and the sync profile are unaffected.
+  bool OverlapComm = false;
   /// Watchdog: fail the run after this many executed host statements
   /// (0 = unlimited).
   uint64_t MaxSteps = 0;
@@ -179,6 +186,7 @@ public:
       RT.setFaultInjector(Injector.get());
     }
     Exec.setMaxSteps(EOpts.MaxSteps);
+    Exec.setOverlapCommCompute(EOpts.OverlapComm);
     Pool.setTrace(Trace);
     RT.setTrace(Trace);
     RT.setMetrics(Metrics);

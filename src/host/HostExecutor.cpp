@@ -34,33 +34,20 @@ int HostExecutor::fieldHandle(const std::string &Name) const {
   return It == FieldHandles.end() ? -1 : It->second;
 }
 
-void HostExecutor::beginPendingComm(double Cycles, const std::string &Dst,
-                                    const std::string &Src) {
+void HostExecutor::beginPendingComm(double Cycles,
+                                    const std::vector<int> &Handles) {
   if (!OverlapCommCompute)
     return;
-  // The data network serializes with itself: a new transfer waits for the
-  // previous one.
-  flushPendingComm();
-  PendingCommCycles = Cycles;
-  PendingCommFields.insert(Dst);
-  PendingCommFields.insert(Src);
+  // The data network serializes with itself: issuing retires any previous
+  // in-flight exchange (CmRuntime keeps a single slot).
+  RT.commIssue(Cycles, Handles);
 }
 
-void HostExecutor::overlapAgainstPending(
-    double Cycles, const std::set<std::string> &Touched) {
-  if (!OverlapCommCompute || PendingCommCycles <= 0)
-    return;
-  for (const std::string &F : Touched) {
-    if (PendingCommFields.count(F)) {
-      flushPendingComm(); // Dependent: the computation waits.
-      return;
-    }
-  }
-  double Saved = Cycles < PendingCommCycles ? Cycles : PendingCommCycles;
-  RT.ledger().OverlappedCycles += Saved;
-  PendingCommCycles -= Saved;
-  if (PendingCommCycles <= 0)
-    flushPendingComm();
+double HostExecutor::overlapAgainstPending(double Cycles,
+                                           const std::vector<int> &Touched) {
+  if (!OverlapCommCompute)
+    return 0.0;
+  return RT.noteCompute(Cycles, Touched);
 }
 
 bool HostExecutor::run(const HostProgram &Prog) {
@@ -283,6 +270,7 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
   observe::MetricsRegistry *Metrics = RT.metrics();
   const double BeforeTotal = L.total();
   unsigned Replays = 0;
+  double HiddenCommCycles = 0;
 
   // Records the dispatch as one cycle-domain span bracketed by ledger
   // totals. Called after the overlap accounting below, so the span's
@@ -308,6 +296,8 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
       A.push_back(observe::arg("flops", Res.Flops));
       if (Replays)
         A.push_back(observe::arg("replays", static_cast<uint64_t>(Replays)));
+      if (HiddenCommCycles > 0)
+        A.push_back(observe::arg("hidden_comm_cycles", HiddenCommCycles));
       if (!Ok)
         A.push_back(observe::arg("status", "fault"));
       Trace->cycleSpan(R.Name, "peac", BeforeTotal, L.total(), std::move(A));
@@ -359,13 +349,11 @@ void HostExecutor::execCallPeac(const CallPeacStmt *S) {
                                         static_cast<uint64_t>(Attempt))});
   }
 
-  if (OverlapCommCompute) {
-    std::set<std::string> Touched;
-    for (const PeacArgSpec &A : S->args())
-      if (A.K == PeacArgSpec::Kind::FieldPtr)
-        Touched.insert(A.Field);
-    overlapAgainstPending(Res.NodeCycles + Res.CallCycles, Touched);
-  }
+  // Overlap credit lands before NoteDispatch: the span's bracket then
+  // reflects the dispatch's net timeline contribution, so cycle spans
+  // keep tiling the ledger exactly under -comm=overlap.
+  HiddenCommCycles =
+      overlapAgainstPending(Res.NodeCycles + Res.CallCycles, PtrHandles);
   NoteDispatch(Res, /*Ok=*/true);
 }
 
@@ -509,7 +497,31 @@ void HostExecutor::exec(const HostStmt *S) {
                                : RT.cshift(Dst, Src, C->dim(), C->shift());
     if (!checkComm(St))
       return;
-    beginPendingComm(L.CommCycles - Before, C->dst(), C->src());
+    beginPendingComm(L.CommCycles - Before, {Dst, Src});
+    return;
+  }
+  case HostStmt::Kind::MultiShift: {
+    const auto *M = cast<MultiShiftStmt>(S);
+    int Src = fieldHandle(M->src());
+    if (Src < 0) {
+      error("multi-shift references an unallocated array");
+      return;
+    }
+    std::vector<runtime::CmRuntime::ShiftSpec> Specs;
+    std::vector<int> Handles{Src};
+    for (const MultiShiftStmt::ShiftReq &R : M->shifts()) {
+      int Dst = fieldHandle(R.Dst);
+      if (Dst < 0) {
+        error("multi-shift references an unallocated array");
+        return;
+      }
+      Specs.push_back({Dst, R.Shift});
+      Handles.push_back(Dst);
+    }
+    double Before = L.CommCycles;
+    if (!checkComm(RT.multiShift(Specs, Src, M->dim(), M->isEndOff())))
+      return;
+    beginPendingComm(L.CommCycles - Before, Handles);
     return;
   }
   case HostStmt::Kind::SectionCopy: {
@@ -522,7 +534,7 @@ void HostExecutor::exec(const HostStmt *S) {
     double Before = L.CommCycles;
     if (!checkComm(RT.sectionCopy(Dst, C->dstSec(), Src, C->srcSec())))
       return;
-    beginPendingComm(L.CommCycles - Before, C->dst(), C->src());
+    beginPendingComm(L.CommCycles - Before, {Dst, Src});
     return;
   }
   case HostStmt::Kind::Transpose: {
@@ -535,7 +547,7 @@ void HostExecutor::exec(const HostStmt *S) {
     double Before = L.CommCycles;
     if (!checkComm(RT.transpose(Dst, Src)))
       return;
-    beginPendingComm(L.CommCycles - Before, T->dst(), T->src());
+    beginPendingComm(L.CommCycles - Before, {Dst, Src});
     return;
   }
   case HostStmt::Kind::Reduce: {
@@ -568,7 +580,7 @@ void HostExecutor::exec(const HostStmt *S) {
     double Before = L.CommCycles;
     if (!checkComm(RT.reduceAlongDim(R->op(), Dst, Src, R->dim())))
       return;
-    beginPendingComm(L.CommCycles - Before, R->dst(), R->src());
+    beginPendingComm(L.CommCycles - Before, {Dst, Src});
     return;
   }
   case HostStmt::Kind::Spread: {
@@ -581,7 +593,7 @@ void HostExecutor::exec(const HostStmt *S) {
     double Before = L.CommCycles;
     if (!checkComm(RT.spreadAlongDim(Dst, Src, Sp->dim())))
       return;
-    beginPendingComm(L.CommCycles - Before, Sp->dst(), Sp->src());
+    beginPendingComm(L.CommCycles - Before, {Dst, Src});
     return;
   }
   case HostStmt::Kind::If: {

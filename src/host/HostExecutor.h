@@ -89,24 +89,21 @@ private:
   };
   std::vector<DeferredWrite> *Deferred = nullptr;
 
-  // Section 5.3.2 overlap model state: cycles of the communication still
-  // in flight, and the fields it involves.
+  // Section 5.3.2 overlap model: the in-flight accounting lives in the
+  // runtime's split-phase ledger (CmRuntime::commIssue / noteCompute /
+  // commWaitAll); the executor only decides which statements issue, hide
+  // under, or serialize against an exchange.
   bool OverlapCommCompute = false;
-  double PendingCommCycles = 0;
-  std::set<std::string> PendingCommFields;
 
   /// Serializes against any in-flight communication.
-  void flushPendingComm() {
-    PendingCommCycles = 0;
-    PendingCommFields.clear();
-  }
-  /// Starts tracking a communication of \p Cycles involving the fields.
-  void beginPendingComm(double Cycles, const std::string &Dst,
-                        const std::string &Src);
+  void flushPendingComm() { RT.commWaitAll(); }
+  /// Issues the just-charged communication of \p Cycles over the field
+  /// \p Handles as the (single) in-flight exchange.
+  void beginPendingComm(double Cycles, const std::vector<int> &Handles);
   /// Overlaps \p Cycles of node work against in-flight communication if
-  /// the touched fields are disjoint from it.
-  void overlapAgainstPending(double Cycles,
-                             const std::set<std::string> &Touched);
+  /// the touched field handles are disjoint from it; returns the cycles
+  /// credited to OverlappedCycles.
+  double overlapAgainstPending(double Cycles, const std::vector<int> &Touched);
 
   void error(const std::string &Msg) {
     if (!Failed)

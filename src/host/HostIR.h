@@ -57,6 +57,7 @@ public:
     ElementMove,
     CallPeac,
     CShift,
+    MultiShift,
     SectionCopy,
     Transpose,
     Reduce,
@@ -218,6 +219,36 @@ private:
   std::string Dst, Src;
   unsigned Dim;
   int64_t Shift;
+  bool EndOff;
+};
+
+/// Coalesced multi-destination shift: several cshift/eoshift clauses of
+/// the same source field along the same axis, executed as one exchange
+/// that pays the grid's communication startup once. Emitted by the
+/// comm-schedule transform; semantically identical to the unfused
+/// sequence of CShiftStmts in request order.
+class MultiShiftStmt : public HostStmt {
+public:
+  struct ShiftReq {
+    std::string Dst;
+    int64_t Shift;
+  };
+  MultiShiftStmt(std::vector<ShiftReq> Shifts, std::string Src, unsigned Dim,
+                 bool EndOff)
+      : HostStmt(Kind::MultiShift), Shifts(std::move(Shifts)),
+        Src(std::move(Src)), Dim(Dim), EndOff(EndOff) {}
+  const std::vector<ShiftReq> &shifts() const { return Shifts; }
+  const std::string &src() const { return Src; }
+  unsigned dim() const { return Dim; }
+  bool isEndOff() const { return EndOff; }
+  static bool classof(const HostStmt *S) {
+    return S->getKind() == Kind::MultiShift;
+  }
+
+private:
+  std::vector<ShiftReq> Shifts;
+  std::string Src;
+  unsigned Dim;
   bool EndOff;
 };
 

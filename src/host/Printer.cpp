@@ -136,6 +136,16 @@ private:
                       ", shift=" + std::to_string(C->shift()) + ")");
       return;
     }
+    case HostStmt::Kind::MultiShift: {
+      const auto *M = cast<MultiShiftStmt>(S);
+      std::vector<std::string> Reqs;
+      for (const MultiShiftStmt::ShiftReq &R : M->shifts())
+        Reqs.push_back(R.Dst + "@" + std::to_string(R.Shift));
+      line(Depth, std::string("cm_mshift ") + join(Reqs, ", ") + " <- " +
+                      (M->isEndOff() ? "eoshift" : "cshift") + "(" +
+                      M->src() + ", dim=" + std::to_string(M->dim()) + ")");
+      return;
+    }
     case HostStmt::Kind::SectionCopy: {
       const auto *C = cast<SectionCopyStmt>(S);
       line(Depth, "cm_copy  " + C->dst() + sections(C->dstSec()) + " <- " +

@@ -123,16 +123,16 @@ void CmRuntime::restoreField(int Handle, const std::vector<double> &Saved) {
 }
 
 RtStatus CmRuntime::runFaultableComm(FaultKind Transient, const char *OpName,
-                                     int DstHandle,
+                                     const std::vector<int> &DstHandles,
                                      const std::function<void()> &Sweep) {
   if (!Trace && !Metrics) // Disabled observability: the untouched path.
-    return runFaultableCommGated(Transient, OpName, DstHandle, Sweep);
+    return runFaultableCommGated(Transient, OpName, DstHandles, Sweep);
 
   ObsGeo = nullptr;
   ObsElems = ObsHops = 0;
   const double Before = Ledger.total();
   const uint64_t RetriesBefore = Injector ? Injector->counters().Retries : 0;
-  RtStatus St = runFaultableCommGated(Transient, OpName, DstHandle, Sweep);
+  RtStatus St = runFaultableCommGated(Transient, OpName, DstHandles, Sweep);
   const double After = Ledger.total();
   const uint64_t Retries =
       (Injector ? Injector->counters().Retries : 0) - RetriesBefore;
@@ -165,7 +165,8 @@ RtStatus CmRuntime::runFaultableComm(FaultKind Transient, const char *OpName,
 }
 
 RtStatus CmRuntime::runFaultableCommGated(FaultKind Transient,
-                                          const char *OpName, int DstHandle,
+                                          const char *OpName,
+                                          const std::vector<int> &DstHandles,
                                           const std::function<void()> &Sweep) {
   FaultInjector *FI = Injector;
   if (!FI) { // Zero-fault fast path: no gates, no checkpoint.
@@ -199,12 +200,13 @@ RtStatus CmRuntime::runFaultableCommGated(FaultKind Transient,
   }
 
   // The transfer itself, with end-to-end corruption detection. A
-  // corrupted transfer rolls the destination back to its pre-op
+  // corrupted transfer rolls every destination back to its pre-op
   // checkpoint and redoes the whole sweep (recharging its cycles: the
   // machine really repeats the work).
-  std::vector<double> Ckpt;
-  if (FI->enabled(FaultKind::Corruption) && DstHandle >= 0)
-    Ckpt = snapshotField(DstHandle);
+  std::vector<std::pair<int, std::vector<double>>> Ckpts;
+  if (FI->enabled(FaultKind::Corruption))
+    for (int DstHandle : DstHandles)
+      Ckpts.emplace_back(DstHandle, snapshotField(DstHandle));
   for (unsigned Attempt = 1;; ++Attempt) {
     Sweep();
     if (!FI->fire(FaultKind::Corruption))
@@ -215,7 +217,7 @@ RtStatus CmRuntime::runFaultableCommGated(FaultKind Transient,
                                  ": transfer checksum failed on " +
                                  std::to_string(Attempt) +
                                  " consecutive attempts; giving up");
-    if (DstHandle >= 0)
+    for (const auto &[DstHandle, Ckpt] : Ckpts)
       restoreField(DstHandle, Ckpt);
     ++FI->counters().Retries;
     Ledger.CommCycles +=
@@ -315,7 +317,7 @@ RtStatus CmRuntime::cshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   // Wire time is accumulated as integer hop counts per chunk and combined
   // in chunk order: the ledger charge is exact and thread-count
   // independent.
-  return runFaultableComm(FaultKind::GridTimeout, "cshift", Dst, [&] {
+  return runFaultableComm(FaultKind::GridTimeout, "cshift", {Dst}, [&] {
     struct Part {
       int64_t LocalElems = 0;
       int64_t WireHops = 0;
@@ -364,10 +366,13 @@ RtStatus CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
   int64_t N = Geo.Extents[Axis];
 
   // Same destination-parallel sweep and exact hop accounting as cshift.
-  return runFaultableComm(FaultKind::GridTimeout, "eoshift", Dst, [&] {
+  // Boundary positions shifted past the edge receive the EOSHIFT fill
+  // value: a real in-PE store, charged like any other local element.
+  return runFaultableComm(FaultKind::GridTimeout, "eoshift", {Dst}, [&] {
     struct Part {
       int64_t LocalElems = 0;
       int64_t WireHops = 0;
+      int64_t FillElems = 0;
     };
     Part Total = support::reduceChunksOrdered<Part>(
         Pool, Geo.GridPEs,
@@ -382,6 +387,7 @@ RtStatus CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
               int64_t C = Coord[Axis] + Shift;
               if (C < 0 || C >= N) {
                 Out[Off] = 0.0;
+                ++P.FillElems;
                 continue;
               }
               Coord[Axis] = C;
@@ -399,14 +405,107 @@ RtStatus CmRuntime::eoshift(int Dst, int Src, unsigned Dim, int64_t Shift) {
         [](Part &Acc, const Part &P) {
           Acc.LocalElems += P.LocalElems;
           Acc.WireHops += P.WireHops;
+          Acc.FillElems += P.FillElems;
         });
     noteSweep(Geo, Geo.totalElements(), Total.WireHops);
     Ledger.CommCycles +=
         Costs.CommStartupCycles +
-        (Costs.GridLocalPerElem * static_cast<double>(Total.LocalElems) +
+        (Costs.GridLocalPerElem *
+             static_cast<double>(Total.LocalElems + Total.FillElems) +
          Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
             static_cast<double>(Geo.GridPEs);
   });
+}
+
+RtStatus CmRuntime::multiShift(const std::vector<ShiftSpec> &Shifts, int Src,
+                               unsigned Dim, bool EndOff) {
+  F90Y_CHECK(!Shifts.empty(), "multiShift requires at least one shift");
+  const Geometry &Geo = *field(Src).Geo;
+  size_t Axis = static_cast<size_t>(Dim - 1);
+  int64_t N = Geo.Extents[Axis];
+  std::vector<int> DstHandles;
+  DstHandles.reserve(Shifts.size());
+  for (const ShiftSpec &Spec : Shifts) {
+    F90Y_CHECK(field(Spec.Dst).Geo->Extents == Geo.Extents,
+               "multiShift requires a common shape");
+    DstHandles.push_back(Spec.Dst);
+  }
+  // Exchanges saved relative to the unfused sequence (counted once per
+  // call, not per fault retry: retries repeat work, not fusions).
+  if (Metrics && Shifts.size() > 1)
+    Metrics->count("comm.coalesced",
+                   static_cast<uint64_t>(Shifts.size() - 1));
+
+  // One coalesced exchange: every clause's data still moves with exact
+  // cshift/eoshift sweeps applied in clause order (an aliased destination
+  // behaves exactly like the unfused sequence), but the grid pays the
+  // fixed communication startup once. A fault retries or rolls back the
+  // whole exchange - all destinations together - as one operation.
+  return runFaultableComm(
+      FaultKind::GridTimeout, "multi-shift", DstHandles, [&] {
+        struct Part {
+          int64_t LocalElems = 0;
+          int64_t WireHops = 0;
+          int64_t FillElems = 0;
+        };
+        Part Total;
+        for (const ShiftSpec &Spec : Shifts) {
+          PeArray &D = field(Spec.Dst);
+          PeArray Snapshot;
+          const PeArray &S =
+              Spec.Dst == Src ? (Snapshot = field(Src)) : field(Src);
+          const int64_t Shift = Spec.Shift;
+          Part P = support::reduceChunksOrdered<Part>(
+              Pool, Geo.GridPEs,
+              [&](int64_t Begin, int64_t End) {
+                Part C;
+                std::vector<int64_t> Coord;
+                for (int64_t PE = Begin; PE < End; ++PE) {
+                  double *Out = D.peBase(PE);
+                  for (int64_t Off = 0; Off < Geo.SubgridElems; ++Off) {
+                    if (!Geo.coordOf(PE, Off, Coord))
+                      continue;
+                    int64_t Pos = Coord[Axis] + Shift;
+                    if (EndOff) {
+                      if (Pos < 0 || Pos >= N) {
+                        Out[Off] = 0.0;
+                        ++C.FillElems;
+                        continue;
+                      }
+                    } else {
+                      Pos = (Pos % N + N) % N;
+                    }
+                    Coord[Axis] = Pos;
+                    int64_t SrcPE, SrcOff;
+                    Geo.locate(Coord, SrcPE, SrcOff);
+                    Out[Off] = S.peBase(SrcPE)[SrcOff];
+                    if (SrcPE == PE)
+                      ++C.LocalElems;
+                    else
+                      C.WireHops += hopDistance(Geo, PE, SrcPE, Axis);
+                  }
+                }
+                return C;
+              },
+              [](Part &Acc, const Part &Piece) {
+                Acc.LocalElems += Piece.LocalElems;
+                Acc.WireHops += Piece.WireHops;
+                Acc.FillElems += Piece.FillElems;
+              });
+          Total.LocalElems += P.LocalElems;
+          Total.WireHops += P.WireHops;
+          Total.FillElems += P.FillElems;
+        }
+        noteSweep(Geo,
+                  Geo.totalElements() * static_cast<int64_t>(Shifts.size()),
+                  Total.WireHops);
+        Ledger.CommCycles +=
+            Costs.CommStartupCycles +
+            (Costs.GridLocalPerElem *
+                 static_cast<double>(Total.LocalElems + Total.FillElems) +
+             Costs.GridWirePerElemHop * static_cast<double>(Total.WireHops)) /
+                static_cast<double>(Geo.GridPEs);
+      });
 }
 
 RtStatus CmRuntime::transpose(int Dst, int Src) {
@@ -415,8 +514,20 @@ RtStatus CmRuntime::transpose(int Dst, int Src) {
   const PeArray &S = Dst == Src ? (Snapshot = field(Src)) : field(Src);
   const Geometry &DG = *D.Geo, &SG = *S.Geo;
   F90Y_CHECK(DG.rank() == 2 && SG.rank() == 2, "transpose requires rank 2");
+  // The destination must have the transposed extents, or the coordinate
+  // swap below would ask SG.locate for out-of-range positions and read
+  // other fields' subgrid memory. A correct program can hit this through
+  // mismatched declarations, so it is a recoverable status, not a check.
+  if (DG.Extents[0] != SG.Extents[1] || DG.Extents[1] != SG.Extents[0])
+    return RtStatus::fault(
+        RtCode::ShapeMismatch,
+        "transpose: destination extents " + std::to_string(DG.Extents[0]) +
+            "x" + std::to_string(DG.Extents[1]) +
+            " are not the transpose of source extents " +
+            std::to_string(SG.Extents[0]) + "x" +
+            std::to_string(SG.Extents[1]));
 
-  return runFaultableComm(FaultKind::RouterDrop, "transpose", Dst, [&] {
+  return runFaultableComm(FaultKind::RouterDrop, "transpose", {Dst}, [&] {
     support::parallelChunks(
         Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
           std::vector<int64_t> Coord, SrcCoord(2);
@@ -460,7 +571,7 @@ RtStatus CmRuntime::sectionCopy(int Dst,
   if (Total == 0)
     return RtStatus::ok();
 
-  return runFaultableComm(FaultKind::RouterDrop, "section copy", Dst, [&] {
+  return runFaultableComm(FaultKind::RouterDrop, "section copy", {Dst}, [&] {
     // Buffer destination values first: overlapping src/dst sections of the
     // same array keep Fortran vector semantics. The gather runs in parallel
     // over chunks of the section's linear position space (each position owns
@@ -536,7 +647,7 @@ RtResult<double> CmRuntime::tryReduce(ReduceOp Op, int Src) {
   // and Product the chunked combine may differ from a whole-machine left
   // fold in the final ulps, exactly as the real machine's tree combine
   // does (see programs_test's note on machine-vs-interpreter order).
-  RtStatus St = runFaultableComm(FaultKind::GridTimeout, "reduce", -1, [&] {
+  RtStatus St = runFaultableComm(FaultKind::GridTimeout, "reduce", {}, [&] {
     struct Part {
       bool Seen = false;
       double Acc = 0;
@@ -656,7 +767,7 @@ RtStatus CmRuntime::reduceAlongDim(ReduceOp Op, int Dst, int Src,
   // reduced axis, in axis order, independently of all others - so chunks
   // of the destination position space run concurrently and the result is
   // bit-identical to the serial sweep.
-  return runFaultableComm(FaultKind::GridTimeout, "reduce-dim", Dst, [&] {
+  return runFaultableComm(FaultKind::GridTimeout, "reduce-dim", {Dst}, [&] {
   support::parallelChunks(
       Pool, DG.totalElements(), [&](int64_t, int64_t Begin, int64_t End) {
         std::vector<int64_t> Pos(DG.rank()), DC(DG.rank()), SC(SG.rank());
@@ -746,7 +857,7 @@ RtStatus CmRuntime::spreadAlongDim(int Dst, int Src, unsigned Dim) {
 
   // Pure broadcast: destination PEs only read the source, so chunks of
   // them run concurrently with no accounting to reduce.
-  return runFaultableComm(FaultKind::RouterDrop, "spread", Dst, [&] {
+  return runFaultableComm(FaultKind::RouterDrop, "spread", {Dst}, [&] {
   support::parallelChunks(
       Pool, DG.GridPEs, [&](int64_t, int64_t Begin, int64_t End) {
         std::vector<int64_t> Coord, SC(SG.rank());
@@ -780,7 +891,7 @@ RtResult<std::string> CmRuntime::tryRenderField(int Handle) {
   // router, so the whole render retries as one faultable op.
   std::string Out;
   RtStatus St =
-      runFaultableComm(FaultKind::RouterDrop, "field render", -1, [&] {
+      runFaultableComm(FaultKind::RouterDrop, "field render", {}, [&] {
   Out.clear();
   std::vector<int64_t> Coord(Geo.rank(), 0);
   bool FirstElem = true;
@@ -822,4 +933,53 @@ std::string CmRuntime::renderField(int Handle) {
   RtResult<std::string> R = tryRenderField(Handle);
   F90Y_CHECK(R.isOk(), "unrecoverable field render fault");
   return R.value();
+}
+
+//===----------------------------------------------------------------------===//
+// Split-phase communication (-comm=overlap)
+//===----------------------------------------------------------------------===//
+
+uint64_t CmRuntime::commIssue(double Cycles, const std::vector<int> &Handles) {
+  // The data network serializes with itself: there is a single in-flight
+  // slot, so issuing a new exchange retires any previous one without
+  // further credit (whatever it could hide has already been noted).
+  Pending.Token = NextCommToken++;
+  Pending.Remaining = Cycles;
+  Pending.Handles = Handles;
+  Ledger.HostCycles += Costs.CommIssueCycles;
+  return Pending.Token;
+}
+
+void CmRuntime::commWait(uint64_t Token) {
+  // Waiting on a stale token is a no-op: a later issue already retired it.
+  if (Pending.Token == Token)
+    Pending = InFlightComm();
+}
+
+void CmRuntime::commWaitAll() { Pending = InFlightComm(); }
+
+double CmRuntime::noteCompute(double Cycles, const std::vector<int> &Handles) {
+  if (Pending.Remaining <= 0)
+    return 0.0;
+  // A compute phase that touches an exchange's operands must wait for the
+  // wire: it earns no credit, and the exchange stops hiding (the sequencer
+  // stalls until the transfer drains).
+  for (int H : Handles)
+    if (std::find(Pending.Handles.begin(), Pending.Handles.end(), H) !=
+        Pending.Handles.end()) {
+      Pending = InFlightComm();
+      return 0.0;
+    }
+  double Hidden = std::min(Cycles, Pending.Remaining);
+  Pending.Remaining -= Hidden;
+  double Saved = Hidden * Costs.CommOverlapEfficiency;
+  if (Saved <= 0)
+    return 0.0;
+  Ledger.OverlappedCycles += Saved;
+  if (Metrics)
+    Metrics->countCycles("comm.overlapped_cycles", Saved);
+  if (Trace) // Instants do not participate in the span-tiling invariant.
+    Trace->cycleInstant("comm-hidden", "comm", Ledger.total(),
+                        {observe::arg("cycles", Saved)});
+  return Saved;
 }

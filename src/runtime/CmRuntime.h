@@ -204,7 +204,23 @@ public:
   support::RtStatus cshift(int Dst, int Src, unsigned Dim, int64_t Shift);
   /// dst(i) = src(i + Shift along Dim), zero at the boundary.
   support::RtStatus eoshift(int Dst, int Src, unsigned Dim, int64_t Shift);
-  /// Rank-2 transpose through the router.
+
+  /// One destination of a coalesced multi-shift exchange.
+  struct ShiftSpec {
+    int Dst = -1;
+    int64_t Shift = 0;
+  };
+  /// Coalesced exchange: several shifts of the *same* source along the
+  /// *same* axis, paying one communication startup instead of one per
+  /// shift. Data semantics are exactly those of applying the shifts in
+  /// order (each destination sees the source as it stands when its clause
+  /// runs, so aliased destinations behave like the unfused sequence);
+  /// faults retry/roll back the whole exchange as one operation.
+  support::RtStatus multiShift(const std::vector<ShiftSpec> &Shifts, int Src,
+                               unsigned Dim, bool EndOff);
+
+  /// Rank-2 transpose through the router. The destination's extents must
+  /// be the source's transposed; a mismatch is a ShapeMismatch fault.
   support::RtStatus transpose(int Dst, int Src);
 
   /// One dimension of a constant section (zero-based start, stride,
@@ -242,6 +258,37 @@ public:
   /// Infallible wrapper, as for reduce().
   std::string renderField(int Handle);
 
+  //===--------------------------------------------------------------------===//
+  // Split-phase communication (the -comm=overlap timing model)
+  //===--------------------------------------------------------------------===//
+  //
+  // Data always moves eagerly (the ops above complete before returning);
+  // overlap is a *timing* model. commIssue registers an exchange whose
+  // cycles were just charged to CommCycles as still in flight; subsequent
+  // independent node computation reported through noteCompute earns back
+  // min(remaining, compute) * CommOverlapEfficiency as OverlappedCycles.
+  // The data network serializes with itself, so issuing a new exchange
+  // retires any earlier one without credit (single in-flight slot).
+
+  /// Registers an exchange of \p Cycles touching \p Handles as in flight;
+  /// returns its wait token. Charges CommIssueCycles of front-end
+  /// bookkeeping to HostCycles.
+  uint64_t commIssue(double Cycles, const std::vector<int> &Handles);
+  /// Serializes on \p Token: the exchange (if still in flight) completes
+  /// with whatever cycles it has left exposed. Unknown/retired tokens are
+  /// a no-op.
+  void commWait(uint64_t Token);
+  /// Serializes on everything in flight.
+  void commWaitAll();
+  /// Reports \p Cycles of node computation touching \p Handles. If the
+  /// computation is independent of the in-flight exchange, up to that
+  /// many of its remaining cycles are credited to OverlappedCycles (and
+  /// the credit is returned); a dependent computation serializes and
+  /// earns nothing.
+  double noteCompute(double Cycles, const std::vector<int> &Handles);
+  /// True while an exchange is registered in flight.
+  bool commInFlight() const { return Pending.Remaining > 0; }
+
 private:
   const cm2::CostModel &Costs;
   support::ThreadPool *Pool = nullptr;
@@ -255,6 +302,14 @@ private:
   int64_t ObsElems = 0;
   int64_t ObsHops = 0;
   CycleLedger Ledger;
+  /// The (single-slot) split-phase exchange still in flight.
+  struct InFlightComm {
+    uint64_t Token = 0;
+    double Remaining = 0;
+    std::vector<int> Handles;
+  };
+  InFlightComm Pending;
+  uint64_t NextCommToken = 1;
   std::map<std::string, std::unique_ptr<Geometry>> Geometries;
   std::map<int, PeArray> Fields;
   std::map<std::string, int> CoordFields; ///< geometry-signature + dim.
@@ -267,17 +322,21 @@ private:
   /// The shared recoverable-comm path: gates \p Sweep behind transient
   /// fault injection of \p Transient (fail-fast, backoff, retry), runs it,
   /// then checks for injected corruption; a corrupted transfer restores
-  /// \p DstHandle (when >= 0) from its pre-sweep checkpoint and redoes
-  /// the sweep. Returns non-Ok after MaxFaultRetries failed attempts.
-  /// When observability sinks are attached the whole op (retries and
-  /// backoff included) is bracketed by ledger totals into one cycle span
-  /// and per-pattern metrics.
+  /// every handle in \p DstHandles from its pre-sweep checkpoint and
+  /// redoes the sweep (a coalesced exchange rolls all of its destinations
+  /// back together, exactly like its unfused parts would one by one).
+  /// Returns non-Ok after MaxFaultRetries failed attempts. When
+  /// observability sinks are attached the whole op (retries and backoff
+  /// included) is bracketed by ledger totals into one cycle span and
+  /// per-pattern metrics.
   support::RtStatus runFaultableComm(support::FaultKind Transient,
-                                     const char *OpName, int DstHandle,
+                                     const char *OpName,
+                                     const std::vector<int> &DstHandles,
                                      const std::function<void()> &Sweep);
-  support::RtStatus runFaultableCommGated(support::FaultKind Transient,
-                                          const char *OpName, int DstHandle,
-                                          const std::function<void()> &Sweep);
+  support::RtStatus
+  runFaultableCommGated(support::FaultKind Transient, const char *OpName,
+                        const std::vector<int> &DstHandles,
+                        const std::function<void()> &Sweep);
 
   /// Called from inside a comm sweep to report what moved (geometry,
   /// active elements, wire hops) for the op's span/metrics.

@@ -27,6 +27,8 @@ const char *support::rtCodeName(RtCode Code) {
     return "step-limit";
   case RtCode::InvalidHandle:
     return "invalid-handle";
+  case RtCode::ShapeMismatch:
+    return "shape-mismatch";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class RtCode {
   OutOfMemory,   ///< Simulated parallel-heap exhaustion.
   StepLimit,     ///< Watchdog: the program exceeded -max-steps.
   InvalidHandle, ///< Use of a freed or never-allocated field handle.
+  ShapeMismatch, ///< Operand geometries incompatible with the operation.
 };
 
 /// Renders the code as a short lowercase tag ("comm-fault", ...).

@@ -62,6 +62,10 @@ const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
     I = runPass("block-domains", I, Opts, [&](const N::Imp *In) {
       return blockDomains(In, Ctx, Diags);
     });
+  if (Opts.CommSchedule)
+    I = runPass("comm-schedule", I, Opts, [&](const N::Imp *In) {
+      return commSchedule(In, Ctx, Diags);
+    });
   if (Diags.errorCount() != ErrorsBefore)
     return Program;
   const auto *Result = cast<N::ProgramImp>(I);

@@ -21,6 +21,11 @@
 ///  - blockDomains: reorders independent phases and fuses adjacent
 ///    computation MOVEs over a common domain into single MOVEs (the shape
 ///    equivalent of loop fusion; paper Figure 9).
+///  - commSchedule: hoists communication MOVEs above independent
+///    computation so the split-phase executor can hide the exchange, and
+///    coalesces adjacent same-source same-axis shifts into one
+///    multi-shift exchange (one communication startup). Off by default;
+///    f90yc -comm=overlap enables it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +50,9 @@ struct TransformOptions {
   bool ExtractComm = true;
   bool MaskSections = true;
   bool Blocking = true;
+  /// Communication scheduling (hoist + coalesce). Off by default: it
+  /// reorders and fuses comm phases, which -comm=sync runs must not see.
+  bool CommSchedule = false;
   /// Optional observability sinks; null (the default) is the zero-cost
   /// disabled path. With Trace set each pass is a wall span; with Metrics
   /// set the per-pass PhaseStats deltas are recorded as gauges.
@@ -66,6 +74,8 @@ const nir::Imp *extractComm(const nir::Imp *Root, nir::NIRContext &Ctx,
 const nir::Imp *maskSections(const nir::Imp *Root, nir::NIRContext &Ctx,
                              DiagnosticEngine &Diags);
 const nir::Imp *blockDomains(const nir::Imp *Root, nir::NIRContext &Ctx,
+                             DiagnosticEngine &Diags);
+const nir::Imp *commSchedule(const nir::Imp *Root, nir::NIRContext &Ctx,
                              DiagnosticEngine &Diags);
 
 /// Phase statistics over a program (benchmark/regression metric for the

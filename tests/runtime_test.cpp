@@ -6,6 +6,7 @@
 
 #include "runtime/CmRuntime.h"
 #include "runtime/Geometry.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -297,6 +298,196 @@ TEST_F(RuntimeTest, CommOpsMatchSerialUnderThreadPool) {
   EXPECT_EQ(RedA, RedB); // Bitwise.
   EXPECT_EQ(RT.field(DA).Data, PRT.field(DB).Data);
   EXPECT_EQ(RT.ledger().CommCycles, PRT.ledger().CommCycles);
+}
+
+TEST_F(RuntimeTest, TransposeRequiresTransposedExtents) {
+  int Src = makeSeqField({4, 8});
+  // Same (untransposed) extents: the coordinate swap would read out of
+  // range, so the runtime reports a structured shape mismatch instead.
+  int Bad = RT.allocField(RT.getGeometry({4, 8}, {1, 1}), ElemKind::Real);
+  support::RtStatus St = RT.transpose(Bad, Src);
+  EXPECT_FALSE(St.isOk());
+  EXPECT_EQ(St.code(), support::RtCode::ShapeMismatch);
+  EXPECT_NE(St.message().find("transpose"), std::string::npos);
+  // The transposed destination geometry works and moves every element.
+  int Good = RT.allocField(RT.getGeometry({8, 4}, {1, 1}), ElemKind::Real);
+  ASSERT_TRUE(RT.transpose(Good, Src).isOk());
+  EXPECT_DOUBLE_EQ(at(Good, {5, 2}), at(Src, {2, 5}));
+  EXPECT_DOUBLE_EQ(at(Good, {0, 3}), at(Src, {3, 0}));
+}
+
+TEST_F(RuntimeTest, EoshiftChargesBoundaryFillStores) {
+  // A shift past the whole extent fills every destination element: no
+  // element moves, but every store still costs a local cycle. 64 elems
+  // over 8 PEs at GridLocalPerElem=1.0: startup + 64/8 exactly.
+  int Src = makeSeqField({64});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.ledger().reset();
+  ASSERT_TRUE(RT.eoshift(Dst, Src, 1, 100).isOk());
+  EXPECT_DOUBLE_EQ(RT.ledger().CommCycles,
+                   Costs.CommStartupCycles + 64.0 / 8.0);
+  EXPECT_DOUBLE_EQ(at(Dst, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(at(Dst, {63}), 0.0);
+}
+
+TEST_F(RuntimeTest, EoshiftLedgerIsExactIncludingFills) {
+  // {64} over 8 PEs is 8-element blocks. Shift +2: per PE six elements
+  // stay local and two cross one hop into the next block, except the last
+  // PE whose top two positions are boundary fills. Exact charge:
+  //   startup + (local 48 + fill 2 + 9.6 * 14 hops) / 8 PEs.
+  int Src = makeSeqField({64});
+  int Dst = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  RT.ledger().reset();
+  ASSERT_TRUE(RT.eoshift(Dst, Src, 1, 2).isOk());
+  EXPECT_DOUBLE_EQ(RT.ledger().CommCycles,
+                   Costs.CommStartupCycles + (50.0 + 9.6 * 14.0) / 8.0);
+}
+
+TEST_F(RuntimeTest, MultiShiftMatchesUnfusedShifts) {
+  CmRuntime Ref(Costs); // Unfused reference on an identical machine.
+  auto fill = [](CmRuntime &R) {
+    const Geometry *G = R.getGeometry({48}, {1});
+    int H = R.allocField(G, ElemKind::Real);
+    std::vector<int64_t> Coord(1);
+    for (Coord[0] = 0; Coord[0] < 48; ++Coord[0])
+      R.writeElement(H, Coord, 1.25 * static_cast<double>(Coord[0]) - 3.0);
+    return H;
+  };
+  int Src = fill(RT), RefSrc = fill(Ref);
+  int A = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  int B = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  int C = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  int RA = Ref.allocField(Ref.field(RefSrc).Geo, ElemKind::Real);
+  int RB = Ref.allocField(Ref.field(RefSrc).Geo, ElemKind::Real);
+  int RC = Ref.allocField(Ref.field(RefSrc).Geo, ElemKind::Real);
+
+  RT.ledger().reset();
+  Ref.ledger().reset();
+  ASSERT_TRUE(RT.multiShift({{A, 1}, {B, -1}, {C, 5}}, Src, 1,
+                            /*EndOff=*/false)
+                  .isOk());
+  ASSERT_TRUE(Ref.cshift(RA, RefSrc, 1, 1).isOk());
+  ASSERT_TRUE(Ref.cshift(RB, RefSrc, 1, -1).isOk());
+  ASSERT_TRUE(Ref.cshift(RC, RefSrc, 1, 5).isOk());
+
+  EXPECT_EQ(RT.field(A).Data, Ref.field(RA).Data);
+  EXPECT_EQ(RT.field(B).Data, Ref.field(RB).Data);
+  EXPECT_EQ(RT.field(C).Data, Ref.field(RC).Data);
+  // One startup instead of three; the per-element charges are identical.
+  EXPECT_DOUBLE_EQ(RT.ledger().CommCycles,
+                   Ref.ledger().CommCycles - 2.0 * Costs.CommStartupCycles);
+}
+
+TEST_F(RuntimeTest, MultiShiftEoshiftFillsAndCharges) {
+  int Src = makeSeqField({32});
+  int A = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  int B = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  ASSERT_TRUE(
+      RT.multiShift({{A, 2}, {B, -3}}, Src, 1, /*EndOff=*/true).isOk());
+  EXPECT_DOUBLE_EQ(at(A, {0}), 2);
+  EXPECT_DOUBLE_EQ(at(A, {30}), 0); // Fill.
+  EXPECT_DOUBLE_EQ(at(A, {31}), 0);
+  EXPECT_DOUBLE_EQ(at(B, {0}), 0); // Fill.
+  EXPECT_DOUBLE_EQ(at(B, {2}), 0);
+  EXPECT_DOUBLE_EQ(at(B, {3}), 0);
+  EXPECT_DOUBLE_EQ(at(B, {4}), 1);
+  EXPECT_DOUBLE_EQ(at(B, {31}), 28);
+}
+
+TEST_F(RuntimeTest, MultiShiftAliasedDestinationMatchesUnfusedSequence) {
+  // A clause whose destination is the source behaves exactly like the
+  // unfused sequence: earlier clauses read the original values, the
+  // aliased clause snapshots its own source.
+  CmRuntime Ref(Costs);
+  int Src = makeSeqField({16});
+  int A = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  const Geometry *G = Ref.getGeometry({16}, {1});
+  int RefSrc = Ref.allocField(G, ElemKind::Real);
+  std::vector<int64_t> Coord(1);
+  for (Coord[0] = 0; Coord[0] < 16; ++Coord[0])
+    Ref.writeElement(RefSrc, Coord, static_cast<double>(Coord[0]));
+  int RA = Ref.allocField(G, ElemKind::Real);
+
+  ASSERT_TRUE(
+      RT.multiShift({{A, 1}, {Src, 2}}, Src, 1, /*EndOff=*/false).isOk());
+  ASSERT_TRUE(Ref.cshift(RA, RefSrc, 1, 1).isOk());
+  ASSERT_TRUE(Ref.cshift(RefSrc, RefSrc, 1, 2).isOk());
+  EXPECT_EQ(RT.field(A).Data, Ref.field(RA).Data);
+  EXPECT_EQ(RT.field(Src).Data, Ref.field(RefSrc).Data);
+}
+
+TEST_F(RuntimeTest, MultiShiftRecoversFaultsLikeUnfusedShifts) {
+  // Transient grid timeouts and transfer corruption on the coalesced
+  // exchange retry / roll back the whole exchange: values match a
+  // fault-free machine, and recovery strictly raises the comm charge.
+  support::FaultSpec Spec;
+  std::string Error;
+  ASSERT_TRUE(
+      support::FaultSpec::parse("grid-timeout:0.4,corrupt:0.4", Spec, Error))
+      << Error;
+  support::FaultInjector Injector(Spec, /*Seed=*/7);
+  CmRuntime Ref(Costs);
+
+  int Src = makeSeqField({48});
+  int A = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  int B = RT.allocField(RT.field(Src).Geo, ElemKind::Real);
+  const Geometry *G = Ref.getGeometry({48}, {1});
+  int RefSrc = Ref.allocField(G, ElemKind::Real);
+  std::vector<int64_t> Coord(1);
+  for (Coord[0] = 0; Coord[0] < 48; ++Coord[0])
+    Ref.writeElement(RefSrc, Coord, static_cast<double>(Coord[0]));
+  int RA = Ref.allocField(G, ElemKind::Real);
+  int RB = Ref.allocField(G, ElemKind::Real);
+  ASSERT_TRUE(Ref.cshift(RA, RefSrc, 1, 3).isOk());
+  ASSERT_TRUE(Ref.cshift(RB, RefSrc, 1, -3).isOk());
+  double CleanCharge = 0;
+  {
+    CmRuntime Clean(Costs);
+    int CSrc = Clean.allocField(Clean.getGeometry({48}, {1}),
+                                ElemKind::Real);
+    int CA = Clean.allocField(Clean.field(CSrc).Geo, ElemKind::Real);
+    int CB = Clean.allocField(Clean.field(CSrc).Geo, ElemKind::Real);
+    ASSERT_TRUE(Clean.multiShift({{CA, 3}, {CB, -3}}, CSrc, 1, false).isOk());
+    CleanCharge = Clean.ledger().CommCycles;
+  }
+
+  RT.setFaultInjector(&Injector);
+  RT.ledger().reset();
+  for (int I = 0; I < 4; ++I)
+    ASSERT_TRUE(RT.multiShift({{A, 3}, {B, -3}}, Src, 1, false).isOk());
+  RT.setFaultInjector(nullptr);
+  EXPECT_EQ(RT.field(A).Data, Ref.field(RA).Data);
+  EXPECT_EQ(RT.field(B).Data, Ref.field(RB).Data);
+  EXPECT_GT(Injector.counters().Retries, 0u);
+  // Recovery is never free: four exchanges with faults cost strictly more
+  // than four fault-free ones.
+  EXPECT_GT(RT.ledger().CommCycles, 4.0 * CleanCharge);
+}
+
+TEST_F(RuntimeTest, SectionCopyReversedOverlapKeepsVectorSemantics) {
+  // l(1:8) = l(8:1:-1): a self-reversal. Every read gathers before any
+  // write scatters, so the result is the exact reversal, not a partially
+  // overwritten mix.
+  int H = makeSeqField({8});
+  std::vector<CmRuntime::SectionDim> DstSec = {{0, 1, 8}};
+  std::vector<CmRuntime::SectionDim> SrcSec = {{7, -1, 8}};
+  ASSERT_TRUE(RT.sectionCopy(H, DstSec, H, SrcSec).isOk());
+  for (int64_t I = 0; I < 8; ++I)
+    EXPECT_DOUBLE_EQ(at(H, {I}), static_cast<double>(7 - I));
+}
+
+TEST_F(RuntimeTest, SectionCopyStridedOverlapKeepsVectorSemantics) {
+  // l(2:8:2) = l(1:7:2) on one array: interleaved stride-2 sections.
+  int H = makeSeqField({8}); // 0..7
+  std::vector<CmRuntime::SectionDim> DstSec = {{1, 2, 4}};
+  std::vector<CmRuntime::SectionDim> SrcSec = {{0, 2, 4}};
+  ASSERT_TRUE(RT.sectionCopy(H, DstSec, H, SrcSec).isOk());
+  EXPECT_DOUBLE_EQ(at(H, {0}), 0);
+  EXPECT_DOUBLE_EQ(at(H, {1}), 0);
+  EXPECT_DOUBLE_EQ(at(H, {3}), 2);
+  EXPECT_DOUBLE_EQ(at(H, {5}), 4);
+  EXPECT_DOUBLE_EQ(at(H, {7}), 6);
+  EXPECT_DOUBLE_EQ(at(H, {2}), 2); // Untouched odd positions... even src.
 }
 
 } // namespace

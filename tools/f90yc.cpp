@@ -21,6 +21,11 @@
 ///   -exec=KIND       PEAC executor: compiled (default; translate each
 ///                    routine once, cached) | interp (the reference
 ///                    interpreter); results are identical either way
+///   -comm=MODE       overlap (default): schedule communication early,
+///                    coalesce same-axis shifts, and hide exchanges under
+///                    independent node computation (OverlappedCycles) |
+///                    sync: the paper's strict phase-serial model.
+///                    Program output is bit-identical in both modes
 ///   -faults=SPEC     inject faults: kind:prob[,kind:prob...]; kinds are
 ///                    router-drop, grid-timeout, corrupt, pe-trap, fpu,
 ///                    oom, or all (e.g. -faults=all:0.01)
@@ -64,7 +69,7 @@ void usage() {
       "usage: f90yc [options] file.f90\n"
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
       "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
-      "  -exec=compiled|interp\n"
+      "  -exec=compiled|interp   -comm=overlap|sync\n"
       "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n"
       "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n");
 }
@@ -117,6 +122,7 @@ int main(int argc, char **argv) {
   std::string StatsJsonPath, TracePath, MetricsPath;
   cm2::CostModel Machine;
   ExecutionOptions ExecOpts;
+  bool OverlapComm = true;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -151,6 +157,18 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "f90yc: unknown executor '%s' for -exec="
                              "compiled|interp\n",
                      E.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("-comm=", 0) == 0) {
+      std::string M = Arg.substr(6);
+      if (M == "overlap")
+        OverlapComm = true;
+      else if (M == "sync")
+        OverlapComm = false;
+      else {
+        std::fprintf(stderr, "f90yc: unknown mode '%s' for -comm="
+                             "overlap|sync\n",
+                     M.c_str());
         return 2;
       }
     } else if (Arg.rfind("-faults=", 0) == 0) {
@@ -243,7 +261,10 @@ int main(int argc, char **argv) {
     return Ok;
   };
 
-  Compilation C(CompileOptions::forProfile(Prof, Machine));
+  CompileOptions COpts = CompileOptions::forProfile(Prof, Machine);
+  COpts.Transforms.CommSchedule = OverlapComm;
+  ExecOpts.OverlapComm = OverlapComm;
+  Compilation C(std::move(COpts));
   C.setObservability(TraceP, MetricsP);
   if (!C.compile(Buf.str())) {
     std::fprintf(stderr, "%s", C.diags().str().c_str());
@@ -289,11 +310,13 @@ int main(int argc, char **argv) {
   if (Stats) {
     std::fprintf(stderr,
                  "-- %u PEs @ %.1f MHz: %.3f ms simulated "
-                 "(node %.0f, call %.0f, comm %.0f, host %.0f cycles), "
+                 "(node %.0f, call %.0f, comm %.0f, host %.0f, "
+                 "overlapped %.0f cycles), "
                  "%llu flops, %.3f GFLOPS\n",
                  Machine.NumPEs, Machine.ClockMHz, Report->seconds() * 1e3,
                  Report->Ledger.NodeCycles, Report->Ledger.CallCycles,
                  Report->Ledger.CommCycles, Report->Ledger.HostCycles,
+                 Report->Ledger.OverlappedCycles,
                  static_cast<unsigned long long>(Report->Ledger.Flops),
                  Report->gflops());
     if (Exec.faultInjector())
