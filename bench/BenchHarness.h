@@ -18,11 +18,11 @@
 
 #include "driver/Driver.h"
 #include "observe/Json.h"
+#include "support/FileIO.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -115,22 +115,25 @@ public:
     Fields.emplace_back(Key, observe::json::quote(V));
   }
 
-  /// Writes `BENCH_<name>.json`. Failure to write is reported but
-  /// non-fatal: the numbers were already printed to stdout.
+  /// Writes `BENCH_<name>.json` atomically (temp + rename, so an
+  /// interrupted benchmark never leaves a truncated report for CI to
+  /// upload). Failure to write is reported but non-fatal: the numbers
+  /// were already printed to stdout.
   bool write() const {
     std::string Path = "BENCH_" + Name + ".json";
-    std::ofstream Out(Path);
-    if (!Out.good()) {
-      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    std::string Out = "{\n  " + observe::json::quote("bench") + ": " +
+                      observe::json::quote(Name);
+    for (const auto &F : Fields)
+      Out += ",\n  " + observe::json::quote(F.first) + ": " + F.second;
+    Out += "\n}\n";
+    std::string Error;
+    if (!support::atomicWriteFile(Path, Out, &Error)) {
+      std::fprintf(stderr, "warning: cannot write %s: %s\n", Path.c_str(),
+                   Error.c_str());
       return false;
     }
-    Out << "{\n  " << observe::json::quote("bench") << ": "
-        << observe::json::quote(Name);
-    for (const auto &F : Fields)
-      Out << ",\n  " << observe::json::quote(F.first) << ": " << F.second;
-    Out << "\n}\n";
     std::printf("\nwrote %s\n", Path.c_str());
-    return Out.good();
+    return true;
   }
 
 private:

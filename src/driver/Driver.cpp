@@ -9,8 +9,10 @@
 #include "frontend/Inline.h"
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
+#include "host/Printer.h"
 #include "lower/Lowering.h"
 #include "observe/Json.h"
+#include "support/Serialize.h"
 
 using namespace f90y;
 using namespace f90y::driver;
@@ -102,6 +104,7 @@ bool Compilation::compile(const std::string &Source) {
 
 std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
   RT.ledger().reset();
+  RestoreFailed = false;
   // Restart the fault schedule from op 0 so repeated runs of one
   // Execution are identical (the schedule is a pure function of the seed
   // and the per-kind op streams).
@@ -109,6 +112,29 @@ std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
     Injector->reset();
   if (Trace)
     Trace->resetCycleCursor(); // The cycle timeline restarts with the ledger.
+  if (Ckpt) {
+    // Checkpoint identity: a tag of the printed host program (so a resume
+    // against different source or compiler options is rejected) plus the
+    // run's fault configuration (a resumed schedule must be the same pure
+    // function of seed and op streams the killed run was drawing from).
+    Ckpt->setProgramTag(support::crc32(host::printHostProgram(Program)));
+    if (Injector)
+      Ckpt->setFaultConfig(true, Injector->seed(), Injector->spec().Prob);
+    else
+      Ckpt->setFaultConfig(false, 0, nullptr);
+    if (Ckpt->wantsRestore()) {
+      runtime::ckpt::CheckpointState State;
+      support::RtStatus St = Ckpt->loadForRestore(State);
+      if (!St.isOk()) {
+        RestoreFailed = true;
+        Diags.error(SourceLocation(),
+                    "cannot restore from '" +
+                        Ckpt->options().RestorePath + "': " + St.str());
+        return std::nullopt;
+      }
+      Exec.setRestoreState(std::move(State));
+    }
+  }
   bool Ok;
   {
     observe::WallSpan S(Trace, "execute", "phase");

@@ -27,6 +27,7 @@
 #include "observe/Metrics.h"
 #include "peac/Engine.h"
 #include "observe/Trace.h"
+#include "runtime/Checkpoint.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
@@ -170,6 +171,11 @@ struct ExecutionOptions {
   /// metric content is deterministic at every Threads setting.
   observe::TraceRecorder *Trace = nullptr;
   observe::MetricsRegistry *Metrics = nullptr;
+  /// Checkpoint/restart configuration (f90yc -checkpoint= /
+  /// -checkpoint-every= / -restore= / -crash-at-step=). Inactive (the
+  /// default) attaches no controller: step boundaries cost one counter
+  /// increment and the simulation is untouched.
+  runtime::ckpt::Options Checkpoint;
 };
 
 /// Executes a compiled program on the simulated CM/2. The execution object
@@ -191,6 +197,11 @@ public:
     RT.setTrace(Trace);
     RT.setMetrics(Metrics);
     RT.setExecEngine(&Engine);
+    if (EOpts.Checkpoint.active()) {
+      Ckpt = std::make_unique<runtime::ckpt::Controller>(EOpts.Checkpoint);
+      Ckpt->setObservability(Trace, Metrics);
+      Exec.setCheckpoint(Ckpt.get());
+    }
   }
 
   host::HostExecutor &executor() { return Exec; }
@@ -202,6 +213,12 @@ public:
   /// The PEAC execution engine (ExecutionOptions::Engine selects its
   /// kind; Compiled shares the process-wide routine cache).
   peac::ExecutionEngine &execEngine() { return Engine; }
+  /// The run's checkpoint controller, or null when checkpointing is off.
+  runtime::ckpt::Controller *checkpoint() { return Ckpt.get(); }
+  /// True when the last run() failed because the -restore= checkpoint
+  /// could not be loaded (missing, corrupt past every retained
+  /// generation, or from a different program/fault configuration).
+  bool restoreFailed() const { return RestoreFailed; }
 
   /// Runs \p Program; nullopt on a simulated runtime error (including a
   /// fault that recovery could not absorb - retries exhausted, simulated
@@ -216,6 +233,8 @@ private:
   host::HostExecutor Exec;
   peac::ExecutionEngine Engine;
   std::unique_ptr<support::FaultInjector> Injector;
+  std::unique_ptr<runtime::ckpt::Controller> Ckpt;
+  bool RestoreFailed = false;
   observe::TraceRecorder *Trace = nullptr;
   observe::MetricsRegistry *Metrics = nullptr;
 };

@@ -59,8 +59,24 @@ bool HostExecutor::run(const HostProgram &Prog) {
   ScalarKinds.clear();
   FieldHandles.clear();
   LoopCoords.clear();
+  StepIndex = 0;
+  LoopSeq = 0;
+  LoopDepth = 0;
   flushPendingComm();
-  exec(Prog.Body.get());
+  if (Restore.has_value()) {
+    Restoring = true;
+    execRestore(Prog.Body.get());
+    if (Restoring && !Failed)
+      error("restore: the resume point (outermost loop " +
+            std::to_string(Restore->LoopId) + ", step " +
+            std::to_string(Restore->StepIndex) +
+            ") was not reached by structural replay; the checkpointed loop "
+            "must be an outermost SerialDo/While (not nested under IF)");
+    Restoring = false;
+    Restore.reset();
+  } else {
+    exec(Prog.Body.get());
+  }
   return !Failed;
 }
 
@@ -606,74 +622,13 @@ void HostExecutor::exec(const HostStmt *S) {
       exec(If->elseStmt());
     return;
   }
-  case HostStmt::Kind::While: {
-    const auto *W = cast<WhileStmt>(S);
-    flushPendingComm();
-    uint64_t Iterations = 0;
-    while (!Failed && evalScalar(W->cond()).asBool()) {
-      L.HostCycles += RT.costs().HostStatementCycles;
-      exec(W->body());
-      if (++Iterations > 100000000ull) {
-        error("host WHILE exceeded the iteration bound");
-        return;
-      }
-    }
+  case HostStmt::Kind::While:
+    execWhile(cast<WhileStmt>(S));
     return;
-  }
   case HostStmt::Kind::SerialDo:
-  case HostStmt::Kind::ParallelLoop: {
-    bool Parallel = S->getKind() == HostStmt::Kind::ParallelLoop;
-    const std::string &Domain =
-        Parallel ? cast<ParallelLoopStmt>(S)->domain()
-                 : cast<SerialDoStmt>(S)->domain();
-    const std::vector<int64_t> &Los = Parallel
-                                          ? cast<ParallelLoopStmt>(S)->los()
-                                          : cast<SerialDoStmt>(S)->los();
-    const std::vector<int64_t> &His = Parallel
-                                          ? cast<ParallelLoopStmt>(S)->his()
-                                          : cast<SerialDoStmt>(S)->his();
-    const HostStmt *Body = Parallel ? cast<ParallelLoopStmt>(S)->body()
-                                    : cast<SerialDoStmt>(S)->body();
-
-    std::vector<DeferredWrite> Writes;
-    std::vector<DeferredWrite> *Saved = Deferred;
-    if (Parallel)
-      Deferred = &Writes;
-
-    std::vector<int64_t> Coord = Los;
-    bool Empty = false;
-    for (size_t D = 0; D < Los.size(); ++D)
-      if (His[D] < Los[D])
-        Empty = true;
-    while (!Empty && !Failed) {
-      LoopCoords[Domain] = Coord;
-      L.HostCycles += RT.costs().HostStatementCycles;
-      exec(Body);
-      size_t K = Coord.size();
-      bool Done = true;
-      while (K-- > 0) {
-        if (++Coord[K] <= His[K]) {
-          Done = false;
-          break;
-        }
-        Coord[K] = Los[K];
-      }
-      if (Done)
-        break;
-    }
-    LoopCoords.erase(Domain);
-    if (Parallel) {
-      Deferred = Saved;
-      if (Deferred) {
-        for (DeferredWrite &W : Writes)
-          Deferred->push_back(std::move(W));
-      } else {
-        for (const DeferredWrite &W : Writes)
-          RT.writeElement(W.Handle, W.Coord, W.V);
-      }
-    }
+  case HostStmt::Kind::ParallelLoop:
+    execLoop(S);
     return;
-  }
   case HostStmt::Kind::Print: {
     const auto *P = cast<PrintStmt>(S);
     flushPendingComm();
@@ -708,5 +663,351 @@ void HostExecutor::exec(const HostStmt *S) {
     Output += '\n';
     return;
   }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loops and step boundaries
+//===----------------------------------------------------------------------===//
+
+void HostExecutor::execLoop(const HostStmt *S,
+                            const std::vector<int64_t> *ResumeFrom,
+                            uint32_t ResumeId) {
+  bool Parallel = S->getKind() == HostStmt::Kind::ParallelLoop;
+  const std::string &Domain =
+      Parallel ? cast<ParallelLoopStmt>(S)->domain()
+               : cast<SerialDoStmt>(S)->domain();
+  const std::vector<int64_t> &Los = Parallel
+                                        ? cast<ParallelLoopStmt>(S)->los()
+                                        : cast<SerialDoStmt>(S)->los();
+  const std::vector<int64_t> &His = Parallel
+                                        ? cast<ParallelLoopStmt>(S)->his()
+                                        : cast<SerialDoStmt>(S)->his();
+  const HostStmt *Body = Parallel ? cast<ParallelLoopStmt>(S)->body()
+                                  : cast<SerialDoStmt>(S)->body();
+  runtime::CycleLedger &L = RT.ledger();
+
+  // Depth-0 serial loops are the run's step loops: each completed
+  // iteration is a checkpointable boundary, and the loop takes the next
+  // entry-order id (a resume continuation reuses the checkpointed id).
+  const bool StepLoop = !Parallel && LoopDepth == 0;
+  const uint32_t Id = ResumeFrom ? ResumeId : (StepLoop ? LoopSeq++ : 0);
+
+  std::vector<DeferredWrite> Writes;
+  std::vector<DeferredWrite> *Saved = Deferred;
+  if (Parallel)
+    Deferred = &Writes;
+
+  std::vector<int64_t> Coord;
+  bool SkipBody = false;
+  bool Empty = false;
+  if (ResumeFrom) {
+    // The checkpointed iteration already ran to completion; advance past
+    // its coordinate before executing anything.
+    Coord = *ResumeFrom;
+    SkipBody = true;
+  } else {
+    Coord = Los;
+    for (size_t D = 0; D < Los.size(); ++D)
+      if (His[D] < Los[D])
+        Empty = true;
+  }
+  while (!Empty && !Failed) {
+    if (!SkipBody) {
+      LoopCoords[Domain] = Coord;
+      L.HostCycles += RT.costs().HostStatementCycles;
+      ++LoopDepth;
+      exec(Body);
+      --LoopDepth;
+      if (StepLoop && !Failed)
+        stepBoundary(Id, Domain, &Coord);
+    }
+    SkipBody = false;
+    size_t K = Coord.size();
+    bool Done = true;
+    while (K-- > 0) {
+      if (++Coord[K] <= His[K]) {
+        Done = false;
+        break;
+      }
+      Coord[K] = Los[K];
+    }
+    if (Done)
+      break;
+  }
+  LoopCoords.erase(Domain);
+  if (Parallel) {
+    Deferred = Saved;
+    if (Deferred) {
+      for (DeferredWrite &W : Writes)
+        Deferred->push_back(std::move(W));
+    } else {
+      for (const DeferredWrite &W : Writes)
+        RT.writeElement(W.Handle, W.Coord, W.V);
+    }
+  }
+}
+
+void HostExecutor::execWhile(const WhileStmt *W, const uint32_t *ResumeId) {
+  const bool StepLoop = LoopDepth == 0;
+  const uint32_t Id = ResumeId ? *ResumeId : (StepLoop ? LoopSeq++ : 0);
+  runtime::CycleLedger &L = RT.ledger();
+  // A resumed WHILE must not flush: the checkpoint's in-flight exchange
+  // was just reinstated, and the original run's pre-loop flush happened
+  // before the checkpointed iteration.
+  if (!ResumeId)
+    flushPendingComm();
+  uint64_t Iterations = 0;
+  while (!Failed && evalScalar(W->cond()).asBool()) {
+    L.HostCycles += RT.costs().HostStatementCycles;
+    ++LoopDepth;
+    exec(W->body());
+    --LoopDepth;
+    if (StepLoop && !Failed)
+      stepBoundary(Id, std::string(), nullptr);
+    if (++Iterations > 100000000ull) {
+      error("host WHILE exceeded the iteration bound");
+      return;
+    }
+  }
+}
+
+void HostExecutor::stepBoundary(uint32_t LoopId, const std::string &Domain,
+                                const std::vector<int64_t> *Coord) {
+  ++StepIndex;
+  if (!Ckpt)
+    return;
+  if (Ckpt->shouldWrite(StepIndex)) {
+    runtime::ckpt::CheckpointState S =
+        buildCheckpointState(LoopId, Domain, Coord);
+    support::RtStatus St = Ckpt->write(S);
+    if (!St.isOk()) {
+      error("checkpoint write failed: " + St.str());
+      return;
+    }
+  }
+  Ckpt->maybeCrash(StepIndex);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint snapshot and restore
+//===----------------------------------------------------------------------===//
+
+runtime::ckpt::CheckpointState
+HostExecutor::buildCheckpointState(uint32_t LoopId, const std::string &Domain,
+                                   const std::vector<int64_t> *Coord) {
+  runtime::ckpt::CheckpointState S;
+  S.StepIndex = StepIndex;
+  S.LoopId = LoopId;
+  S.LoopDomain = Domain;
+  if (Coord)
+    S.LoopCoord = *Coord;
+  S.StepsExecuted = Steps;
+  S.Ledger = RT.ledger();
+  S.Output = Output;
+
+  // Fields travel by name (FieldHandles is sorted, so the section order
+  // is deterministic); handle numbers can differ in a resumed process.
+  for (const auto &[Name, Handle] : FieldHandles) {
+    if (!RT.isLiveField(Handle))
+      continue;
+    const runtime::PeArray &F = RT.field(Handle);
+    runtime::ckpt::CheckpointState::FieldImage Img;
+    Img.Name = Name;
+    Img.Kind = static_cast<uint8_t>(F.Kind);
+    Img.Extents = F.Geo->Extents;
+    Img.Los = F.Geo->Los;
+    Img.Data = F.Data;
+    S.Fields.push_back(std::move(Img));
+  }
+  for (const auto &[Name, V] : Scalars) {
+    runtime::ckpt::CheckpointState::ScalarImage Sc;
+    Sc.Name = Name;
+    auto KindIt = ScalarKinds.find(Name);
+    Sc.StorageKind = static_cast<uint8_t>(KindIt != ScalarKinds.end()
+                                              ? KindIt->second
+                                              : runtime::ElemKind::Real);
+    Sc.ValKind = static_cast<uint8_t>(V.K);
+    Sc.I = V.I;
+    Sc.R = V.R;
+    Sc.B = V.B ? 1 : 0;
+    S.Scalars.push_back(std::move(Sc));
+  }
+  if (const support::FaultInjector *FI = RT.faultInjector()) {
+    S.HasFaults = 1;
+    S.FaultSeed = FI->seed();
+    for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+      S.FaultProb[K] = FI->spec().Prob[K];
+    S.Faults = FI->snapshotState();
+  }
+  S.PendingRemaining = RT.pendingCommRemaining();
+  if (S.PendingRemaining > 0) {
+    // Map the in-flight handles back to names; every comm operand is a
+    // named program field.
+    for (int H : RT.pendingCommHandles())
+      for (const auto &[Name, Handle] : FieldHandles)
+        if (Handle == H) {
+          S.PendingFields.push_back(Name);
+          break;
+        }
+  }
+  if (const observe::MetricsRegistry *M = RT.metrics()) {
+    S.HasMetrics = 1;
+    S.Metrics = M->snapshot();
+  }
+  return S;
+}
+
+bool HostExecutor::applyRestore(const runtime::ckpt::CheckpointState &S) {
+  for (const auto &Img : S.Fields) {
+    auto It = FieldHandles.find(Img.Name);
+    if (It == FieldHandles.end()) {
+      error("restore: field '" + Img.Name +
+            "' is not allocated at the resume point");
+      return false;
+    }
+    runtime::PeArray &F = RT.field(It->second);
+    if (static_cast<uint8_t>(F.Kind) != Img.Kind ||
+        F.Geo->Extents != Img.Extents || F.Geo->Los != Img.Los ||
+        F.Data.size() != Img.Data.size()) {
+      error("restore: field '" + Img.Name +
+            "' has a different shape than the checkpoint");
+      return false;
+    }
+    // Direct store, not CmRuntime::restoreField: this is state
+    // reinstatement, not a fault rollback, and must not count as one.
+    F.Data = Img.Data;
+  }
+  for (const auto &Sc : S.Scalars) {
+    RtVal V;
+    V.K = static_cast<RtVal::Kind>(Sc.ValKind);
+    V.I = Sc.I;
+    V.R = Sc.R;
+    V.B = Sc.B != 0;
+    Scalars[Sc.Name] = V;
+    ScalarKinds[Sc.Name] = static_cast<runtime::ElemKind>(Sc.StorageKind);
+  }
+  Output = S.Output;
+  Steps = S.StepsExecuted;
+  StepIndex = S.StepIndex;
+  RT.ledger() = S.Ledger;
+  if (support::FaultInjector *FI = RT.faultInjector())
+    if (S.HasFaults)
+      FI->restoreState(S.Faults);
+  std::vector<int> PendingHandles;
+  for (const std::string &Name : S.PendingFields) {
+    auto It = FieldHandles.find(Name);
+    if (It != FieldHandles.end())
+      PendingHandles.push_back(It->second);
+  }
+  RT.restorePendingComm(S.PendingRemaining, std::move(PendingHandles));
+  if (S.HasMetrics) {
+    if (observe::MetricsRegistry *M = RT.metrics()) {
+      // Keep this process's ckpt.restore.* account across the wholesale
+      // replacement: the checkpoint predates the restore that loaded it.
+      std::vector<observe::MetricsRegistry::Sample> Mine = M->snapshot();
+      M->restore(S.Metrics);
+      for (const auto &Smp : Mine) {
+        if (Smp.Name.rfind("ckpt.restore.", 0) != 0)
+          continue;
+        if (Smp.Kind == 0)
+          M->count(Smp.Name, Smp.Count);
+        else if (Smp.Kind == 1)
+          M->countCycles(Smp.Name, Smp.Value);
+      }
+    }
+  }
+  // Re-warm the compiled-engine cache up front, where the original run
+  // paid the translation cost (a fresh process starts cold).
+  if (peac::ExecutionEngine *E = RT.execEngine())
+    E->warmup(Program->Routines, RT.metrics());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural replay toward the resume point
+//===----------------------------------------------------------------------===//
+
+void HostExecutor::execRestore(const HostStmt *S) {
+  if (Failed || !S || !Restoring)
+    return;
+  switch (S->getKind()) {
+  case HostStmt::Kind::Seq:
+    for (const auto &Sub : cast<SeqStmt>(S)->stmts()) {
+      if (Failed)
+        return;
+      if (Restoring)
+        execRestore(Sub.get());
+      else
+        exec(Sub.get()); // Post-resume statements run normally.
+    }
+    return;
+  case HostStmt::Kind::AllocScope: {
+    const auto *A = cast<AllocScopeStmt>(S);
+    // Rebuild the allocation structure with no cycle charges, no presets,
+    // and no injector draws: contents, ledger, and the fault schedule
+    // position all arrive wholesale with applyRestore.
+    for (const auto &F : A->fields()) {
+      const runtime::Geometry *Geo = RT.getGeometry(F.Extents, F.Los);
+      FieldHandles[F.Name] = RT.allocField(Geo, F.Kind);
+    }
+    for (const auto &Sc : A->scalars()) {
+      Scalars[Sc.Name] = convertFor(RtVal::makeInt(0), Sc.Kind);
+      ScalarKinds[Sc.Name] = Sc.Kind;
+    }
+    execRestore(A->body());
+    if (!A->keepAlive()) {
+      for (const auto &F : A->fields()) {
+        auto It = FieldHandles.find(F.Name);
+        if (It != FieldHandles.end()) {
+          RT.freeField(It->second);
+          FieldHandles.erase(It);
+        }
+      }
+    }
+    return;
+  }
+  case HostStmt::Kind::SerialDo: {
+    const auto *D = cast<SerialDoStmt>(S);
+    uint32_t Id = LoopSeq++;
+    if (Id != Restore->LoopId)
+      return; // Ran to completion before the checkpoint; skip.
+    if (D->domain() != Restore->LoopDomain ||
+        Restore->LoopCoord.size() != D->los().size()) {
+      error("restore: checkpoint does not match outermost loop " +
+            std::to_string(Id) + " (domain '" + Restore->LoopDomain +
+            "' vs '" + D->domain() + "')");
+      return;
+    }
+    if (!applyRestore(*Restore))
+      return;
+    std::vector<int64_t> From = Restore->LoopCoord;
+    Restoring = false;
+    Restore.reset();
+    execLoop(D, &From, Id);
+    return;
+  }
+  case HostStmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    uint32_t Id = LoopSeq++;
+    if (Id != Restore->LoopId)
+      return;
+    if (!Restore->LoopDomain.empty() || !Restore->LoopCoord.empty()) {
+      error("restore: checkpoint loop " + std::to_string(Id) +
+            " is a WHILE here but carried a DO coordinate");
+      return;
+    }
+    if (!applyRestore(*Restore))
+      return;
+    Restoring = false;
+    Restore.reset();
+    execWhile(W, &Id);
+    return;
+  }
+  default:
+    // Skipped: the statement's effects are part of the restored state.
+    // Note an outermost loop nested under IF is therefore unreachable by
+    // replay; run() reports that as a structured error.
+    return;
   }
 }

@@ -17,6 +17,7 @@
 
 #include "host/HostIR.h"
 #include "interp/RtValue.h"
+#include "runtime/Checkpoint.h"
 #include "support/Diagnostics.h"
 #include "support/RtStatus.h"
 
@@ -42,6 +43,25 @@ public:
   /// Watchdog: abort (as a runtime error) after \p N executed host
   /// statements. 0 disables the limit.
   void setMaxSteps(uint64_t N) { MaxSteps = N; }
+
+  /// Attaches the run's checkpoint controller (null: checkpointing off).
+  /// The executor consults it at every step boundary - the end of each
+  /// iteration of an outermost SerialDo/While loop - to write checkpoints
+  /// and to honor the -crash-at-step test hook.
+  void setCheckpoint(runtime::ckpt::Controller *C) { Ckpt = C; }
+
+  /// Arms the next run() to resume from \p S instead of starting fresh:
+  /// the executor replays only the program's structure (allocations, loop
+  /// entries) up to the checkpointed loop, reinstates the snapshotted
+  /// state wholesale, and continues from the following iteration. The
+  /// state is consumed by that run.
+  void setRestoreState(runtime::ckpt::CheckpointState S) {
+    Restore = std::move(S);
+  }
+
+  /// Completed outermost-loop iterations of the last run (continues from
+  /// the checkpoint's count on a restored run).
+  uint64_t stepIndex() const { return StepIndex; }
 
   /// Enables the Section 5.3.2 extension model: communication may proceed
   /// concurrently with subsequent PEAC computation that touches none of
@@ -73,6 +93,17 @@ private:
   bool Failed = false;
   uint64_t MaxSteps = 0; ///< Watchdog statement limit (0: unlimited).
   uint64_t Steps = 0;    ///< Statements executed so far this run.
+
+  // Checkpoint/restart (DESIGN.md section 9). A "step" is one completed
+  // iteration of a depth-0 (outermost) SerialDo or While loop; such loops
+  // are numbered in entry order (LoopSeq) so a checkpoint can name its
+  // resume point structurally.
+  runtime::ckpt::Controller *Ckpt = nullptr;
+  std::optional<runtime::ckpt::CheckpointState> Restore;
+  bool Restoring = false; ///< Structure-only replay toward the resume point.
+  uint64_t StepIndex = 0; ///< Completed outermost-loop iterations.
+  uint32_t LoopSeq = 0;   ///< Next entry-order id for a depth-0 loop.
+  unsigned LoopDepth = 0; ///< Loop nesting depth of the current statement.
 
   std::map<std::string, interp::RtVal> Scalars;
   std::map<std::string, runtime::ElemKind> ScalarKinds;
@@ -122,6 +153,30 @@ private:
 
   void exec(const HostStmt *S);
   void execCallPeac(const CallPeacStmt *S);
+  /// Shared SerialDo/ParallelLoop iteration. With \p ResumeFrom set (a
+  /// restored depth-0 SerialDo), iteration continues from the coordinate
+  /// *after* \p ResumeFrom under the already-assigned loop id \p ResumeId.
+  void execLoop(const HostStmt *S,
+                const std::vector<int64_t> *ResumeFrom = nullptr,
+                uint32_t ResumeId = 0);
+  /// While execution; \p ResumeId non-null resumes a restored depth-0
+  /// While (no initial comm flush - the in-flight exchange was restored).
+  void execWhile(const WhileStmt *W, const uint32_t *ResumeId = nullptr);
+  /// Structure-only replay toward the checkpoint's resume point: only
+  /// Seq/AllocScope are entered and only depth-0 loops are matched;
+  /// everything else is skipped (its effects arrive with applyRestore).
+  void execRestore(const HostStmt *S);
+  /// End-of-iteration hook for depth-0 loops: advances StepIndex, writes
+  /// a checkpoint when one is due, and honors -crash-at-step.
+  void stepBoundary(uint32_t LoopId, const std::string &Domain,
+                    const std::vector<int64_t> *Coord);
+  /// Snapshots the complete resumable state at a step boundary.
+  runtime::ckpt::CheckpointState
+  buildCheckpointState(uint32_t LoopId, const std::string &Domain,
+                       const std::vector<int64_t> *Coord);
+  /// Reinstates \p S wholesale at the resume point; false (with a
+  /// diagnostic) when the replayed allocation structure does not match.
+  bool applyRestore(const runtime::ckpt::CheckpointState &S);
   interp::RtVal evalScalar(const nir::Value *V);
   interp::RtVal convertFor(interp::RtVal V, runtime::ElemKind K);
 };

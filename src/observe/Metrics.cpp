@@ -57,6 +57,42 @@ void MetricsRegistry::observe(const std::string &Name, double V) {
   M.Buckets[bucketOf(V)] += 1;
 }
 
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<Sample> Out;
+  Out.reserve(Metrics.size());
+  for (const auto &[Name, M] : Metrics) {
+    Sample S;
+    S.Name = Name;
+    S.Kind = static_cast<uint8_t>(M.K);
+    S.Count = M.Count;
+    S.Value = M.Value;
+    if (M.K == Kind::Histogram)
+      S.Buckets.assign(M.Buckets, M.Buckets + 64);
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+void MetricsRegistry::restore(const std::vector<Sample> &Samples) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Metrics.clear();
+  for (const Sample &S : Samples) {
+    if (S.Kind > 3)
+      continue;
+    if (S.Kind == 3 && S.Buckets.size() != 64)
+      continue;
+    Metric M;
+    M.K = static_cast<Kind>(S.Kind);
+    M.Count = S.Count;
+    M.Value = S.Value;
+    if (M.K == Kind::Histogram)
+      for (size_t I = 0; I < 64; ++I)
+        M.Buckets[I] = S.Buckets[I];
+    Metrics[S.Name] = M;
+  }
+}
+
 size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Metrics.size();

@@ -30,6 +30,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace f90y {
 namespace observe {
@@ -60,6 +61,23 @@ public:
   /// Current value of counter/cycles/gauge \p Name (0 when absent);
   /// histogram sum for histograms. Test and summarizer convenience.
   double value(const std::string &Name) const;
+
+  /// One metric's complete state, exposed for snapshot/restore (the
+  /// checkpoint subsystem persists the registry across process kills).
+  /// SampleKind mirrors the internal Kind tags.
+  struct Sample {
+    std::string Name;
+    uint8_t Kind = 0; ///< 0 counter, 1 cycles, 2 gauge, 3 histogram.
+    uint64_t Count = 0;
+    double Value = 0;
+    std::vector<uint64_t> Buckets; ///< Histograms only (64 entries).
+  };
+
+  /// Every metric, sorted by name (the registry's natural order).
+  std::vector<Sample> snapshot() const;
+  /// Replaces the whole registry with \p Samples (clear + set). Samples
+  /// with unknown kind tags or malformed bucket counts are skipped.
+  void restore(const std::vector<Sample> &Samples);
 
 private:
   enum class Kind { Counter, Cycles, Gauge, Histogram };

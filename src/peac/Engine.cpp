@@ -326,3 +326,11 @@ ExecResult ExecutionEngine::execute(const Routine &R, const ExecArgs &Args,
                             Program->runPE(Args, Scalars, PE, Width, Iters);
                           });
 }
+
+void ExecutionEngine::warmup(const std::vector<Routine> &Routines,
+                             observe::MetricsRegistry *Metrics) {
+  if (Kind == EngineKind::Interp)
+    return;
+  for (const Routine &R : Routines)
+    (void)Cache->get(R, Metrics);
+}

@@ -117,6 +117,13 @@ public:
                      support::FaultInjector *FI = nullptr,
                      observe::MetricsRegistry *Metrics = nullptr);
 
+  /// Pre-translates every routine of a program through the cache (a no-op
+  /// for the Interp kind). A restored run calls this before resuming its
+  /// timestep loop so the compile cost lands up front, where the original
+  /// run paid it, instead of inside the first post-restore dispatches.
+  void warmup(const std::vector<Routine> &Routines,
+              observe::MetricsRegistry *Metrics = nullptr);
+
 private:
   EngineKind Kind;
   RoutineCache *Cache;

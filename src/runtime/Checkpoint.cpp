@@ -1,0 +1,536 @@
+//===- runtime/Checkpoint.cpp - crash-consistent checkpoint/restart ----------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Checkpoint.h"
+
+#include "observe/Trace.h"
+#include "support/FileIO.h"
+#include "support/Serialize.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace f90y;
+using namespace f90y::runtime;
+using namespace f90y::runtime::ckpt;
+using support::ByteReader;
+using support::ByteWriter;
+using support::RtCode;
+using support::RtStatus;
+
+const char ckpt::FileMagic[8] = {'F', '9', '0', 'Y', 'C', 'K', 'P', 'T'};
+
+namespace {
+
+/// Section tags (fourcc, little-endian in the file).
+constexpr uint32_t fourcc(char A, char B, char C, char D) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(A)) |
+         static_cast<uint32_t>(static_cast<uint8_t>(B)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(C)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24;
+}
+constexpr uint32_t TagMeta = fourcc('M', 'E', 'T', 'A');
+constexpr uint32_t TagLedger = fourcc('L', 'E', 'D', 'G');
+constexpr uint32_t TagFields = fourcc('F', 'L', 'D', 'S');
+constexpr uint32_t TagScalars = fourcc('S', 'C', 'L', 'R');
+constexpr uint32_t TagFaults = fourcc('F', 'A', 'L', 'T');
+constexpr uint32_t TagPendingComm = fourcc('P', 'C', 'O', 'M');
+constexpr uint32_t TagOutput = fourcc('O', 'U', 'T', 'P');
+constexpr uint32_t TagMetrics = fourcc('M', 'E', 'T', 'R');
+
+std::string fourccName(uint32_t Tag) {
+  std::string S(4, '?');
+  for (int I = 0; I < 4; ++I) {
+    char C = static_cast<char>((Tag >> (8 * I)) & 0xff);
+    S[static_cast<size_t>(I)] = (C >= 32 && C < 127) ? C : '?';
+  }
+  return S;
+}
+
+RtStatus invalid(const std::string &Msg) {
+  return RtStatus::fault(RtCode::CheckpointInvalid, Msg);
+}
+
+void writeI64Vec(ByteWriter &W, const std::vector<int64_t> &V) {
+  W.u64(V.size());
+  for (int64_t X : V)
+    W.i64(X);
+}
+
+bool readI64Vec(ByteReader &R, std::vector<int64_t> &Out) {
+  uint64_t N = R.u64();
+  if (!R.ok() || N > R.remaining() / 8)
+    return false;
+  Out.resize(static_cast<size_t>(N));
+  for (uint64_t I = 0; I < N; ++I)
+    Out[static_cast<size_t>(I)] = R.i64();
+  return R.ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Section payloads
+//===----------------------------------------------------------------------===//
+
+std::string encodeMeta(const CheckpointState &S) {
+  ByteWriter W;
+  W.u32(S.ProgramTag);
+  W.u64(S.StepIndex);
+  W.u32(S.LoopId);
+  W.str(S.LoopDomain);
+  writeI64Vec(W, S.LoopCoord);
+  W.u64(S.StepsExecuted);
+  return W.takeBytes();
+}
+
+bool decodeMeta(ByteReader &R, CheckpointState &S) {
+  S.ProgramTag = R.u32();
+  S.StepIndex = R.u64();
+  S.LoopId = R.u32();
+  S.LoopDomain = R.str();
+  if (!readI64Vec(R, S.LoopCoord))
+    return false;
+  S.StepsExecuted = R.u64();
+  return R.ok();
+}
+
+std::string encodeLedger(const CheckpointState &S) {
+  ByteWriter W;
+  W.f64(S.Ledger.NodeCycles);
+  W.f64(S.Ledger.CallCycles);
+  W.f64(S.Ledger.CommCycles);
+  W.f64(S.Ledger.HostCycles);
+  W.f64(S.Ledger.OverlappedCycles);
+  W.u64(S.Ledger.Flops);
+  return W.takeBytes();
+}
+
+bool decodeLedger(ByteReader &R, CheckpointState &S) {
+  S.Ledger.NodeCycles = R.f64();
+  S.Ledger.CallCycles = R.f64();
+  S.Ledger.CommCycles = R.f64();
+  S.Ledger.HostCycles = R.f64();
+  S.Ledger.OverlappedCycles = R.f64();
+  S.Ledger.Flops = R.u64();
+  return R.ok();
+}
+
+std::string encodeFields(const CheckpointState &S) {
+  ByteWriter W;
+  W.u64(S.Fields.size());
+  for (const CheckpointState::FieldImage &F : S.Fields) {
+    W.str(F.Name);
+    W.u8(F.Kind);
+    writeI64Vec(W, F.Extents);
+    writeI64Vec(W, F.Los);
+    W.u64(F.Data.size());
+    for (double D : F.Data)
+      W.f64(D);
+  }
+  return W.takeBytes();
+}
+
+bool decodeFields(ByteReader &R, CheckpointState &S) {
+  uint64_t N = R.u64();
+  if (!R.ok() || N > R.remaining())
+    return false;
+  S.Fields.clear();
+  S.Fields.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    CheckpointState::FieldImage F;
+    F.Name = R.str();
+    F.Kind = R.u8();
+    if (F.Kind > 2)
+      return false;
+    if (!readI64Vec(R, F.Extents) || !readI64Vec(R, F.Los))
+      return false;
+    uint64_t Elems = R.u64();
+    if (!R.ok() || Elems > R.remaining() / 8)
+      return false;
+    F.Data.resize(static_cast<size_t>(Elems));
+    for (uint64_t E = 0; E < Elems; ++E)
+      F.Data[static_cast<size_t>(E)] = R.f64();
+    if (!R.ok())
+      return false;
+    S.Fields.push_back(std::move(F));
+  }
+  return R.ok();
+}
+
+std::string encodeScalars(const CheckpointState &S) {
+  ByteWriter W;
+  W.u64(S.Scalars.size());
+  for (const CheckpointState::ScalarImage &Sc : S.Scalars) {
+    W.str(Sc.Name);
+    W.u8(Sc.StorageKind);
+    W.u8(Sc.ValKind);
+    W.i64(Sc.I);
+    W.f64(Sc.R);
+    W.u8(Sc.B);
+  }
+  return W.takeBytes();
+}
+
+bool decodeScalars(ByteReader &R, CheckpointState &S) {
+  uint64_t N = R.u64();
+  if (!R.ok() || N > R.remaining())
+    return false;
+  S.Scalars.clear();
+  S.Scalars.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    CheckpointState::ScalarImage Sc;
+    Sc.Name = R.str();
+    Sc.StorageKind = R.u8();
+    Sc.ValKind = R.u8();
+    if (Sc.StorageKind > 2 || Sc.ValKind > 2)
+      return false;
+    Sc.I = R.i64();
+    Sc.R = R.f64();
+    Sc.B = R.u8();
+    if (!R.ok())
+      return false;
+    S.Scalars.push_back(std::move(Sc));
+  }
+  return R.ok();
+}
+
+std::string encodeFaults(const CheckpointState &S) {
+  ByteWriter W;
+  W.u8(S.HasFaults);
+  W.u64(S.FaultSeed);
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    W.f64(S.FaultProb[K]);
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    W.u64(S.Faults.OpIndex[K]);
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    W.u64(S.Faults.Counters.Injected[K]);
+  W.u64(S.Faults.Counters.Retries);
+  W.u64(S.Faults.Counters.Rollbacks);
+  W.u64(S.Faults.Counters.Replays);
+  return W.takeBytes();
+}
+
+bool decodeFaults(ByteReader &R, CheckpointState &S) {
+  S.HasFaults = R.u8();
+  if (S.HasFaults > 1)
+    return false;
+  S.FaultSeed = R.u64();
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    S.FaultProb[K] = R.f64();
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    S.Faults.OpIndex[K] = R.u64();
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    S.Faults.Counters.Injected[K] = R.u64();
+  S.Faults.Counters.Retries = R.u64();
+  S.Faults.Counters.Rollbacks = R.u64();
+  S.Faults.Counters.Replays = R.u64();
+  return R.ok();
+}
+
+std::string encodePendingComm(const CheckpointState &S) {
+  ByteWriter W;
+  W.f64(S.PendingRemaining);
+  W.u64(S.PendingFields.size());
+  for (const std::string &Name : S.PendingFields)
+    W.str(Name);
+  return W.takeBytes();
+}
+
+bool decodePendingComm(ByteReader &R, CheckpointState &S) {
+  S.PendingRemaining = R.f64();
+  uint64_t N = R.u64();
+  if (!R.ok() || N > R.remaining())
+    return false;
+  S.PendingFields.clear();
+  S.PendingFields.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I < N; ++I)
+    S.PendingFields.push_back(R.str());
+  return R.ok();
+}
+
+std::string encodeMetrics(const CheckpointState &S) {
+  ByteWriter W;
+  W.u64(S.Metrics.size());
+  for (const observe::MetricsRegistry::Sample &M : S.Metrics) {
+    W.str(M.Name);
+    W.u8(M.Kind);
+    W.u64(M.Count);
+    W.f64(M.Value);
+    W.u64(M.Buckets.size());
+    for (uint64_t B : M.Buckets)
+      W.u64(B);
+  }
+  return W.takeBytes();
+}
+
+bool decodeMetrics(ByteReader &R, CheckpointState &S) {
+  uint64_t N = R.u64();
+  if (!R.ok() || N > R.remaining())
+    return false;
+  S.Metrics.clear();
+  S.Metrics.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    observe::MetricsRegistry::Sample M;
+    M.Name = R.str();
+    M.Kind = R.u8();
+    M.Count = R.u64();
+    M.Value = R.f64();
+    uint64_t NB = R.u64();
+    if (!R.ok() || NB > R.remaining() / 8)
+      return false;
+    M.Buckets.resize(static_cast<size_t>(NB));
+    for (uint64_t B = 0; B < NB; ++B)
+      M.Buckets[static_cast<size_t>(B)] = R.u64();
+    if (!R.ok())
+      return false;
+    S.Metrics.push_back(std::move(M));
+  }
+  return R.ok();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// File format
+//===----------------------------------------------------------------------===//
+
+std::string ckpt::serializeCheckpoint(const CheckpointState &S) {
+  struct Section {
+    uint32_t Tag;
+    std::string Payload;
+  };
+  std::vector<Section> Sections;
+  Sections.push_back({TagMeta, encodeMeta(S)});
+  Sections.push_back({TagLedger, encodeLedger(S)});
+  Sections.push_back({TagFields, encodeFields(S)});
+  Sections.push_back({TagScalars, encodeScalars(S)});
+  Sections.push_back({TagFaults, encodeFaults(S)});
+  Sections.push_back({TagPendingComm, encodePendingComm(S)});
+  Sections.push_back({TagOutput, S.Output});
+  if (S.HasMetrics)
+    Sections.push_back({TagMetrics, encodeMetrics(S)});
+
+  ByteWriter W;
+  W.raw(FileMagic, sizeof(FileMagic));
+  W.u32(FormatVersion);
+  W.u32(static_cast<uint32_t>(Sections.size()));
+  for (const Section &Sec : Sections) {
+    W.u32(Sec.Tag);
+    W.u64(Sec.Payload.size());
+    W.u32(support::crc32(Sec.Payload));
+    W.raw(Sec.Payload.data(), Sec.Payload.size());
+  }
+  return W.takeBytes();
+}
+
+RtStatus ckpt::deserializeCheckpoint(const std::string &Bytes,
+                                     CheckpointState &Out) {
+  ByteReader R(Bytes);
+  char Magic[8];
+  if (!R.raw(Magic, sizeof(Magic)))
+    return invalid("checkpoint truncated before the file magic");
+  if (std::memcmp(Magic, FileMagic, sizeof(FileMagic)) != 0)
+    return invalid("not a checkpoint file (bad magic)");
+  uint32_t Version = R.u32();
+  uint32_t NumSections = R.u32();
+  if (!R.ok())
+    return invalid("checkpoint truncated in the header");
+  if (Version != FormatVersion)
+    return invalid("unsupported checkpoint format version " +
+                   std::to_string(Version) + " (this build reads version " +
+                   std::to_string(FormatVersion) + ")");
+
+  CheckpointState S;
+  bool SeenMeta = false, SeenLedger = false, SeenFields = false;
+  bool SeenScalars = false, SeenFaults = false, SeenPendingComm = false;
+  bool SeenOutput = false;
+  for (uint32_t I = 0; I < NumSections; ++I) {
+    uint32_t Tag = R.u32();
+    uint64_t Size = R.u64();
+    uint32_t Crc = R.u32();
+    if (!R.ok() || Size > R.remaining())
+      return invalid("checkpoint truncated in the section table (section " +
+                     std::to_string(I) + " of " +
+                     std::to_string(NumSections) + ")");
+    const char *Payload = Bytes.data() + R.position();
+    if (support::crc32(Payload, static_cast<size_t>(Size)) != Crc)
+      return invalid("CRC mismatch in section '" + fourccName(Tag) + "'");
+    ByteReader Sec(Payload, static_cast<size_t>(Size));
+    bool Ok = true;
+    switch (Tag) {
+    case TagMeta:
+      Ok = decodeMeta(Sec, S);
+      SeenMeta = true;
+      break;
+    case TagLedger:
+      Ok = decodeLedger(Sec, S);
+      SeenLedger = true;
+      break;
+    case TagFields:
+      Ok = decodeFields(Sec, S);
+      SeenFields = true;
+      break;
+    case TagScalars:
+      Ok = decodeScalars(Sec, S);
+      SeenScalars = true;
+      break;
+    case TagFaults:
+      Ok = decodeFaults(Sec, S);
+      SeenFaults = true;
+      break;
+    case TagPendingComm:
+      Ok = decodePendingComm(Sec, S);
+      SeenPendingComm = true;
+      break;
+    case TagOutput:
+      S.Output.assign(Payload, static_cast<size_t>(Size));
+      SeenOutput = true;
+      break;
+    case TagMetrics:
+      Ok = decodeMetrics(Sec, S);
+      S.HasMetrics = 1;
+      break;
+    default:
+      break; // Unknown sections are skipped (forward compatibility).
+    }
+    if (!Ok)
+      return invalid("malformed payload in section '" + fourccName(Tag) +
+                     "'");
+    R.skip(Size);
+  }
+  if (!SeenMeta || !SeenLedger || !SeenFields || !SeenScalars ||
+      !SeenFaults || !SeenPendingComm || !SeenOutput)
+    return invalid("checkpoint is missing a required section");
+  Out = std::move(S);
+  return RtStatus::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Controller
+//===----------------------------------------------------------------------===//
+
+void Controller::setFaultConfig(bool Has, uint64_t Seed,
+                                const double Prob[support::NumFaultKinds]) {
+  HasFaults = Has;
+  FaultSeed = Seed;
+  for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+    FaultProb[K] = Prob ? Prob[K] : 0;
+}
+
+RtStatus Controller::write(CheckpointState &S) {
+  observe::WallSpan Span(Trace, "ckpt.write", "ckpt");
+  S.ProgramTag = ProgramTag;
+  std::string Bytes = serializeCheckpoint(S);
+
+  auto Begin = std::chrono::steady_clock::now();
+  // Rotate the retained generations: <path>.(K-2) -> <path>.(K-1), ...,
+  // <path> -> <path>.1. Missing generations are fine (rename just fails).
+  for (unsigned I = Opts.Keep > 0 ? Opts.Keep - 1 : 0; I >= 1; --I) {
+    std::string From = I == 1 ? Opts.Path : Opts.Path + "." +
+                                                std::to_string(I - 1);
+    std::string To = Opts.Path + "." + std::to_string(I);
+    std::rename(From.c_str(), To.c_str());
+  }
+  std::string Error;
+  if (!support::atomicWriteFile(Opts.Path, Bytes, &Error))
+    return RtStatus::fault(RtCode::CheckpointInvalid,
+                           "checkpoint write to '" + Opts.Path +
+                               "' failed: " + Error);
+  double Us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - Begin)
+                  .count();
+  ++Writes;
+  if (Metrics) {
+    Metrics->count("ckpt.write.count");
+    Metrics->count("ckpt.write.bytes", Bytes.size());
+    Metrics->countCycles("ckpt.write.us", Us);
+  }
+  Span.addArg(observe::arg("step", S.StepIndex));
+  Span.addArg(observe::arg("bytes", static_cast<uint64_t>(Bytes.size())));
+  return RtStatus::ok();
+}
+
+void Controller::maybeCrash(uint64_t Step) {
+  if (Opts.CrashAtStep == 0 || Step != Opts.CrashAtStep)
+    return;
+  std::fprintf(stderr,
+               "f90y: -crash-at-step=%llu: killing the run after step %llu\n",
+               static_cast<unsigned long long>(Opts.CrashAtStep),
+               static_cast<unsigned long long>(Step));
+  std::fflush(stderr);
+  std::fflush(stdout);
+  std::_Exit(3);
+}
+
+RtStatus Controller::validate(const CheckpointState &S) const {
+  if (ProgramTag != 0 && S.ProgramTag != ProgramTag)
+    return invalid("checkpoint was taken from a different program "
+                   "(program tag mismatch)");
+  if ((S.HasFaults != 0) != HasFaults)
+    return invalid("checkpoint fault configuration does not match the run "
+                   "(one has fault injection, the other does not)");
+  if (HasFaults) {
+    if (S.FaultSeed != FaultSeed)
+      return invalid("checkpoint fault seed does not match -fault-seed");
+    for (unsigned K = 0; K < support::NumFaultKinds; ++K)
+      if (S.FaultProb[K] != FaultProb[K])
+        return invalid("checkpoint fault probabilities do not match -faults");
+  }
+  return RtStatus::ok();
+}
+
+RtStatus Controller::loadForRestore(CheckpointState &Out) {
+  observe::WallSpan Span(Trace, "ckpt.restore.load", "ckpt");
+  auto Begin = std::chrono::steady_clock::now();
+  RtStatus Primary = RtStatus::ok();
+  unsigned Generations = Opts.Keep > 0 ? Opts.Keep : 1;
+  for (unsigned Gen = 0; Gen < Generations; ++Gen) {
+    std::string Path = Gen == 0
+                           ? Opts.RestorePath
+                           : Opts.RestorePath + "." + std::to_string(Gen);
+    std::string Bytes, Error;
+    RtStatus St;
+    if (!support::readFile(Path, Bytes, &Error)) {
+      St = invalid("cannot read checkpoint '" + Path + "': " + Error);
+    } else {
+      CheckpointState S;
+      St = deserializeCheckpoint(Bytes, S);
+      if (St.isOk())
+        St = validate(S);
+      if (St.isOk()) {
+        if (Gen > 0 && Metrics)
+          Metrics->count("ckpt.restore.fallbacks", Gen);
+        if (Metrics) {
+          Metrics->count("ckpt.restore.count");
+          Metrics->count("ckpt.restore.bytes", Bytes.size());
+          Metrics->countCycles(
+              "ckpt.restore.us",
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - Begin)
+                  .count());
+        }
+        if (Trace && Gen > 0)
+          Trace->wallInstant("ckpt.restore.fallback", "ckpt",
+                             {observe::arg("generation",
+                                           static_cast<uint64_t>(Gen)),
+                              observe::arg("path", Path)});
+        Span.addArg(observe::arg("path", Path));
+        Span.addArg(observe::arg("step", S.StepIndex));
+        Out = std::move(S);
+        return RtStatus::ok();
+      }
+    }
+    if (Gen == 0)
+      Primary = St;
+    if (Trace)
+      Trace->wallInstant("ckpt.restore.reject", "ckpt",
+                         {observe::arg("path", Path),
+                          observe::arg("reason", St.message())});
+  }
+  if (Metrics)
+    Metrics->count("ckpt.restore.errors");
+  return Primary;
+}

@@ -1,0 +1,235 @@
+//===- runtime/Checkpoint.h - crash-consistent checkpoint/restart -*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-level checkpoint/restart for long simulated CM/2 runs. At the end
+/// of every iteration of an outermost host loop (a "step"), the host
+/// executor can snapshot everything the simulation needs to resume bit
+/// for bit - live parallel-heap fields, host scalars, the cycle ledger,
+/// accumulated PRINT output, the fault injector's per-kind op counters,
+/// any in-flight split-phase exchange, and optionally the metrics
+/// registry - into a versioned binary file with a per-section CRC-32.
+///
+/// Crash consistency: files are written through support::atomicWriteFile
+/// (temp + rename), and the previous K checkpoints rotate to
+/// "<path>.1", "<path>.2", ... so a checkpoint that is somehow damaged on
+/// disk can fall back to an older-but-valid one. Corruption, truncation,
+/// a version mismatch, or a checkpoint taken from a different program or
+/// fault configuration is detected at load and reported as a structured
+/// RtStatus (RtCode::CheckpointInvalid), never as a crash or a silent
+/// wrong answer.
+///
+/// Determinism: a restored run replays only the *structure* of the host
+/// program up to the resume point (allocations, loop entries - no
+/// computation, no ledger charges, no injector draws), then reinstates
+/// the snapshotted state wholesale. Fields travel by name, not by handle,
+/// since handle numbering in a resumed process can differ; nothing
+/// observable depends on handle values. See DESIGN.md section 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_RUNTIME_CHECKPOINT_H
+#define F90Y_RUNTIME_CHECKPOINT_H
+
+#include "observe/Metrics.h"
+#include "runtime/CmRuntime.h"
+#include "support/FaultInjector.h"
+#include "support/RtStatus.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace f90y {
+
+namespace observe {
+class TraceRecorder;
+} // namespace observe
+
+namespace runtime {
+namespace ckpt {
+
+/// The checkpoint file format version this build reads and writes.
+constexpr uint32_t FormatVersion = 1;
+/// The 8-byte file magic ("F90YCKPT").
+extern const char FileMagic[8];
+
+/// Everything needed to resume a run bit-identically at a step boundary.
+/// Built by the host executor (which owns the name->handle maps) and
+/// serialized/applied by this subsystem.
+struct CheckpointState {
+  //===------------------------------------------------------------------===//
+  // META: where in the program the boundary is.
+  //===------------------------------------------------------------------===//
+  /// CRC-32 of the printed host program; a resumed run must be executing
+  /// the same compiled program the checkpoint came from.
+  uint32_t ProgramTag = 0;
+  /// Completed outermost-loop iterations (1-based across the whole run).
+  uint64_t StepIndex = 0;
+  /// Entry-order id of the outermost loop the boundary is in (the Nth
+  /// depth-0 SerialDo/While the run entered).
+  uint32_t LoopId = 0;
+  /// The loop's iteration domain (sanity cross-check at restore).
+  std::string LoopDomain;
+  /// The just-completed coordinate of a SerialDo (empty for a While:
+  /// its continuation is the condition, which reads restored scalars).
+  std::vector<int64_t> LoopCoord;
+  /// The executor's statement counter (the -max-steps watchdog position).
+  uint64_t StepsExecuted = 0;
+
+  //===------------------------------------------------------------------===//
+  // LEDG / OUTP: simulated time and program output so far.
+  //===------------------------------------------------------------------===//
+  CycleLedger Ledger;
+  std::string Output;
+
+  //===------------------------------------------------------------------===//
+  // FLDS / SCLR: the parallel heap and host scalar memory, by name.
+  //===------------------------------------------------------------------===//
+  struct FieldImage {
+    std::string Name;
+    uint8_t Kind = 0; ///< runtime::ElemKind.
+    std::vector<int64_t> Extents;
+    std::vector<int64_t> Los;
+    std::vector<double> Data; ///< Raw subgrid storage (snapshotField form).
+  };
+  std::vector<FieldImage> Fields;
+
+  struct ScalarImage {
+    std::string Name;
+    uint8_t StorageKind = 0; ///< runtime::ElemKind of the declaration.
+    uint8_t ValKind = 0;     ///< interp::RtVal::Kind of the held value.
+    int64_t I = 0;
+    double R = 0;
+    uint8_t B = 0;
+  };
+  std::vector<ScalarImage> Scalars;
+
+  //===------------------------------------------------------------------===//
+  // FALT: the deterministic fault schedule's position and configuration.
+  //===------------------------------------------------------------------===//
+  uint8_t HasFaults = 0;
+  uint64_t FaultSeed = 0;
+  double FaultProb[support::NumFaultKinds] = {0, 0, 0, 0, 0, 0};
+  support::FaultInjector::State Faults;
+
+  //===------------------------------------------------------------------===//
+  // PCOM: the split-phase exchange still in flight at the boundary.
+  //===------------------------------------------------------------------===//
+  double PendingRemaining = 0;
+  std::vector<std::string> PendingFields; ///< Field names, not handles.
+
+  //===------------------------------------------------------------------===//
+  // METR (optional): the metrics registry, when one is attached.
+  //===------------------------------------------------------------------===//
+  uint8_t HasMetrics = 0;
+  std::vector<observe::MetricsRegistry::Sample> Metrics;
+};
+
+/// Renders \p S in the versioned binary format (every section CRC'd).
+std::string serializeCheckpoint(const CheckpointState &S);
+
+/// Parses \p Bytes into \p Out. Non-Ok (RtCode::CheckpointInvalid, with a
+/// precise diagnostic naming the failing section) on a bad magic, version
+/// mismatch, truncation, CRC mismatch, or malformed section payload.
+support::RtStatus deserializeCheckpoint(const std::string &Bytes,
+                                        CheckpointState &Out);
+
+/// Checkpoint/restart configuration (the f90yc -checkpoint= /
+/// -checkpoint-every= / -restore= / -crash-at-step= flags).
+struct Options {
+  /// Destination file; empty disables checkpoint writing.
+  std::string Path;
+  /// Write every Nth step boundary (1: every step).
+  uint64_t Every = 1;
+  /// Checkpoint to resume from; empty disables restore.
+  std::string RestorePath;
+  /// Deterministic crash-test hook: kill the process (exit code 3) right
+  /// after completing step N - after any checkpoint due at that boundary
+  /// has been written. 0 disables.
+  uint64_t CrashAtStep = 0;
+  /// Rotated generations retained (the file plus Keep-1 ".N" siblings).
+  unsigned Keep = 3;
+
+  bool active() const {
+    return !Path.empty() || !RestorePath.empty() || CrashAtStep != 0;
+  }
+};
+
+/// One run's checkpoint controller: owns the write/rotate/crash side and
+/// the load/validate/fallback side. Created by driver::Execution when any
+/// checkpoint option is active and consulted by the host executor at
+/// every step boundary.
+class Controller {
+public:
+  explicit Controller(Options O) : Opts(std::move(O)) {}
+
+  const Options &options() const { return Opts; }
+
+  /// Observability sinks for ckpt.write.* / ckpt.restore.* metrics and
+  /// wall-domain trace spans (null: disabled). Note ckpt.*.us is wall-
+  /// derived and therefore the one metric family that varies between
+  /// otherwise identical runs; determinism comparisons exclude it by not
+  /// enabling checkpointing.
+  void setObservability(observe::TraceRecorder *T,
+                        observe::MetricsRegistry *M) {
+    Trace = T;
+    Metrics = M;
+  }
+
+  /// The running program's identity and fault configuration, stamped into
+  /// every written checkpoint and validated against every loaded one.
+  void setProgramTag(uint32_t Tag) { ProgramTag = Tag; }
+  void setFaultConfig(bool HasFaults, uint64_t Seed,
+                      const double Prob[support::NumFaultKinds]);
+
+  /// True when a checkpoint is due at the just-completed step \p Step.
+  bool shouldWrite(uint64_t Step) const {
+    return !Opts.Path.empty() && Opts.Every != 0 && Step % Opts.Every == 0;
+  }
+
+  /// Serializes \p S (stamping the program tag), rotates the retained
+  /// generations, and atomically writes the new file. Non-Ok on I/O
+  /// failure; the previous generation is untouched in that case.
+  support::RtStatus write(CheckpointState &S);
+
+  /// The -crash-at-step hook: kills the process with exit code 3 when
+  /// \p Step is the configured crash step. Never returns in that case.
+  void maybeCrash(uint64_t Step);
+
+  /// True when the run should begin by restoring a checkpoint.
+  bool wantsRestore() const { return !Opts.RestorePath.empty(); }
+
+  /// Loads, validates, and returns the restore checkpoint. Tries the
+  /// configured path first, then its rotated siblings ("<path>.1", ...,
+  /// up to Keep-1), counting each hop in ckpt.restore.fallbacks. Non-Ok
+  /// (CheckpointInvalid, with the primary file's diagnostic) when no
+  /// retained generation is loadable and consistent with this run's
+  /// program and fault configuration.
+  support::RtStatus loadForRestore(CheckpointState &Out);
+
+  /// Number of checkpoints written so far this run.
+  uint64_t writesCompleted() const { return Writes; }
+
+private:
+  Options Opts;
+  observe::TraceRecorder *Trace = nullptr;
+  observe::MetricsRegistry *Metrics = nullptr;
+  uint32_t ProgramTag = 0;
+  bool HasFaults = false;
+  uint64_t FaultSeed = 0;
+  double FaultProb[support::NumFaultKinds] = {0, 0, 0, 0, 0, 0};
+  uint64_t Writes = 0;
+
+  /// Validates a parsed checkpoint against this run's identity.
+  support::RtStatus validate(const CheckpointState &S) const;
+};
+
+} // namespace ckpt
+} // namespace runtime
+} // namespace f90y
+
+#endif // F90Y_RUNTIME_CHECKPOINT_H

@@ -289,6 +289,21 @@ public:
   /// True while an exchange is registered in flight.
   bool commInFlight() const { return Pending.Remaining > 0; }
 
+  /// Split-phase state inspection and reinstatement, used by the
+  /// checkpoint subsystem: a checkpoint taken between statements may find
+  /// an exchange still in flight, and a bit-identical resume must
+  /// re-register exactly the remaining overlap opportunity (the token is
+  /// internal and freshly issued on restore).
+  double pendingCommRemaining() const { return Pending.Remaining; }
+  const std::vector<int> &pendingCommHandles() const {
+    return Pending.Handles;
+  }
+  void restorePendingComm(double Remaining, std::vector<int> Handles) {
+    Pending.Remaining = Remaining;
+    Pending.Handles = std::move(Handles);
+    Pending.Token = Remaining > 0 ? NextCommToken++ : 0;
+  }
+
 private:
   const cm2::CostModel &Costs;
   support::ThreadPool *Pool = nullptr;

@@ -99,6 +99,35 @@ public:
   /// injector see the identical schedule.
   void reset();
 
+  /// The injector's complete mutable state: the per-kind op counters that
+  /// position the deterministic schedule, plus the injection/recovery
+  /// totals. Snapshotting and restoring this across a process kill is
+  /// what makes a resumed run's fault schedule continue exactly where the
+  /// killed run left off (checkpoint/restart, DESIGN.md section 9).
+  struct State {
+    uint64_t OpIndex[NumFaultKinds] = {0, 0, 0, 0, 0, 0};
+    FaultCounters Counters;
+    bool operator==(const State &O) const {
+      for (unsigned K = 0; K < NumFaultKinds; ++K)
+        if (OpIndex[K] != O.OpIndex[K])
+          return false;
+      return Counters == O.Counters;
+    }
+  };
+
+  State snapshotState() const {
+    State S;
+    for (unsigned K = 0; K < NumFaultKinds; ++K)
+      S.OpIndex[K] = OpIndex[K];
+    S.Counters = Counters;
+    return S;
+  }
+  void restoreState(const State &S) {
+    for (unsigned K = 0; K < NumFaultKinds; ++K)
+      OpIndex[K] = S.OpIndex[K];
+    Counters = S.Counters;
+  }
+
 private:
   FaultSpec Spec;
   uint64_t Seed = 0;

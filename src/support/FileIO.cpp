@@ -1,0 +1,72 @@
+//===- support/FileIO.cpp - crash-consistent file writes ---------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(_WIN32)
+#include <process.h>
+#define F90Y_GETPID _getpid
+#else
+#include <unistd.h>
+#define F90Y_GETPID getpid
+#endif
+
+namespace f90y {
+namespace support {
+
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string *Error) {
+  const std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(F90Y_GETPID()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot open temporary file '" + Tmp + "' for writing";
+      return false;
+    }
+    Out.write(Data.data(), static_cast<std::streamsize>(Data.size()));
+    Out.flush();
+    if (!Out) {
+      if (Error)
+        *Error = "short write to temporary file '" + Tmp + "'";
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Error)
+      *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out, std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad()) {
+    if (Error)
+      *Error = "read error on '" + Path + "'";
+    return false;
+  }
+  Out = Buf.str();
+  return true;
+}
+
+} // namespace support
+} // namespace f90y

@@ -1,0 +1,41 @@
+//===- support/FileIO.h - crash-consistent file writes ------------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-consistent file output. Every durable artifact of a run - the
+/// -trace= / -metrics= / -stats-json= JSON exports, checkpoint files,
+/// benchmark reports - goes through atomicWriteFile: the content lands in
+/// a temporary sibling first and is renamed into place only once fully
+/// written, so a crash (or a -crash-at-step kill) mid-write can never
+/// leave a truncated or interleaved file behind under the final name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SUPPORT_FILEIO_H
+#define F90Y_SUPPORT_FILEIO_H
+
+#include <string>
+
+namespace f90y {
+namespace support {
+
+/// Writes \p Data to \p Path atomically: the bytes go to "<Path>.tmp.<pid>"
+/// in the same directory and the temporary is renamed over \p Path on
+/// success (rename within one filesystem is atomic on POSIX). On failure
+/// the temporary is removed, \p Path is left untouched, and false is
+/// returned with \p Error (if non-null) describing the failing step.
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string *Error = nullptr);
+
+/// Reads the whole of \p Path into \p Out (binary); false with \p Error
+/// on open/read failure.
+bool readFile(const std::string &Path, std::string &Out,
+              std::string *Error = nullptr);
+
+} // namespace support
+} // namespace f90y
+
+#endif // F90Y_SUPPORT_FILEIO_H

@@ -29,6 +29,8 @@ const char *support::rtCodeName(RtCode Code) {
     return "invalid-handle";
   case RtCode::ShapeMismatch:
     return "shape-mismatch";
+  case RtCode::CheckpointInvalid:
+    return "checkpoint-invalid";
   }
   return "unknown";
 }

@@ -39,6 +39,7 @@ enum class RtCode {
   StepLimit,     ///< Watchdog: the program exceeded -max-steps.
   InvalidHandle, ///< Use of a freed or never-allocated field handle.
   ShapeMismatch, ///< Operand geometries incompatible with the operation.
+  CheckpointInvalid, ///< Checkpoint file corrupt, truncated, or mismatched.
 };
 
 /// Renders the code as a short lowercase tag ("comm-fault", ...).

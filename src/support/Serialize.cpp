@@ -1,0 +1,38 @@
+//===- support/Serialize.cpp - binary serialization helpers ------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Serialize.h"
+
+namespace f90y {
+namespace support {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t T[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Size) {
+  static const Crc32Table Table;
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = 0xffffffffu;
+  for (size_t I = 0; I < Size; ++I)
+    C = Table.T[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+} // namespace support
+} // namespace f90y

@@ -1,0 +1,154 @@
+//===- support/Serialize.h - binary serialization helpers ---------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary serialization for on-disk runtime state (the
+/// checkpoint subsystem). ByteWriter appends fixed-width fields to a
+/// growable buffer; ByteReader is its bounds-checked inverse: every read
+/// validates the remaining length first and latches a failure flag, so a
+/// truncated or bit-flipped file produces a clean structured error
+/// instead of reading past the end. Doubles travel as their IEEE-754 bit
+/// patterns, so serialization round-trips values (including NaNs and
+/// signed zeros) bit for bit - the checkpoint/restart determinism story
+/// depends on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SUPPORT_SERIALIZE_H
+#define F90Y_SUPPORT_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace f90y {
+namespace support {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of \p Size bytes at \p
+/// Data. crc32("123456789") == 0xCBF43926.
+uint32_t crc32(const void *Data, size_t Size);
+inline uint32_t crc32(const std::string &S) { return crc32(S.data(), S.size()); }
+
+/// Appends little-endian fields to a byte buffer.
+class ByteWriter {
+public:
+  const std::string &bytes() const { return Buf; }
+  std::string takeBytes() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u64(S.size());
+    Buf.append(S);
+  }
+  void raw(const void *Data, size_t Size) {
+    Buf.append(static_cast<const char *>(Data), Size);
+  }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked little-endian reader over a byte range. Every accessor
+/// first verifies the remaining length; on a short read it returns a zero
+/// value and latches ok() == false permanently, so callers can chain
+/// reads and test once at the end (or at each structural decision).
+class ByteReader {
+public:
+  ByteReader(const char *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::string &S) : ByteReader(S.data(), S.size()) {}
+
+  bool ok() const { return Ok; }
+  size_t remaining() const { return Size - Pos; }
+  size_t position() const { return Pos; }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(Data[Pos++]);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos++])) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Data[Pos++])) << (8 * I);
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint64_t Len = u64();
+    if (!Ok || !need(Len))
+      return std::string();
+    std::string S(Data + Pos, static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return S;
+  }
+  /// Reads \p Count raw bytes into \p Out; false (latching the failure)
+  /// on a short read.
+  bool raw(void *Out, size_t Count) {
+    if (!need(Count))
+      return false;
+    std::memcpy(Out, Data + Pos, Count);
+    Pos += Count;
+    return true;
+  }
+  /// Advances past \p Count bytes; false (latching) past the end.
+  bool skip(uint64_t Count) {
+    if (!need(Count))
+      return false;
+    Pos += static_cast<size_t>(Count);
+    return true;
+  }
+
+private:
+  bool need(uint64_t Count) {
+    if (!Ok || Count > Size - Pos) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+} // namespace support
+} // namespace f90y
+
+#endif // F90Y_SUPPORT_SERIALIZE_H

@@ -6,7 +6,9 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/FileIO.h"
 #include "support/RtStatus.h"
+#include "support/Serialize.h"
 #include "support/SourceLocation.h"
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
@@ -15,6 +17,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <vector>
 
 using namespace f90y;
@@ -260,6 +264,92 @@ TEST(ThreadPool, NestedParallelRunsInline) {
                                 });
                           });
   EXPECT_EQ(Total.load(), 256);
+}
+
+TEST(Serialize, Crc32KnownAnswer) {
+  // The IEEE 802.3 check value; also pins byte order and the empty case.
+  EXPECT_EQ(support::crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(support::crc32(std::string()), 0u);
+  EXPECT_NE(support::crc32(std::string("a")),
+            support::crc32(std::string("b")));
+}
+
+TEST(Serialize, ByteWriterReaderRoundTrip) {
+  support::ByteWriter W;
+  W.u8(0xab);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefull);
+  W.i64(-42);
+  W.f64(-0.0);
+  W.f64(std::numeric_limits<double>::quiet_NaN());
+  W.str("hello");
+  W.str("");
+
+  support::ByteReader R(W.bytes());
+  EXPECT_EQ(R.u8(), 0xab);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(R.i64(), -42);
+  double NegZero = R.f64();
+  EXPECT_EQ(NegZero, 0.0);
+  EXPECT_TRUE(std::signbit(NegZero)); // IEEE bits round-trip exactly.
+  EXPECT_TRUE(std::isnan(R.f64()));
+  EXPECT_EQ(R.str(), "hello");
+  EXPECT_EQ(R.str(), "");
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(Serialize, ByteReaderLatchesOnTruncation) {
+  support::ByteWriter W;
+  W.u32(7);
+  support::ByteReader R(W.bytes());
+  EXPECT_EQ(R.u32(), 7u);
+  EXPECT_EQ(R.u64(), 0u); // Past the end: zero value...
+  EXPECT_FALSE(R.ok());   // ...and the failure latches...
+  EXPECT_EQ(R.u8(), 0u);  // ...so every later read fails too.
+  EXPECT_FALSE(R.ok());
+  EXPECT_FALSE(R.skip(1));
+}
+
+TEST(Serialize, ByteReaderRejectsHugeStringLength) {
+  // A corrupted length prefix must not read past the end.
+  support::ByteWriter W;
+  W.u64(~0ull);
+  support::ByteReader R(W.bytes());
+  EXPECT_EQ(R.str(), "");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(FileIO, AtomicWriteReadRoundTrip) {
+  std::string Path = ::testing::TempDir() + "f90y_fileio_test.bin";
+  std::string Data("binary\0data\xff", 12);
+  ASSERT_TRUE(support::atomicWriteFile(Path, Data));
+  std::string Back;
+  ASSERT_TRUE(support::readFile(Path, Back));
+  EXPECT_EQ(Back, Data);
+  // Overwrite in place: the old content is fully replaced.
+  ASSERT_TRUE(support::atomicWriteFile(Path, "x"));
+  ASSERT_TRUE(support::readFile(Path, Back));
+  EXPECT_EQ(Back, "x");
+  std::remove(Path.c_str());
+}
+
+TEST(FileIO, WriteFailureReportsErrorAndLeavesNoFile) {
+  std::string Path =
+      ::testing::TempDir() + "no_such_dir_f90y/x/y/out.bin";
+  std::string Error;
+  EXPECT_FALSE(support::atomicWriteFile(Path, "data", &Error));
+  EXPECT_FALSE(Error.empty());
+  std::string Back;
+  EXPECT_FALSE(support::readFile(Path, Back));
+}
+
+TEST(FileIO, ReadMissingFileFails) {
+  std::string Back, Error;
+  EXPECT_FALSE(support::readFile(
+      ::testing::TempDir() + "f90y_never_written.bin", Back, &Error));
+  EXPECT_FALSE(Error.empty());
 }
 
 TEST(ThreadPool, SingleThreadPoolWorks) {

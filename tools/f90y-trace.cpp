@@ -131,12 +131,18 @@ int main(int argc, char **argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
+  // A trace that does not parse is a malformed input (truncated mid-write,
+  // bit-rotted, or not a trace at all): report one line and exit 2, the
+  // same class as bad usage, so scripts can tell "bad input file" from
+  // "summarizer failed" without scraping stderr.
   json::Value Root;
   std::string Error;
   if (!json::parse(Buf.str(), Root, Error)) {
-    std::fprintf(stderr, "f90y-trace: %s: %s\n", Path.c_str(),
-                 Error.c_str());
-    return 1;
+    std::fprintf(stderr,
+                 "f90y-trace: %s: malformed trace JSON (%s); was the "
+                 "file truncated?\n",
+                 Path.c_str(), Error.c_str());
+    return 2;
   }
   const json::Value *Events = Root.get("traceEvents");
   if (!Events || !Events->isArray()) {
@@ -144,7 +150,7 @@ int main(int argc, char **argv) {
                  "f90y-trace: %s: no traceEvents array (not a Chrome "
                  "trace?)\n",
                  Path.c_str());
-    return 1;
+    return 2;
   }
 
   std::vector<Span> Wall, Cycles;

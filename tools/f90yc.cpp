@@ -41,6 +41,21 @@
 ///                    write Chrome trace-event JSON to F
 ///   -metrics=F       write the metrics registry (counters, gauges,
 ///                    histograms) to F as JSON
+///   -checkpoint=F    snapshot the run state to F at outermost-loop step
+///                    boundaries (atomically; previous generations rotate
+///                    to F.1, F.2)
+///   -checkpoint-every=N
+///                    checkpoint every Nth step (default 1)
+///   -restore=F       resume a previous run from checkpoint F; the
+///                    restored run is bit-identical to one that never
+///                    stopped
+///   -crash-at-step=N crash-test hook: kill the process with exit code 3
+///                    right after completing step N (after any checkpoint
+///                    due at that boundary is on disk)
+///
+/// Exit codes: 0 success, 1 compile/runtime/IO error, 2 bad usage or a
+/// -restore= checkpoint that cannot be loaded, 3 the deliberate
+/// -crash-at-step kill.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +64,7 @@
 #include "nir/Printer.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "support/FileIO.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -71,7 +87,9 @@ void usage() {
       "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
       "  -exec=compiled|interp   -comm=overlap|sync\n"
       "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n"
-      "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n");
+      "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n"
+      "  -checkpoint=FILE   -checkpoint-every=N   -restore=FILE\n"
+      "  -crash-at-step=N  (kills the process with exit code 3)\n");
 }
 
 /// Strict decimal parse of a flag value: the whole string must be a
@@ -202,6 +220,34 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "f90yc: -metrics needs a file name\n");
         return 2;
       }
+    } else if (Arg.rfind("-checkpoint=", 0) == 0) {
+      ExecOpts.Checkpoint.Path = Arg.substr(12);
+      if (ExecOpts.Checkpoint.Path.empty()) {
+        std::fprintf(stderr, "f90yc: -checkpoint needs a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("-checkpoint-every=", 0) == 0) {
+      uint64_t Every = 0;
+      if (!parseUint64("-checkpoint-every", Arg.substr(18), Every))
+        return 2;
+      if (Every == 0) {
+        std::fprintf(stderr,
+                     "f90yc: -checkpoint-every must be a positive step "
+                     "count, got '%s'\n",
+                     Arg.substr(18).c_str());
+        return 2;
+      }
+      ExecOpts.Checkpoint.Every = Every;
+    } else if (Arg.rfind("-restore=", 0) == 0) {
+      ExecOpts.Checkpoint.RestorePath = Arg.substr(9);
+      if (ExecOpts.Checkpoint.RestorePath.empty()) {
+        std::fprintf(stderr, "f90yc: -restore needs a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("-crash-at-step=", 0) == 0) {
+      if (!parseUint64("-crash-at-step", Arg.substr(15),
+                       ExecOpts.Checkpoint.CrashAtStep))
+        return 2;
     } else if (Arg.rfind("-profile=", 0) == 0) {
       std::string P = Arg.substr(9);
       if (P == "f90y")
@@ -245,17 +291,23 @@ int main(int argc, char **argv) {
       MetricsPath.empty() ? nullptr : &Metrics;
   // Writes the requested observability files; returns false (with a
   // diagnostic) if any cannot be written. Called on every exit path past
-  // compilation so a failed run still leaves its trace behind.
+  // compilation so a failed run still leaves its trace behind. All
+  // durable artifacts go through atomicWriteFile so a kill mid-write
+  // (e.g. -crash-at-step) never leaves a truncated JSON file behind.
   auto WriteObservability = [&]() {
     bool Ok = true;
-    if (TraceP && !Trace.writeJson(TracePath)) {
-      std::fprintf(stderr, "f90yc: cannot write trace to '%s'\n",
-                   TracePath.c_str());
+    std::string Error;
+    if (TraceP && !support::atomicWriteFile(TracePath, Trace.exportJson(),
+                                            &Error)) {
+      std::fprintf(stderr, "f90yc: cannot write trace to '%s': %s\n",
+                   TracePath.c_str(), Error.c_str());
       Ok = false;
     }
-    if (MetricsP && !Metrics.writeJson(MetricsPath)) {
-      std::fprintf(stderr, "f90yc: cannot write metrics to '%s'\n",
-                   MetricsPath.c_str());
+    if (MetricsP && !support::atomicWriteFile(MetricsPath,
+                                              Metrics.exportJson(),
+                                              &Error)) {
+      std::fprintf(stderr, "f90yc: cannot write metrics to '%s': %s\n",
+                   MetricsPath.c_str(), Error.c_str());
       Ok = false;
     }
     return Ok;
@@ -304,7 +356,11 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "-- %s\n",
                    Exec.faultInjector()->counters().str().c_str());
     WriteObservability();
-    return 1;
+    // An unloadable -restore= checkpoint is a usage-level failure (the
+    // named file is missing, corrupt past every retained generation, or
+    // from a different program/fault configuration), not a simulated
+    // runtime error.
+    return Exec.restoreFailed() ? 2 : 1;
   }
   std::printf("%s", Report->Output.c_str());
   if (Stats) {
@@ -323,12 +379,10 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "-- %s\n", Report->Faults.str().c_str());
   }
   if (!StatsJsonPath.empty()) {
-    std::ofstream Out(StatsJsonPath);
-    if (Out)
-      Out << Report->json();
-    if (!Out) {
-      std::fprintf(stderr, "f90yc: cannot write run report to '%s'\n",
-                   StatsJsonPath.c_str());
+    std::string Error;
+    if (!support::atomicWriteFile(StatsJsonPath, Report->json(), &Error)) {
+      std::fprintf(stderr, "f90yc: cannot write run report to '%s': %s\n",
+                   StatsJsonPath.c_str(), Error.c_str());
       return 1;
     }
   }
