@@ -236,28 +236,34 @@ RoutineCache &RoutineCache::process() {
 std::shared_ptr<const CompiledRoutine>
 RoutineCache::get(const Routine &R, observe::MetricsRegistry *Metrics) {
   const uint64_t FP = fingerprint(R);
+  std::shared_ptr<const CompiledRoutine> CR;
+  bool Hit = false;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Map.find(&R);
     if (It != Map.end() && It->second.Fingerprint == FP) {
       ++Hits;
-      if (Metrics)
-        Metrics->count("peac.engine.cache.hits");
-      return It->second.Compiled;
+      Hit = true;
+      CR = It->second.Compiled;
+    } else {
+      // Miss (or a stale entry from a freed routine whose address was
+      // reused). Translation happens under the lock deliberately: when
+      // multiple engines first touch one shared routine concurrently (the
+      // serve scheduler's workers over a cached compilation), exactly one
+      // translation runs and exactly one miss is counted, so the
+      // peac.engine.cache.* totals stay a pure function of the workload.
+      // Translation is a short, allocation-bound walk of the routine body;
+      // holding the lock across it is cheaper than racing duplicates.
+      CR = translate(R);
+      if (Map.size() >= MaxEntries && !Map.count(&R))
+        Map.clear();
+      Map[&R] = Entry{FP, CR};
+      ++Misses;
     }
   }
-  // Miss (or a stale entry from a freed routine whose address was
-  // reused): translate outside the lock and (re)install.
-  auto CR = translate(R);
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    if (Map.size() >= MaxEntries && !Map.count(&R))
-      Map.clear();
-    Map[&R] = Entry{FP, CR};
-    ++Misses;
-  }
   if (Metrics)
-    Metrics->count("peac.engine.cache.misses");
+    Metrics->count(Hit ? "peac.engine.cache.hits"
+                       : "peac.engine.cache.misses");
   return CR;
 }
 

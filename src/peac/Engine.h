@@ -54,9 +54,15 @@ class CompiledRoutine;
 /// storage reused, so a hit requires both to match and a fingerprint
 /// mismatch recompiles in place (counted as a miss).
 ///
-/// Thread-safe; one process-wide instance backs every engine by default
-/// (so repeated Executions of one compiled program translate each routine
-/// exactly once), and tests/benches may construct private instances for
+/// Thread-safe, including concurrent insert: translation runs under the
+/// cache lock, so when many Engine instances (the serve scheduler's
+/// workers) first touch one shared routine simultaneously, exactly one
+/// translation happens and exactly one miss is counted - hit/miss totals
+/// are a pure function of the workload, not of thread timing. Returned
+/// routines are immutable shared_ptrs, stable across any later insert or
+/// clear. One process-wide instance backs every engine by default (so
+/// repeated Executions of one compiled program translate each routine
+/// exactly once); tests/benches may construct private instances for
 /// cold-cache measurement.
 class RoutineCache {
 public:

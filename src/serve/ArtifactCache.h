@@ -1,0 +1,112 @@
+//===- serve/ArtifactCache.h - content-addressed compilations -----*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's compile-once store: a fingerprint over
+/// (canonicalized source, the compilation-relevant CompileOptions and
+/// cm2::CostModel knobs) maps to one shared, immutable
+/// driver::Compilation. N jobs over the same program compile once and
+/// share the compilation's AST/NIR/PEAC artifacts - and, through the
+/// process-wide peac::RoutineCache keyed by those shared Routine objects,
+/// its pre-decoded kernels too.
+///
+/// Concurrency: the first requester of a fingerprint installs an in-flight
+/// slot and compiles; every concurrent requester blocks on that slot's
+/// shared_future instead of compiling again. Exactly one compile happens
+/// per fingerprint per cache generation, so hit/miss totals are a pure
+/// function of the job set - deterministic at any worker count. Failed
+/// compilations are cached too (the diagnostics are as reusable as the
+/// artifacts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_SERVE_ARTIFACTCACHE_H
+#define F90Y_SERVE_ARTIFACTCACHE_H
+
+#include "driver/Driver.h"
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace f90y {
+namespace serve {
+
+class ArtifactCache {
+public:
+  /// One cached compilation outcome. Immutable once published; shared by
+  /// every job (and worker thread) that requested its fingerprint.
+  struct Entry {
+    /// The compilation, alive as long as any job references it. Null when
+    /// compilation failed.
+    std::shared_ptr<const driver::Compilation> Comp;
+    bool Ok = false;
+    std::string DiagText; ///< Errors (failures) or warnings (successes).
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  ArtifactCache() = default;
+  ArtifactCache(const ArtifactCache &) = delete;
+  ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+  /// The process-wide cache (long-lived embedders sharing artifacts
+  /// across batches). Tools and tests may construct private instances.
+  static ArtifactCache &process();
+
+  /// Line-ending/trailing-whitespace canonicalization applied before
+  /// fingerprinting, so byte-level noise ("\r\n", a missing final
+  /// newline) does not defeat sharing.
+  static std::string canonicalize(const std::string &Source);
+
+  /// The content address: FNV-1a over the canonicalized source and every
+  /// compilation-relevant option (profile-derived transform and PE-
+  /// compiler switches, machine cost model). Observability sinks do not
+  /// participate - they never change what is compiled.
+  static uint64_t fingerprint(const std::string &Source,
+                              const driver::CompileOptions &Opts);
+
+  /// Returns the entry for \p Key, invoking \p Compile exactly once per
+  /// fingerprint per generation (concurrent requesters block until the
+  /// winner publishes). \p Compile must not throw.
+  EntryPtr get(uint64_t Key, const std::function<EntryPtr()> &Compile);
+
+  /// True when \p Key is resident (or in flight). The scheduler uses this
+  /// before a batch to classify jobs cold/shared deterministically.
+  bool contains(uint64_t Key) const;
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  /// Drops every entry (cold-cache benchmarks; outstanding shared
+  /// pointers keep their compilations alive).
+  void clear();
+
+  /// Entry-count bound; inserting past it drops the whole map first.
+  /// Compilations are heavyweight, so the bound is much smaller than the
+  /// routine cache's.
+  static constexpr size_t MaxEntries = 256;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<uint64_t, std::shared_future<EntryPtr>> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Compiles \p Source under \p Opts into a cache entry (never throws;
+/// failures become Ok=false entries). The uncached compile path shared by
+/// ArtifactCache misses and cache-disabled jobs.
+ArtifactCache::EntryPtr compileEntry(const std::string &Source,
+                                     driver::CompileOptions Opts);
+
+} // namespace serve
+} // namespace f90y
+
+#endif // F90Y_SERVE_ARTIFACTCACHE_H

@@ -1,0 +1,196 @@
+//===- serve/Manifest.cpp - line-delimited JSON job manifests ----------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "observe/Json.h"
+#include "support/FileIO.h"
+
+#include <map>
+#include <set>
+
+using namespace f90y;
+using namespace f90y::serve;
+namespace js = f90y::observe::json;
+
+namespace {
+
+/// Strict numeric member read: JSON numbers only, non-negative integers.
+bool readU64(const js::Value &V, uint64_t &Out, std::string &Error,
+             const char *Key) {
+  if (!V.isNumber() || V.Num < 0 ||
+      V.Num != static_cast<double>(static_cast<uint64_t>(V.Num))) {
+    Error = std::string("'") + Key + "' must be a non-negative integer";
+    return false;
+  }
+  Out = static_cast<uint64_t>(V.Num);
+  return true;
+}
+
+bool readCount(const js::Value &V, unsigned &Out, std::string &Error,
+               const char *Key) {
+  uint64_t U = 0;
+  if (!readU64(V, U, Error, Key))
+    return false;
+  if (U == 0 || U > 0xffffffffull) {
+    Error = std::string("'") + Key + "' must be a positive count";
+    return false;
+  }
+  Out = static_cast<unsigned>(U);
+  return true;
+}
+
+/// Parses one manifest job object into \p Job; false with Error on any
+/// malformed or unknown member (strict, matching the f90yc flag
+/// philosophy: silent acceptance hides typos behind valid-looking jobs).
+bool parseJobObject(const js::Value &Obj, const std::string &BaseDir,
+                    JobSpec &Job, std::string &Error) {
+  bool HaveSource = false, HavePath = false;
+  for (const auto &[Key, V] : Obj.Obj) {
+    if (Key == "id") {
+      if (!V.isString() || V.Str.empty())
+        return Error = "'id' must be a non-empty string", false;
+      Job.Id = V.Str;
+    } else if (Key == "source") {
+      if (!V.isString())
+        return Error = "'source' must be a string", false;
+      Job.Source = V.Str;
+      HaveSource = true;
+    } else if (Key == "source_path") {
+      if (!V.isString() || V.Str.empty())
+        return Error = "'source_path' must be a non-empty string", false;
+      Job.SourcePath = V.Str;
+      HavePath = true;
+    } else if (Key == "profile") {
+      if (V.Str == "f90y")
+        Job.Prof = driver::Profile::F90Y;
+      else if (V.Str == "cmf")
+        Job.Prof = driver::Profile::CMFStyle;
+      else if (V.Str == "naive")
+        Job.Prof = driver::Profile::Naive;
+      else
+        return Error = "'profile' must be f90y|cmf|naive", false;
+    } else if (Key == "cm5") {
+      if (V.K != js::Value::Kind::Bool)
+        return Error = "'cm5' must be a boolean", false;
+      Job.Cm5 = V.B;
+    } else if (Key == "pes") {
+      if (!readCount(V, Job.Pes, Error, "pes"))
+        return false;
+    } else if (Key == "threads") {
+      if (!readCount(V, Job.Threads, Error, "threads"))
+        return false;
+    } else if (Key == "exec") {
+      if (V.Str == "compiled")
+        Job.Engine = peac::EngineKind::Compiled;
+      else if (V.Str == "interp")
+        Job.Engine = peac::EngineKind::Interp;
+      else
+        return Error = "'exec' must be compiled|interp", false;
+    } else if (Key == "comm") {
+      if (V.Str == "overlap")
+        Job.OverlapComm = true;
+      else if (V.Str == "sync")
+        Job.OverlapComm = false;
+      else
+        return Error = "'comm' must be overlap|sync", false;
+    } else if (Key == "faults") {
+      if (!V.isString())
+        return Error = "'faults' must be a spec string", false;
+      std::string SpecError;
+      if (!support::FaultSpec::parse(V.Str, Job.Faults, SpecError))
+        return Error = "'faults': " + SpecError, false;
+    } else if (Key == "fault_seed") {
+      if (!readU64(V, Job.FaultSeed, Error, "fault_seed"))
+        return false;
+    } else if (Key == "max_steps") {
+      if (!readU64(V, Job.MaxSteps, Error, "max_steps"))
+        return false;
+    } else if (Key == "deadline_ms") {
+      if (!readU64(V, Job.DeadlineMs, Error, "deadline_ms"))
+        return false;
+    } else if (Key == "retries") {
+      uint64_t R = 0;
+      if (!readU64(V, R, Error, "retries"))
+        return false;
+      if (R > 16)
+        return Error = "'retries' must be at most 16", false;
+      Job.Retries = static_cast<unsigned>(R);
+    } else {
+      return Error = "unknown manifest key '" + Key + "'", false;
+    }
+  }
+  if (HaveSource == HavePath)
+    return Error = "exactly one of 'source' and 'source_path' is required",
+           false;
+  if (HavePath) {
+    std::string Path = Job.SourcePath;
+    if (!Path.empty() && Path[0] != '/' && !BaseDir.empty())
+      Path = BaseDir + "/" + Path;
+    std::string ReadError;
+    if (!support::readFile(Path, Job.Source, &ReadError))
+      return Error = "source_path: " + ReadError, false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<JobSpec> serve::parseManifest(const std::string &Text,
+                                          const std::string &BaseDir) {
+  std::vector<JobSpec> Jobs;
+  size_t Pos = 0, LineNo = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+
+    JobSpec Job;
+    js::Value V;
+    std::string Error;
+    if (!js::parse(Line, V, Error)) {
+      Job.Valid = false;
+      Job.ParseError =
+          "line " + std::to_string(LineNo) + ": malformed JSON: " + Error;
+    } else if (!V.isObject()) {
+      Job.Valid = false;
+      Job.ParseError =
+          "line " + std::to_string(LineNo) + ": job must be a JSON object";
+    } else if (!parseJobObject(V, BaseDir, Job, Error)) {
+      Job.Valid = false;
+      Job.ParseError = "line " + std::to_string(LineNo) + ": " + Error;
+    }
+    if (Job.Id.empty())
+      Job.Id = "job" + std::to_string(Jobs.size() + 1);
+    Jobs.push_back(std::move(Job));
+  }
+
+  // Uniquify duplicate ids in manifest order ("x", "x~2", "x~3") so two
+  // jobs never contend for one output path and records stay addressable.
+  std::map<std::string, unsigned> Seen;
+  std::set<std::string> Used;
+  for (JobSpec &J : Jobs)
+    Used.insert(J.Id);
+  for (JobSpec &J : Jobs) {
+    unsigned &N = Seen[J.Id];
+    ++N;
+    if (N == 1)
+      continue;
+    std::string Candidate;
+    unsigned Suffix = N;
+    do {
+      Candidate = J.Id + "~" + std::to_string(Suffix++);
+    } while (!Used.insert(Candidate).second);
+    J.Id = Candidate;
+  }
+  return Jobs;
+}

@@ -6,6 +6,7 @@
 
 #include "support/FileIO.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -23,8 +24,14 @@ namespace support {
 
 bool atomicWriteFile(const std::string &Path, const std::string &Data,
                      std::string *Error) {
+  // The temporary name must be unique per *call*, not just per process:
+  // two threads writing the same Path concurrently (the serve scheduler's
+  // workers) would otherwise share one temporary and interleave, renaming
+  // a corrupt file into place.
+  static std::atomic<uint64_t> Serial{0};
   const std::string Tmp =
-      Path + ".tmp." + std::to_string(static_cast<long>(F90Y_GETPID()));
+      Path + ".tmp." + std::to_string(static_cast<long>(F90Y_GETPID())) + "." +
+      std::to_string(Serial.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out) {

@@ -18,7 +18,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <limits>
+#include <thread>
 #include <vector>
 
 using namespace f90y;
@@ -343,6 +345,46 @@ TEST(FileIO, WriteFailureReportsErrorAndLeavesNoFile) {
   EXPECT_FALSE(Error.empty());
   std::string Back;
   EXPECT_FALSE(support::readFile(Path, Back));
+}
+
+TEST(FileIO, ConcurrentWritersToOnePathStayAtomic) {
+  // Regression: the temporary name used to be Path + ".tmp." + pid, so
+  // two threads in one process writing the same path shared a temporary
+  // and could rename interleaved garbage into place. Now the name is
+  // unique per call: under concurrent same-path writers the final file
+  // must always be exactly one writer's complete payload.
+  const std::string Path =
+      ::testing::TempDir() + "f90y_fileio_concurrent.bin";
+  constexpr int NumWriters = 8;
+  constexpr int RoundsPerWriter = 25;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < NumWriters; ++W)
+    Writers.emplace_back([&, W] {
+      // Distinct sizes per writer: a mixed file would be a wrong size.
+      const std::string Payload(100 + W, static_cast<char>('a' + W));
+      for (int R = 0; R < RoundsPerWriter; ++R)
+        if (!support::atomicWriteFile(Path, Payload))
+          ++Failures;
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  std::string Back;
+  ASSERT_TRUE(support::readFile(Path, Back));
+  ASSERT_GE(Back.size(), 100u);
+  ASSERT_LT(Back.size(), 100u + NumWriters);
+  const char Expect = 'a' + static_cast<char>(Back.size() - 100);
+  for (char C : Back)
+    EXPECT_EQ(C, Expect);
+  std::remove(Path.c_str());
+  // No temporary litter: every .tmp sibling was renamed or removed.
+  for (const auto &E :
+       std::filesystem::directory_iterator(::testing::TempDir()))
+    EXPECT_NE(
+        E.path().filename().string().rfind("f90y_fileio_concurrent.bin.tmp.",
+                                           0),
+        0u);
 }
 
 TEST(FileIO, ReadMissingFileFails) {
