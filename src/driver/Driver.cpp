@@ -24,10 +24,13 @@ CompileOptions CompileOptions::forProfile(Profile P, cm2::CostModel Costs) {
   case Profile::F90Y:
     break; // Everything defaults to on.
   case Profile::CMFStyle:
+    // Per-statement compilation: no cross-statement blocking or fusion.
     O.Transforms.Blocking = false;
+    O.Transforms.Fusion = false;
     break;
   case Profile::Naive:
     O.Transforms.Blocking = false;
+    O.Transforms.Fusion = false;
     O.Backend.PE.Chaining = false;
     O.Backend.PE.DualIssue = false;
     O.Backend.PE.MaddFusion = false;

@@ -91,6 +91,73 @@ end program swe
   return Src;
 }
 
+std::string driver::sweTempsSource(int64_t N, int64_t Steps) {
+  // Header: state, neighbor fields, and the temporary chains. The chain
+  // links are generated (ta0..taL, tb0..tbL) because no one should have
+  // to hand-maintain 50 declarations; the shape is exactly what a
+  // straight-line hand decomposition of the update would declare.
+  const int Links = 24; // Per momentum chain; continuity adds six more.
+  std::string Src = "program swet\n";
+  Src += "integer, parameter :: n = " + std::to_string(N) + "\n";
+  Src += "integer, parameter :: nsteps = " + std::to_string(Steps) + "\n";
+  Src += "real u(n,n), v(n,n), p(n,n)\n";
+  Src += "real un(n,n), vn(n,n), pw(n,n), ps(n,n)\n";
+  Src += "real unew(n,n), vnew(n,n), pnew(n,n)\n";
+  for (int I = 0; I < Links; ++I)
+    Src += "real ta" + std::to_string(I) + "(n,n), tb" + std::to_string(I) +
+           "(n,n)\n";
+  Src += "real xk(n,n), yk(n,n), mk(n,n), nk(n,n), pk(n,n), ee(n,n)\n";
+  Src += "real di, dj\n";
+  Src += "integer i, j, t\n";
+  Src += "di = 6.2831853/real(n)\n";
+  Src += "dj = 6.2831853/real(n)\n";
+  // Smooth periodic initial height and velocity fields.
+  Src += "forall (i=1:n, j=1:n) p(i,j) = 50000.0 &\n"
+         "    + 500.0*(sin(real(i)*di)*cos(real(j)*dj))\n";
+  Src += "forall (i=1:n, j=1:n) u(i,j) = 10.0*sin(real(i)*di)\n";
+  Src += "forall (i=1:n, j=1:n) v(i,j) = 10.0*cos(real(j)*dj)\n";
+  Src += "do t = 1, nsteps\n";
+  // Neighbor fields: the only communication of the step. Multi-use and
+  // comm-produced, so fusion leaves them alone.
+  Src += "  un = cshift(u, 1, 1)\n";
+  Src += "  vn = cshift(v, 1, 2)\n";
+  Src += "  pw = cshift(p, -1, 1)\n";
+  Src += "  ps = cshift(p, -1, 2)\n";
+  // u-momentum: a chain of single-use multiply-add-shaped elementwise
+  // temporaries. Fusion folds the whole chain into one MOVE (and the
+  // madds into chained FMAddV); per-statement compilation stores every
+  // link to memory and reloads it.
+  const char *Flds[4] = {"u", "un", "v", "vn"};
+  Src += "  ta0 = u - un\n";
+  for (int I = 1; I < Links; ++I)
+    Src += "  ta" + std::to_string(I) + " = ta" + std::to_string(I - 1) +
+           "*0.25 + " + Flds[I % 4] + "\n";
+  Src += "  unew = u + 0.000001*ta" + std::to_string(Links - 1) +
+         " - 0.0009*(p - pw)\n";
+  // v-momentum chain.
+  Src += "  tb0 = v - vn\n";
+  for (int I = 1; I < Links; ++I)
+    Src += "  tb" + std::to_string(I) + " = tb" + std::to_string(I - 1) +
+           "*0.25 + " + Flds[(I + 2) % 4] + "\n";
+  Src += "  vnew = v - 0.000001*tb" + std::to_string(Links - 1) +
+         " - 0.0009*(p - ps)\n";
+  // Continuity chain.
+  Src += "  xk = un*pw - u*p\n";
+  Src += "  yk = vn*ps - v*p\n";
+  Src += "  mk = xk*0.0009 + yk*0.0009\n";
+  Src += "  nk = mk*0.5 + p\n";
+  Src += "  pk = nk + 0.0001*(p - 50000.0)\n";
+  Src += "  ee = pk - p\n";
+  Src += "  pnew = p - 0.001*ee\n";
+  // Rotate time levels (unew is itself single-use, so it fuses into u).
+  Src += "  u = unew\n";
+  Src += "  v = vnew\n";
+  Src += "  p = pnew\n";
+  Src += "end do\n";
+  Src += "end program swet\n";
+  return Src;
+}
+
 std::string driver::figure9Source() {
   return R"f90(
 program fig9

@@ -26,6 +26,15 @@ namespace driver {
 /// computation (the Figure 12 excerpt is the z-field statement).
 std::string sweSource(int64_t N, int64_t Steps);
 
+/// The SWE timestep rewritten the way application programmers actually
+/// write it: every momentum/continuity update decomposed into a chain of
+/// named single-use elementwise temporaries (zk = ..., wk = (zk-qk)/p,
+/// ...). Semantically a shallow-water-style leapfrog on an N x N grid;
+/// structurally the worst case for per-statement compilation and the
+/// best case for cross-statement fusion, which folds every chain back
+/// into one whole-expression MOVE per field update.
+std::string sweTempsSource(int64_t N, int64_t Steps);
+
 /// Figure 9's program: a FORALL over a 2-d domain, a serial diagonal
 /// extraction, and a like-shape copy.
 std::string figure9Source();

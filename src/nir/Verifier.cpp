@@ -15,9 +15,21 @@ using namespace f90y::nir;
 
 namespace {
 
+/// Communication/reduction intrinsic names, duplicated from lower (the NIR
+/// library sits below lower in the link order). Kept in sync by
+/// nir_verifier_test.
+bool isCommOrReductionName(const std::string &Name) {
+  return Name == "cshift" || Name == "eoshift" || Name == "transpose" ||
+         Name == "spread" || Name == "sum" || Name == "product" ||
+         Name == "maxval" || Name == "minval" || Name == "count" ||
+         Name == "any" || Name == "all";
+}
+
 class VerifierImpl {
 public:
-  explicit VerifierImpl(DiagnosticEngine &Diags) : Diags(Diags) {}
+  explicit VerifierImpl(DiagnosticEngine &Diags,
+                        const VerifyOptions &Opts = {})
+      : Diags(Diags), Opts(Opts) {}
 
   bool run(const Imp *Root) {
     unsigned Before = Diags.errorCount();
@@ -27,10 +39,64 @@ public:
 
 private:
   DiagnosticEngine &Diags;
+  VerifyOptions Opts;
   DomainEnv Domains;
   std::map<std::string, const Type *> Decls;
 
   void error(const std::string &Msg) { Diags.error(SourceLocation(), Msg); }
+
+  /// CanonicalComm: no communication/reduction call anywhere under \p V.
+  void checkNoCommCall(const Value *V, const char *Where) {
+    if (!V)
+      return;
+    switch (V->getKind()) {
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryValue>(V);
+      checkNoCommCall(B->getLHS(), Where);
+      checkNoCommCall(B->getRHS(), Where);
+      return;
+    }
+    case Value::Kind::Unary:
+      checkNoCommCall(cast<UnaryValue>(V)->getOperand(), Where);
+      return;
+    case Value::Kind::FcnCall: {
+      const auto *F = cast<FcnCallValue>(V);
+      if (isCommOrReductionName(F->getCallee()))
+        error(std::string("communication intrinsic '") + F->getCallee() +
+              "' nested inside a " + Where +
+              " (fusion across a communication boundary?)");
+      for (const Value *A : F->getArgs())
+        checkNoCommCall(A, Where);
+      return;
+    }
+    case Value::Kind::AVar: {
+      const auto *AV = cast<AVarValue>(V);
+      if (const auto *Sub = dyn_cast<SubscriptAction>(AV->getAction()))
+        for (const Value *Idx : Sub->getIndices())
+          checkNoCommCall(Idx, Where);
+      return;
+    }
+    case Value::Kind::SVar:
+    case Value::Kind::ScalarConst:
+    case Value::Kind::StrConst:
+    case Value::Kind::LocalCoord:
+      return;
+    }
+  }
+
+  /// CanonicalComm invariant for one MOVE clause: a comm/reduction call is
+  /// legal only as the entire clause source (the extract-comm canonical
+  /// form); guards and nested expression positions must be comm-free.
+  void checkCanonicalClause(const MoveClause &C) {
+    checkNoCommCall(C.Guard, "MOVE guard");
+    if (const auto *F = dyn_cast<FcnCallValue>(C.Src);
+        F && isCommOrReductionName(F->getCallee())) {
+      for (const Value *A : F->getArgs())
+        checkNoCommCall(A, "communication operand");
+    } else {
+      checkNoCommCall(C.Src, "computational expression");
+    }
+  }
 
   const Type *lookupVar(const std::string &Id) {
     auto It = Decls.find(Id);
@@ -172,6 +238,8 @@ private:
       return;
     case Imp::Kind::Move: {
       for (const MoveClause &C : cast<MoveImp>(I)->getClauses()) {
+        if (Opts.CanonicalComm)
+          checkCanonicalClause(C);
         if (C.Guard)
           visitValue(C.Guard);
         visitValue(C.Src);
@@ -246,4 +314,9 @@ private:
 
 bool nir::verify(const Imp *Root, DiagnosticEngine &Diags) {
   return VerifierImpl(Diags).run(Root);
+}
+
+bool nir::verify(const Imp *Root, DiagnosticEngine &Diags,
+                 const VerifyOptions &Opts) {
+  return VerifierImpl(Diags, Opts).run(Root);
 }

@@ -15,6 +15,14 @@
 ///  - MOVE destinations are SVARs or AVARs;
 ///  - every local_under names a visible domain and a dimension within rank.
 ///
+/// With VerifyOptions::CanonicalComm set (used after the extract-comm
+/// pass has run, whose post-condition this encodes), additionally:
+///
+///  - a communication/reduction intrinsic call may appear only as the
+///    entire source of a MOVE clause, never nested inside a computational
+///    expression or a guard. In particular a fused MOVE must not have
+///    absorbed a producer across a communication boundary.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef F90Y_NIR_VERIFIER_H
@@ -26,9 +34,19 @@
 namespace f90y {
 namespace nir {
 
+/// Optional stricter invariants layered over the structural checks.
+struct VerifyOptions {
+  /// Enforce the extract-comm post-condition: communication/reduction
+  /// FCNCALLs only as a whole clause source. Off by default because raw
+  /// lowered NIR legitimately nests comm calls inside expressions.
+  bool CanonicalComm = false;
+};
+
 /// Verifies the program rooted at \p Root, reporting problems to \p Diags.
 /// Returns true when no errors were reported.
 bool verify(const Imp *Root, DiagnosticEngine &Diags);
+bool verify(const Imp *Root, DiagnosticEngine &Diags,
+            const VerifyOptions &Opts);
 
 } // namespace nir
 } // namespace f90y

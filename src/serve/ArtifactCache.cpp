@@ -63,19 +63,33 @@ uint64_t ArtifactCache::fingerprint(const std::string &Source,
   Fnv1a F;
   F.str(canonicalize(Source));
 
-  const transform::TransformOptions &T = Opts.Transforms;
-  F.u64(T.ExtractComm);
-  F.u64(T.MaskSections);
-  F.u64(T.Blocking);
-  F.u64(T.CommSchedule);
+  // Exhaustive by construction: the structured bindings must name every
+  // member, so adding a field to TransformOptions or PEOptions without
+  // deciding its place in the content-address fails to compile here.
+  // (The observability sinks are the one deliberate omission: they alter
+  // what is recorded about a compilation, never its artifacts.)
+  {
+    const auto &[ExtractComm, MaskSections, Fusion, Blocking, CommSchedule,
+                 Trace, Metrics] = Opts.Transforms;
+    F.u64(ExtractComm);
+    F.u64(MaskSections);
+    F.u64(Fusion);
+    F.u64(Blocking);
+    F.u64(CommSchedule);
+    (void)Trace;
+    (void)Metrics;
+  }
 
-  const backend::PEOptions &P = Opts.Backend.PE;
-  F.u64(P.Chaining);
-  F.u64(P.DualIssue);
-  F.u64(P.MaddFusion);
-  F.u64(P.CSE);
-  F.u64(P.SpillScheduling);
-  F.u64(P.VectorRegs);
+  {
+    const auto &[Chaining, DualIssue, MaddFusion, CSE, SpillScheduling,
+                 VectorRegs] = Opts.Backend.PE;
+    F.u64(Chaining);
+    F.u64(DualIssue);
+    F.u64(MaddFusion);
+    F.u64(CSE);
+    F.u64(SpillScheduling);
+    F.u64(VectorRegs);
+  }
 
   // The cost model participates wholesale: the backend reads machine
   // parameters (vector width, register file) and future knobs may too, so

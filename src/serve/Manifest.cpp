@@ -97,6 +97,13 @@ bool parseJobObject(const js::Value &Obj, const std::string &BaseDir,
         Job.OverlapComm = false;
       else
         return Error = "'comm' must be overlap|sync", false;
+    } else if (Key == "fuse") {
+      if (V.Str == "on")
+        Job.Fuse = true;
+      else if (V.Str == "off")
+        Job.Fuse = false;
+      else
+        return Error = "'fuse' must be on|off", false;
     } else if (Key == "faults") {
       if (!V.isString())
         return Error = "'faults' must be a spec string", false;

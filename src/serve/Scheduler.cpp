@@ -104,6 +104,7 @@ JobRecord runOne(const JobSpec &S, const ServeOptions &O) {
   driver::CompileOptions COpts =
       driver::CompileOptions::forProfile(S.Prof, Machine);
   COpts.Transforms.CommSchedule = S.OverlapComm;
+  COpts.Transforms.Fusion = S.Fuse;
 
   ArtifactCache::EntryPtr E;
   if (O.Cache) {
@@ -249,6 +250,7 @@ BatchResult serve::runBatch(std::vector<JobSpec> Jobs,
       driver::CompileOptions CO =
           driver::CompileOptions::forProfile(J.Prof, Machine);
       CO.Transforms.CommSchedule = J.OverlapComm;
+      CO.Transforms.Fusion = J.Fuse;
       J.Fingerprint = ArtifactCache::fingerprint(J.Source, CO);
       bool &Seen = SeenInBatch[J.Fingerprint];
       J.ColdCompile = !Seen && !Opts.Cache->contains(J.Fingerprint);

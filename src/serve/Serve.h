@@ -59,6 +59,9 @@ struct JobSpec {
   unsigned Threads = 1;
   peac::EngineKind Engine = peac::EngineKind::Compiled;
   bool OverlapComm = true;
+  /// Cross-statement elementwise fusion (f90yc -fuse=). Participates in
+  /// the artifact fingerprint: on/off jobs never share a compilation.
+  bool Fuse = true;
   support::FaultSpec Faults;
   uint64_t FaultSeed = 0;
   /// Step deadline: the existing -max-steps watchdog. A run that trips it

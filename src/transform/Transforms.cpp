@@ -58,6 +58,17 @@ const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
     I = runPass("mask-sections", I, Opts, [&](const N::Imp *In) {
       return maskSections(In, Ctx, Diags);
     });
+  if (Opts.Fusion) {
+    FusionStats FS;
+    I = runPass("fuse", I, Opts, [&](const N::Imp *In) {
+      return fuseElementwise(In, Ctx, Diags, &FS);
+    });
+    if (Opts.Metrics) {
+      Opts.Metrics->gauge("fuse.temps_eliminated", FS.TempsEliminated);
+      Opts.Metrics->gauge("fuse.moves_fused", FS.MovesFused);
+      Opts.Metrics->gauge("fuse.bytes_saved", double(FS.BytesSaved));
+    }
+  }
   if (Opts.Blocking)
     I = runPass("block-domains", I, Opts, [&](const N::Imp *In) {
       return blockDomains(In, Ctx, Diags);
@@ -71,7 +82,12 @@ const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
   const auto *Result = cast<N::ProgramImp>(I);
   {
     observe::WallSpan Span(Opts.Trace, "verify", "pass");
-    if (!N::verify(Result, Diags))
+    // After extract-comm, comm calls are canonical (whole clause sources
+    // only); the strict check catches any pass — fusion above all — that
+    // would drag computation across a communication boundary.
+    N::VerifyOptions VOpts;
+    VOpts.CanonicalComm = Opts.ExtractComm;
+    if (!N::verify(Result, Diags, VOpts))
       return Program;
   }
   return Result;

@@ -18,6 +18,11 @@
 ///  - maskSections: pads aligned array-section assignments into full-shape
 ///    masked MOVEs (paper Figure 10), turning section communication into
 ///    local computation and enabling blocking.
+///  - fuseElementwise: eliminates single-use array temporaries by folding
+///    the producer's RHS into its one consumer, so producer chains compile
+///    into one PEAC sweep and the temporary's allocation disappears
+///    (cross-statement elementwise fusion; runs before blockDomains so the
+///    blocked phases already carry whole expressions).
 ///  - blockDomains: reorders independent phases and fuses adjacent
 ///    computation MOVEs over a common domain into single MOVEs (the shape
 ///    equivalent of loop fusion; paper Figure 9).
@@ -36,6 +41,8 @@
 #include "support/Diagnostics.h"
 #include "transform/Phases.h"
 
+#include <cstdint>
+
 namespace f90y {
 
 namespace observe {
@@ -49,6 +56,9 @@ namespace transform {
 struct TransformOptions {
   bool ExtractComm = true;
   bool MaskSections = true;
+  /// Cross-statement elementwise fusion (eliminate single-use array
+  /// temporaries). f90yc -fuse=off disables it.
+  bool Fusion = true;
   bool Blocking = true;
   /// Communication scheduling (hoist + coalesce). Off by default: it
   /// reorders and fuses comm phases, which -comm=sync runs must not see.
@@ -68,11 +78,25 @@ const nir::ProgramImp *optimize(const nir::ProgramImp *Program,
                                 DiagnosticEngine &Diags,
                                 const TransformOptions &Opts = {});
 
+/// Counters reported by fuseElementwise (surfaced as fuse.* metrics).
+struct FusionStats {
+  /// Array temporaries whose store, load, and declaration were removed.
+  unsigned TempsEliminated = 0;
+  /// Consumer MOVEs that absorbed at least one producer.
+  unsigned MovesFused = 0;
+  /// Static estimate of PE memory traffic removed: one store plus one
+  /// load of the full field per eliminated temporary.
+  uint64_t BytesSaved = 0;
+};
+
 /// Individual passes (each returns a new imperative tree).
 const nir::Imp *extractComm(const nir::Imp *Root, nir::NIRContext &Ctx,
                             DiagnosticEngine &Diags);
 const nir::Imp *maskSections(const nir::Imp *Root, nir::NIRContext &Ctx,
                              DiagnosticEngine &Diags);
+const nir::Imp *fuseElementwise(const nir::Imp *Root, nir::NIRContext &Ctx,
+                                DiagnosticEngine &Diags,
+                                FusionStats *Stats = nullptr);
 const nir::Imp *blockDomains(const nir::Imp *Root, nir::NIRContext &Ctx,
                              DiagnosticEngine &Diags);
 const nir::Imp *commSchedule(const nir::Imp *Root, nir::NIRContext &Ctx,

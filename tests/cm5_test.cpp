@@ -117,6 +117,9 @@ TEST(Cm5Test, SixteenRegistersReduceSpills) {
   auto SpillsUnder = [&](cm2::CostModel M) {
     CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, M);
     Opts.Transforms.Blocking = false;
+    // Fusion would fold the single-use a*/b* fields into constants and
+    // deflate the register pressure this test exists to create.
+    Opts.Transforms.Fusion = false;
     Compilation C(Opts);
     EXPECT_TRUE(C.compile(Src)) << C.diags().str();
     unsigned Max = 0;

@@ -173,4 +173,48 @@ TEST_F(PrinterTest, StructuralEquality) {
   EXPECT_TRUE(impsEqual(buildFigure8(Ctx), buildFigure8(Ctx)));
 }
 
+TEST_F(PrinterTest, FusedMovePrintsDeterministically) {
+  // The shape the cross-statement fusion pass produces: one MOVE whose
+  // source is a deep chain of madd-shaped BINARYs over the same fields.
+  // There is no NIR parser, so "round-trips" here means: printing is a
+  // faithful function of structure — two independently built copies of a
+  // fused tree print byte-identically (and compare equal structurally),
+  // while a tree differing only in operand order prints differently.
+  auto BuildChain = [&](NIRContext &C, const char *Seed) {
+    const Value *Acc = C.getBinary(
+        BinaryOp::Sub, C.getAVar(Seed, C.getEverywhere()),
+        C.getAVar("un", C.getEverywhere()));
+    const char *Flds[2] = {"u", "un"};
+    for (int I = 0; I < 6; ++I)
+      Acc = C.getBinary(
+          BinaryOp::Add,
+          C.getBinary(BinaryOp::Mul, Acc, C.getFloatConst(0.25)),
+          C.getAVar(Flds[I % 2], C.getEverywhere()));
+    return C.getMove(
+        {{C.getTrue(), Acc, C.getAVar("unew", C.getEverywhere())}});
+  };
+  NIRContext Other;
+  const Imp *M1 = BuildChain(Ctx, "u");
+  const Imp *M2 = BuildChain(Other, "u");
+  EXPECT_TRUE(impsEqual(M1, M2));
+  EXPECT_EQ(printImp(M1), printImp(M2));
+  // Printing the same node twice is stable.
+  EXPECT_EQ(printImp(M1), printImp(M1));
+  // Every chain link survives in the printout: six Mul-by-0.25 links
+  // plus the seed Sub, all inside a single MOVE.
+  const std::string Text = printImp(M1);
+  EXPECT_EQ(Text.find("MOVE"), Text.rfind("MOVE"));
+  size_t Links = 0;
+  for (size_t Pos = Text.find("BINARY(Mul"); Pos != std::string::npos;
+       Pos = Text.find("BINARY(Mul", Pos + 1))
+    ++Links;
+  EXPECT_EQ(Links, 6u);
+  EXPECT_NE(Text.find("BINARY(Sub"), std::string::npos);
+  // A different association order is a different program and must not
+  // print the same.
+  const Imp *M3 = BuildChain(Ctx, "un");
+  EXPECT_FALSE(impsEqual(M1, M3));
+  EXPECT_NE(printImp(M1), printImp(M3));
+}
+
 } // namespace

@@ -153,4 +153,118 @@ TEST_F(VerifierTest, DomainShadowingIsLexical) {
   EXPECT_FALSE(verify(withStdEnv(Bad), Diags));
 }
 
+// --- CanonicalComm (extract-comm post-condition / fusion legality) ------
+
+TEST_F(VerifierTest, CanonicalCommAcceptsFusedComputationMove) {
+  // The shape the fusion pass produces: one MOVE whose source is a deep
+  // elementwise tree over the same field, with no comm call anywhere.
+  const Value *A = Ctx.getAVar("a", Ctx.getEverywhere());
+  const Value *Chain = A;
+  for (int I = 0; I < 8; ++I)
+    Chain = Ctx.getBinary(BinaryOp::Add,
+                          Ctx.getBinary(BinaryOp::Mul, Chain,
+                                        Ctx.getFloatConst(0.25)),
+                          A);
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Chain, Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_TRUE(verify(withStdEnv(M), Diags, VerifyOptions{true}))
+      << Diags.str();
+}
+
+TEST_F(VerifierTest, CanonicalCommAcceptsWholeClauseCommCall) {
+  // A comm intrinsic as the *entire* clause source is the canonical form
+  // extract-comm leaves behind; strict mode must keep accepting it.
+  const Value *Shift =
+      Ctx.getFcnCall("cshift", {Ctx.getAVar("a", Ctx.getEverywhere()),
+                                Ctx.getIntConst(1), Ctx.getIntConst(1)});
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Shift, Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_TRUE(verify(withStdEnv(M), Diags, VerifyOptions{true}))
+      << Diags.str();
+}
+
+TEST_F(VerifierTest, CanonicalCommRejectsCommNestedInFusedSource) {
+  // A hand-built "fusion across a communication boundary": the producer
+  // (a cshift) was absorbed into the consumer's expression tree. Strict
+  // mode must reject it; the default (lenient) mode must still accept it
+  // because raw lowered NIR legitimately nests comm calls.
+  const Value *Shift =
+      Ctx.getFcnCall("cshift", {Ctx.getAVar("a", Ctx.getEverywhere()),
+                                Ctx.getIntConst(1), Ctx.getIntConst(1)});
+  const Value *Fused = Ctx.getBinary(
+      BinaryOp::Add, Ctx.getAVar("a", Ctx.getEverywhere()),
+      Ctx.getBinary(BinaryOp::Mul, Shift, Ctx.getFloatConst(0.25)));
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Fused, Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_TRUE(verify(withStdEnv(M), Diags)) << Diags.str();
+  Diags.clear();
+  EXPECT_FALSE(verify(withStdEnv(M), Diags, VerifyOptions{true}));
+  EXPECT_NE(Diags.str().find("communication intrinsic 'cshift' nested "
+                             "inside a computational expression"),
+            std::string::npos)
+      << Diags.str();
+}
+
+TEST_F(VerifierTest, CanonicalCommRejectsCommInGuard) {
+  const Value *Any =
+      Ctx.getFcnCall("any", {Ctx.getAVar("a", Ctx.getEverywhere())});
+  const Imp *M = Ctx.getMove({{Any, Ctx.getFloatConst(0.0),
+                               Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags, VerifyOptions{true}));
+  EXPECT_NE(Diags.str().find("nested inside a MOVE guard"),
+            std::string::npos)
+      << Diags.str();
+}
+
+TEST_F(VerifierTest, CanonicalCommRejectsCommInCommOperand) {
+  // Even when the clause source *is* a comm call, its operands must be
+  // comm-free: cshift(cshift(a,...),...) is not canonical.
+  const Value *Inner =
+      Ctx.getFcnCall("cshift", {Ctx.getAVar("a", Ctx.getEverywhere()),
+                                Ctx.getIntConst(1), Ctx.getIntConst(1)});
+  const Value *Outer =
+      Ctx.getFcnCall("cshift",
+                     {Inner, Ctx.getIntConst(-1), Ctx.getIntConst(1)});
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Outer, Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_FALSE(verify(withStdEnv(M), Diags, VerifyOptions{true}));
+  EXPECT_NE(Diags.str().find("nested inside a communication operand"),
+            std::string::npos)
+      << Diags.str();
+}
+
+TEST_F(VerifierTest, CanonicalCommCoversEveryIntrinsicName) {
+  // Pins the comm/reduction name list in Verifier.cpp (duplicated from
+  // lower): every name must trip strict mode when nested, and a
+  // non-comm elementwise intrinsic ("merge") must not.
+  const char *Comm[] = {"cshift", "eoshift", "transpose", "spread",
+                        "sum",    "product", "maxval",    "minval",
+                        "count",  "any",     "all"};
+  for (const char *Name : Comm) {
+    Diags.clear();
+    const Value *Call =
+        Ctx.getFcnCall(Name, {Ctx.getAVar("a", Ctx.getEverywhere())});
+    const Value *Nested =
+        Ctx.getBinary(BinaryOp::Add, Call, Ctx.getFloatConst(1.0));
+    const Imp *M = Ctx.getMove(
+        {{Ctx.getTrue(), Nested, Ctx.getAVar("a", Ctx.getEverywhere())}});
+    EXPECT_FALSE(verify(withStdEnv(M), Diags, VerifyOptions{true}))
+        << "strict mode accepted nested '" << Name << "'";
+    EXPECT_NE(Diags.str().find(std::string("communication intrinsic '") +
+                               Name + "'"),
+              std::string::npos)
+        << Diags.str();
+  }
+  Diags.clear();
+  const Value *Merge = Ctx.getFcnCall(
+      "merge", {Ctx.getAVar("a", Ctx.getEverywhere()),
+                Ctx.getFloatConst(0.0), Ctx.getTrue()});
+  const Value *Nested =
+      Ctx.getBinary(BinaryOp::Add, Merge, Ctx.getFloatConst(1.0));
+  const Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(), Nested, Ctx.getAVar("a", Ctx.getEverywhere())}});
+  EXPECT_TRUE(verify(withStdEnv(M), Diags, VerifyOptions{true}))
+      << Diags.str();
+}
+
 } // namespace

