@@ -1,0 +1,331 @@
+//===- bench/bench_layout.cpp - alignment/layout inference ------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what alignment/layout inference (f90yc -layout=) buys on the
+/// workload it exists for: a shallow-water-style relaxation written in
+/// the "neighbor field" idiom (misalignedSweSource), where every
+/// per-step exchange moves a field that lives one grid cell off its
+/// consumer. Canonical placement pays grid wires for all eight exchanges
+/// per step; the alignment solver stores the neighbor and flux fields
+/// pre-shifted, so materialization rewrites every exchange into a local
+/// copy.
+///
+/// Legs:
+///
+///   layout=canonical   the F90Y pipeline with Transforms.Layout off
+///   layout=infer       the default pipeline (layout between fusion and
+///                      domain blocking)
+///
+/// Binding checks (exit nonzero on any failure):
+///   - layout.fields_realigned > 0 and layout.comm_moves_localized > 0
+///     on this source, and both zero on the stock SWE benchmark (its
+///     update stencils pin everything canonical - inference must not
+///     perturb a program it cannot improve)
+///   - simulated CommCycles drop by >= 25% (the ISSUE 10 acceptance bar)
+///   - program output and final field memory bit-identical infer vs
+///     canonical, fields compared in logical element order (the
+///     layout-aware readElement path) so placement can never alias as
+///     divergence - at every -threads=1/8 x -exec=interp/compiled x
+///     -comm=sync/overlap x -faults=off/on combination
+///   - within each layout setting, the cycle ledger is bit-identical
+///     across threads and engines at fixed comm/fault settings
+///
+/// Usage: bench_layout [N] [steps] [reps]   (default 128 4 3)
+///
+/// Writes BENCH_layout.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+#include "driver/Workloads.h"
+#include "observe/Metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+/// Compiles \p Source with layout inference forced on or off (everything
+/// else the F90Y profile); exits on compile failure. Metrics, when
+/// given, receive the pass gauges (layout.fields_realigned and friends).
+std::unique_ptr<Compilation> compileWithLayout(const std::string &Source,
+                                               const cm2::CostModel &Machine,
+                                               bool Infer,
+                                               observe::MetricsRegistry *M) {
+  CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, Machine);
+  Opts.Transforms.Layout = Infer;
+  auto C = std::make_unique<Compilation>(Opts);
+  if (M)
+    C->setObservability(nullptr, M);
+  if (!C->compile(Source)) {
+    std::fprintf(stderr, "compile (layout=%s) failed:\n%s",
+                 Infer ? "infer" : "canonical", C->diags().str().c_str());
+    std::exit(1);
+  }
+  return C;
+}
+
+/// One run's observable state: wall time, output, ledger, and the final
+/// field memory of the named arrays. Elements are read in logical
+/// (global coordinate) order through the runtime's layout-aware element
+/// path, so a realigned leg and a canonical leg of the same program
+/// produce byte-comparable vectors.
+struct RunResult {
+  double Millis = 0;
+  std::string Output;
+  runtime::CycleLedger Ledger;
+  std::vector<double> Fields;
+};
+
+void appendFieldLogical(Execution &Exec, const std::string &Name,
+                        std::vector<double> &Out) {
+  int Handle = Exec.executor().fieldHandle(Name);
+  if (Handle < 0) {
+    std::fprintf(stderr, "FAIL: field '%s' not present after run\n",
+                 Name.c_str());
+    std::exit(1);
+  }
+  const runtime::PeArray &Got = Exec.runtime().field(Handle);
+  std::vector<int64_t> Pos(Got.Geo->Extents.size(), 0);
+  bool Done = Got.Geo->totalElements() == 0;
+  while (!Done) {
+    Out.push_back(Exec.runtime().readElement(Handle, Pos));
+    size_t K = Pos.size();
+    Done = true;
+    while (K-- > 0) {
+      if (++Pos[K] < Got.Geo->Extents[K]) {
+        Done = false;
+        break;
+      }
+      Pos[K] = 0;
+    }
+  }
+}
+
+RunResult runOnce(const host::HostProgram &Program,
+                  const cm2::CostModel &Machine,
+                  const ExecutionOptions &EOpts, int Reps,
+                  const std::vector<std::string> &FieldNames) {
+  RunResult R;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    Execution Exec(Machine, EOpts);
+    auto T0 = std::chrono::steady_clock::now();
+    auto Report = Exec.run(Program);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Report) {
+      std::fprintf(stderr, "run failed:\n%s", Exec.diags().str().c_str());
+      std::exit(1);
+    }
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (Rep == 0 || Ms < R.Millis)
+      R.Millis = Ms;
+    R.Output = Report->Output;
+    R.Ledger = Report->Ledger;
+    if (Rep == Reps - 1) {
+      R.Fields.clear();
+      for (const std::string &Name : FieldNames)
+        appendFieldLogical(Exec, Name, R.Fields);
+    }
+  }
+  return R;
+}
+
+bool sameFields(const RunResult &A, const RunResult &B) {
+  return A.Fields.size() == B.Fields.size() &&
+         std::memcmp(A.Fields.data(), B.Fields.data(),
+                     A.Fields.size() * sizeof(double)) == 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int64_t N = argc > 1 ? std::atoll(argv[1]) : 128;
+  int Steps = argc > 2 ? std::atoi(argv[2]) : 4;
+  int Reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (Reps < 1)
+    Reps = 1;
+
+  cm2::CostModel Machine; // The stock 2048-PE CM/2.
+  std::string Source = misalignedSweSource(N, Steps);
+  // State fields stay canonical; the neighbor/flux fields are the ones
+  // inference realigns. All are compared in logical order.
+  const std::vector<std::string> Fields = {"u",  "v",  "p",  "pe",
+                                           "pn", "fe", "fn", "q"};
+
+  // Control leg: the stock SWE benchmark pins everything canonical (its
+  // update stencils mix home-frame and shifted reads), so inference must
+  // report zero realignments there.
+  {
+    observe::MetricsRegistry SweMetrics;
+    compileWithLayout(sweSource(64, 1), Machine, true, &SweMetrics);
+    if (SweMetrics.value("layout.fields_realigned") != 0 ||
+        SweMetrics.value("layout.comm_moves_localized") != 0) {
+      std::fprintf(stderr, "FAIL: layout inference perturbed the stock SWE "
+                           "benchmark (expected canonical solution)\n");
+      return 1;
+    }
+  }
+
+  observe::MetricsRegistry LayoutMetrics;
+  auto Inferred = compileWithLayout(Source, Machine, true, &LayoutMetrics);
+  auto Canonical = compileWithLayout(Source, Machine, false, nullptr);
+
+  uint64_t FieldsRealigned =
+      static_cast<uint64_t>(LayoutMetrics.value("layout.fields_realigned"));
+  uint64_t MovesLocalized = static_cast<uint64_t>(
+      LayoutMetrics.value("layout.comm_moves_localized"));
+  uint64_t CyclesSaved =
+      static_cast<uint64_t>(LayoutMetrics.value("layout.comm_cycles_saved"));
+
+  std::printf("alignment/layout inference "
+              "(neighbor-field SWE %lldx%lld, %d steps, best of %d)\n",
+              static_cast<long long>(N), static_cast<long long>(N), Steps,
+              Reps);
+  std::printf("  fields realigned: %llu   comm moves localized: %llu   "
+              "est. comm cycles saved/step: %llu\n\n",
+              static_cast<unsigned long long>(FieldsRealigned),
+              static_cast<unsigned long long>(MovesLocalized),
+              static_cast<unsigned long long>(CyclesSaved));
+
+  bool Ok = true;
+  if (FieldsRealigned == 0 || MovesLocalized == 0) {
+    std::fprintf(stderr, "FAIL: layout inference localized no exchanges on "
+                         "the neighbor-field SWE source\n");
+    Ok = false;
+  }
+
+  // Warm-sweep measurement under the strict (sync) comm model, where
+  // every eliminated exchange shows up in CommCycles undiluted.
+  ExecutionOptions Warm;
+  Warm.Threads = 1;
+  RunResult InferRun = runOnce(Inferred->artifacts().Compiled.Program,
+                               Machine, Warm, Reps, Fields);
+  RunResult CanonRun = runOnce(Canonical->artifacts().Compiled.Program,
+                               Machine, Warm, Reps, Fields);
+
+  double CommInfer = InferRun.Ledger.CommCycles;
+  double CommCanon = CanonRun.Ledger.CommCycles;
+  double CommReduction =
+      CommCanon > 0 ? (CommCanon - CommInfer) / CommCanon : 0;
+  double SimSpeedup = InferRun.Ledger.total() > 0
+                          ? CanonRun.Ledger.total() / InferRun.Ledger.total()
+                          : 0;
+  std::printf("  %-24s %9.2f ms   %14.0f comm cycles\n", "layout=canonical",
+              CanonRun.Millis, CommCanon);
+  std::printf("  %-24s %9.2f ms   %14.0f comm cycles\n", "layout=infer",
+              InferRun.Millis, CommInfer);
+  std::printf("  comm-cycle reduction: %.1f%% (target >= 25%%), "
+              "%.2fx simulated total\n\n",
+              CommReduction * 100, SimSpeedup);
+
+  if (!sameFields(InferRun, CanonRun) ||
+      InferRun.Output != CanonRun.Output) {
+    std::fprintf(stderr,
+                 "FAIL: layout inference changed the program's output or "
+                 "fields\n");
+    Ok = false;
+  }
+  if (CommReduction < 0.25) {
+    std::fprintf(stderr, "FAIL: comm-cycle reduction %.1f%% below the 25%% "
+                         "target\n",
+                 CommReduction * 100);
+    Ok = false;
+  }
+
+  // Equivalence matrix: layout=infer must match layout=canonical bit for
+  // bit at every threads x engine x comm x faults combination, and
+  // within one layout setting the ledger may not depend on threads or
+  // the PEAC engine.
+  support::FaultSpec Recoverable;
+  {
+    std::string Error;
+    if (!support::FaultSpec::parse("corrupt:0.01,pe-trap:0.005",
+                                   Recoverable, Error)) {
+      std::fprintf(stderr, "bad fault spec: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  int Combos = 0;
+  for (bool Overlap : {false, true}) {
+    for (bool Faults : {false, true}) {
+      bool HaveRef = false;
+      runtime::CycleLedger RefInfer{}, RefCanon{};
+      for (unsigned Threads : {1u, 8u}) {
+        for (peac::EngineKind Engine :
+             {peac::EngineKind::Interp, peac::EngineKind::Compiled}) {
+          ExecutionOptions EO;
+          EO.Threads = Threads;
+          EO.Engine = Engine;
+          EO.OverlapComm = Overlap;
+          if (Faults) {
+            EO.Faults = Recoverable;
+            EO.FaultSeed = 7;
+          }
+          RunResult IR = runOnce(Inferred->artifacts().Compiled.Program,
+                                 Machine, EO, 1, Fields);
+          RunResult CR = runOnce(Canonical->artifacts().Compiled.Program,
+                                 Machine, EO, 1, Fields);
+          ++Combos;
+          if (!sameFields(IR, CR) || IR.Output != CR.Output) {
+            std::fprintf(stderr,
+                         "FAIL: layout=infer diverged from canonical at "
+                         "threads=%u exec=%s comm=%s faults=%s\n",
+                         Threads,
+                         Engine == peac::EngineKind::Interp ? "interp"
+                                                            : "compiled",
+                         Overlap ? "overlap" : "sync",
+                         Faults ? "on" : "off");
+            Ok = false;
+          }
+          if (!HaveRef) {
+            HaveRef = true;
+            RefInfer = IR.Ledger;
+            RefCanon = CR.Ledger;
+          } else if (!bench::sameLedger(IR.Ledger, RefInfer) ||
+                     !bench::sameLedger(CR.Ledger, RefCanon)) {
+            std::fprintf(stderr,
+                         "FAIL: ledger depends on threads/engine at "
+                         "comm=%s faults=%s\n",
+                         Overlap ? "overlap" : "sync",
+                         Faults ? "on" : "off");
+            Ok = false;
+          }
+        }
+      }
+    }
+  }
+  if (Ok)
+    std::printf("  equivalence: %d threads x engine x comm x faults combos "
+                "bit-identical\n",
+                Combos);
+
+  bench::Report Rep("layout");
+  Rep.set("n", N);
+  Rep.set("steps", Steps);
+  Rep.set("reps", Reps);
+  Rep.set("fields_realigned", FieldsRealigned);
+  Rep.set("comm_moves_localized", MovesLocalized);
+  Rep.set("comm_cycles_saved", CyclesSaved);
+  Rep.set("infer_ms", InferRun.Millis);
+  Rep.set("canonical_ms", CanonRun.Millis);
+  Rep.set("comm_cycles_infer", CommInfer);
+  Rep.set("comm_cycles_canonical", CommCanon);
+  Rep.set("comm_reduction", CommReduction);
+  Rep.set("sim_speedup", SimSpeedup);
+  Rep.set("equivalence_combos", Combos);
+  Rep.set("bit_identical", std::string(Ok ? "yes" : "no"));
+  Rep.write();
+  return Ok ? 0 : 1;
+}

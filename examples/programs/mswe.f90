@@ -1,0 +1,39 @@
+! Shallow-water-style relaxation in the "neighbor field" idiom: every
+! timestep materializes east/north copies of the state, computes the
+! staggered fluxes from the shifted copies only, and shifts the fluxes
+! back home for the update. Every exchange moves a field that lives one
+! grid cell off its consumer, so alignment inference (f90yc
+! -layout=infer, the default) stores the neighbor and flux fields
+! pre-shifted and turns all eight per-step exchanges into local copies;
+! compile with -layout=canonical to see each one pay grid wires
+! (compare `f90yc -stats` CommCycles, or the layout.* -metrics gauges).
+program mswe
+integer, parameter :: n = 32
+integer, parameter :: nsteps = 4
+real u(n,n), v(n,n), p(n,n)
+real pe(n,n), pn(n,n), ue(n,n), vn(n,n)
+real fe(n,n), fn(n,n), fw(n,n), fs(n,n), q(n,n)
+real di, dj
+integer i, j, t
+di = 6.2831853/real(n)
+dj = 6.2831853/real(n)
+forall (i=1:n, j=1:n) p(i,j) = 50000.0 &
+    + 500.0*(sin(real(i)*di)*cos(real(j)*dj))
+forall (i=1:n, j=1:n) u(i,j) = 10.0*sin(real(i)*di)
+forall (i=1:n, j=1:n) v(i,j) = 10.0*cos(real(j)*dj)
+do t = 1, nsteps
+  pe = cshift(p, 1, 1)
+  pn = cshift(p, 1, 2)
+  ue = cshift(u, 1, 1)
+  vn = cshift(v, 1, 2)
+  fe = 0.0001*pe*ue + 0.05*pe
+  fn = 0.0001*pn*vn + 0.05*pn
+  fw = cshift(fe, -1, 1)
+  fs = cshift(fn, -1, 2)
+  q = 0.001*(fw + fs)
+  u = u - 0.000001*q
+  v = v - 0.000001*q
+  p = p - 0.00001*q + 0.5
+end do
+print *, 'mean p:', sum(p)/real(n*n)
+end program mswe

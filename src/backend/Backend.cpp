@@ -264,6 +264,20 @@ FECompiler::compileCommClause(const N::MoveClause &C) {
         error("unsupported shift pattern: " + N::printValue(C.Src));
         return nullptr;
       }
+      // Realigned residual exchange (layout materialization): a fourth
+      // argument carries the source-level shift; arg 1 is already the
+      // physical slot distance the runtime must move.
+      if (F->getCallee() == "cshift" && F->getArgs().size() == 4) {
+        const auto *Lg = dyn_cast<N::ScalarConstValue>(F->getArgs()[3]);
+        if (!Lg || !Lg->isInt()) {
+          error("malformed realigned cshift: " + N::printValue(C.Src));
+          return nullptr;
+        }
+        return std::make_unique<CShiftStmt>(
+            DstAV->getId(), Arg->getId(),
+            static_cast<unsigned>(Dm->getInt()), Sh->getInt(),
+            Lg->getInt(), /*EndOff=*/false);
+      }
       return std::make_unique<CShiftStmt>(
           DstAV->getId(), Arg->getId(),
           static_cast<unsigned>(Dm->getInt()), Sh->getInt(),
@@ -339,7 +353,9 @@ static void coalesceShifts(std::vector<std::unique_ptr<HostStmt>> &Stmts) {
   size_t I = 0;
   while (I < Stmts.size()) {
     const auto *First = dyn_cast<CShiftStmt>(Stmts[I].get());
-    if (!First || First->dst() == First->src()) {
+    // Realigned shifts stay standalone so their physical/logical trace
+    // annotation survives (MultiShiftStmt carries no such marker).
+    if (!First || First->dst() == First->src() || First->isRealigned()) {
       Out.push_back(std::move(Stmts[I++]));
       continue;
     }
@@ -351,7 +367,7 @@ static void coalesceShifts(std::vector<std::unique_ptr<HostStmt>> &Stmts) {
       if (!Next || Next->src() != First->src() ||
           Next->dim() != First->dim() ||
           Next->isEndOff() != First->isEndOff() ||
-          Next->dst() == Next->src())
+          Next->dst() == Next->src() || Next->isRealigned())
         break;
       bool Repeats = false;
       for (const MultiShiftStmt::ShiftReq &R : Reqs)
@@ -460,6 +476,16 @@ std::unique_ptr<HostStmt> FECompiler::compileImp(const N::Imp *I) {
           return;
         }
         F.Kind = elemKindOfType(FT->getUltimateElementType());
+        if (const layout::LayoutDescriptor *L =
+                N::findLayout(WD->getDecl(), Id);
+            L && !L->isCanonical()) {
+          F.AxisMap = L->AxisMap;
+          if (F.AxisMap.empty())
+            for (size_t D = 0; D < F.Extents.size(); ++D)
+              F.AxisMap.push_back(static_cast<int64_t>(D));
+          F.Offsets = L->Offsets;
+          F.Offsets.resize(F.Extents.size(), 0);
+        }
         Fields.push_back(std::move(F));
         return;
       }

@@ -10,19 +10,80 @@
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
 #include "host/Printer.h"
+#include "layout/LayoutDescriptor.h"
 #include "lower/Lowering.h"
 #include "observe/Json.h"
 #include "support/Serialize.h"
 
+#include <map>
+
 using namespace f90y;
 using namespace f90y::driver;
+
+/// Deterministic rendering of every non-canonically placed field in the
+/// program (checkpoint identity; see Checkpoint.h). AllocScopes hold all
+/// field allocations, so only body-bearing statements need walking.
+static void collectLayoutSig(const host::HostStmt *S,
+                             std::map<std::string, std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case host::HostStmt::Kind::Seq:
+    for (const auto &Sub : cast<host::SeqStmt>(S)->stmts())
+      collectLayoutSig(Sub.get(), Out);
+    return;
+  case host::HostStmt::Kind::AllocScope: {
+    const auto *A = cast<host::AllocScopeStmt>(S);
+    for (const auto &F : A->fields())
+      if (!F.Offsets.empty()) {
+        layout::LayoutDescriptor L;
+        L.AxisMap = F.AxisMap;
+        L.Offsets = F.Offsets;
+        L.normalize(F.Extents);
+        if (!L.isCanonical())
+          Out[F.Name] = L.str();
+      }
+    collectLayoutSig(A->body(), Out);
+    return;
+  }
+  case host::HostStmt::Kind::If: {
+    const auto *If = cast<host::IfStmt>(S);
+    collectLayoutSig(If->thenStmt(), Out);
+    collectLayoutSig(If->elseStmt(), Out);
+    return;
+  }
+  case host::HostStmt::Kind::While:
+    collectLayoutSig(cast<host::WhileStmt>(S)->body(), Out);
+    return;
+  case host::HostStmt::Kind::SerialDo:
+    collectLayoutSig(cast<host::SerialDoStmt>(S)->body(), Out);
+    return;
+  case host::HostStmt::Kind::ParallelLoop:
+    collectLayoutSig(cast<host::ParallelLoopStmt>(S)->body(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+static std::string layoutSignature(const host::HostProgram &Program) {
+  std::map<std::string, std::string> Sig;
+  collectLayoutSig(Program.Body.get(), Sig);
+  std::string Out;
+  for (const auto &[Name, Desc] : Sig)
+    Out += Name + "=" + Desc + "|";
+  return Out;
+}
 
 CompileOptions CompileOptions::forProfile(Profile P, cm2::CostModel Costs) {
   CompileOptions O;
   O.Costs = Costs;
   switch (P) {
   case Profile::F90Y:
-    break; // Everything defaults to on.
+    // Everything defaults to on; alignment inference (off in the base
+    // TransformOptions so bare pipelines keep their shape) joins here.
+    O.Transforms.Layout = true;
+    break;
   case Profile::CMFStyle:
     // Per-statement compilation: no cross-statement blocking or fusion.
     O.Transforms.Blocking = false;
@@ -83,6 +144,9 @@ bool Compilation::compile(const std::string &Source) {
 
   {
     observe::WallSpan S(Trace, "optimize", "phase");
+    // The layout pass weighs alignment edges with this compilation's
+    // machine model (Opts is owned by value, so the pointer is stable).
+    Opts.Transforms.Costs = &Opts.Costs;
     Arts.OptimizedNIR =
         transform::optimize(Arts.RawNIR, NCtx, Diags, Opts.Transforms);
   }
@@ -121,6 +185,7 @@ std::optional<RunReport> Execution::run(const host::HostProgram &Program) {
     // run's fault configuration (a resumed schedule must be the same pure
     // function of seed and op streams the killed run was drawing from).
     Ckpt->setProgramTag(support::crc32(host::printHostProgram(Program)));
+    Ckpt->setLayoutSignature(layoutSignature(Program));
     if (Injector)
       Ckpt->setFaultConfig(true, Injector->seed(), Injector->spec().Prob);
     else

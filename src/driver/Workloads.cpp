@@ -207,6 +207,49 @@ end
   return replaceAll(Src, "@N@", std::to_string(N));
 }
 
+std::string driver::misalignedSweSource(int64_t N, int64_t Steps) {
+  std::string Src = R"f90(
+program mswe
+integer, parameter :: n = @N@
+integer, parameter :: nsteps = @S@
+real u(n,n), v(n,n), p(n,n)
+real pe(n,n), pn(n,n), ue(n,n), vn(n,n)
+real fe(n,n), fn(n,n), fw(n,n), fs(n,n), q(n,n)
+real di, dj
+integer i, j, t
+di = 6.2831853/real(n)
+dj = 6.2831853/real(n)
+forall (i=1:n, j=1:n) p(i,j) = 50000.0 &
+    + 500.0*(sin(real(i)*di)*cos(real(j)*dj))
+forall (i=1:n, j=1:n) u(i,j) = 10.0*sin(real(i)*di)
+forall (i=1:n, j=1:n) v(i,j) = 10.0*cos(real(j)*dj)
+do t = 1, nsteps
+  ! East/north neighbor fields: each one lives a cell off its parent, so
+  ! alignment stores it pre-shifted and the exchange becomes a copy.
+  pe = cshift(p, 1, 1)
+  pn = cshift(p, 1, 2)
+  ue = cshift(u, 1, 1)
+  vn = cshift(v, 1, 2)
+  ! Staggered fluxes: functions of the shifted copies only, so they
+  ! inherit the shifted placement.
+  fe = 0.0001*pe*ue + 0.05*pe
+  fn = 0.0001*pn*vn + 0.05*pn
+  ! Shift the fluxes back into the home frame for the update.
+  fw = cshift(fe, -1, 1)
+  fs = cshift(fn, -1, 2)
+  q = 0.001*(fw + fs)
+  u = u - 0.000001*q
+  v = v - 0.000001*q
+  p = p - 0.00001*q + 0.5
+end do
+print *, 'mean p:', sum(p)/real(n*n)
+end program mswe
+)f90";
+  Src = replaceAll(Src, "@N@", std::to_string(N));
+  Src = replaceAll(Src, "@S@", std::to_string(Steps));
+  return Src;
+}
+
 std::string driver::heatSource(int64_t N, int64_t Steps) {
   std::string Src = R"f90(
 program heat

@@ -52,6 +52,16 @@ std::string figure12Source(int64_t N);
 /// Jacobi heat diffusion: the canonical neighborhood stencil.
 std::string heatSource(int64_t N, int64_t Steps);
 
+/// A shallow-water-style relaxation written in the "neighbor field"
+/// idiom: every timestep materializes east/north copies of the state
+/// (pe = cshift(p,1,1), ...), computes staggered fluxes from the shifted
+/// copies only, and shifts the fluxes back home before the update. Every
+/// exchange moves a field that *lives* one cell off its consumer, so
+/// alignment inference (-layout=infer) stores the neighbor and flux
+/// fields pre-shifted and converts all eight per-step exchanges into
+/// local copies; under -layout=canonical each one pays grid wires.
+std::string misalignedSweSource(int64_t N, int64_t Steps);
+
 } // namespace driver
 } // namespace f90y
 

@@ -402,6 +402,8 @@ void HostExecutor::exec(const HostStmt *S) {
       }
       int Handle = Alloc.value();
       FieldHandles[F.Name] = Handle;
+      if (!F.Offsets.empty())
+        RT.setFieldLayout(Handle, F.AxisMap, F.Offsets);
       auto Preset = PresetArrays.find(F.Name);
       if (Preset != PresetArrays.end()) {
         // Seed row-major values through element writes (free of charge:
@@ -513,6 +515,12 @@ void HostExecutor::exec(const HostStmt *S) {
                                : RT.cshift(Dst, Src, C->dim(), C->shift());
     if (!checkComm(St))
       return;
+    if (C->isRealigned() && RT.trace())
+      RT.trace()->cycleInstant(
+          "layout-realigned", "comm", L.total(),
+          {observe::arg("dst", C->dst()), observe::arg("src", C->src()),
+           observe::arg("logical_shift", C->logicalShift()),
+           observe::arg("physical_shift", C->shift())});
     beginPendingComm(L.CommCycles - Before, {Dst, Src});
     return;
   }
@@ -817,6 +825,8 @@ HostExecutor::buildCheckpointState(uint32_t LoopId, const std::string &Domain,
     Img.Kind = static_cast<uint8_t>(F.Kind);
     Img.Extents = F.Geo->Extents;
     Img.Los = F.Geo->Los;
+    Img.AxisMap = F.AxisMap;
+    Img.Offsets = F.LayoutOffsets;
     Img.Data = F.Data;
     S.Fields.push_back(std::move(Img));
   }
@@ -872,6 +882,12 @@ bool HostExecutor::applyRestore(const runtime::ckpt::CheckpointState &S) {
         F.Data.size() != Img.Data.size()) {
       error("restore: field '" + Img.Name +
             "' has a different shape than the checkpoint");
+      return false;
+    }
+    if (F.AxisMap != Img.AxisMap || F.LayoutOffsets != Img.Offsets) {
+      error("restore: field '" + Img.Name +
+            "' has a different storage layout than the checkpoint "
+            "(layout mode or solved placement changed)");
       return false;
     }
     // Direct store, not CmRuntime::restoreField: this is state
@@ -949,7 +965,10 @@ void HostExecutor::execRestore(const HostStmt *S) {
     // position all arrive wholesale with applyRestore.
     for (const auto &F : A->fields()) {
       const runtime::Geometry *Geo = RT.getGeometry(F.Extents, F.Los);
-      FieldHandles[F.Name] = RT.allocField(Geo, F.Kind);
+      int Handle = RT.allocField(Geo, F.Kind);
+      FieldHandles[F.Name] = Handle;
+      if (!F.Offsets.empty())
+        RT.setFieldLayout(Handle, F.AxisMap, F.Offsets);
     }
     for (const auto &Sc : A->scalars()) {
       Scalars[Sc.Name] = convertFor(RtVal::makeInt(0), Sc.Kind);

@@ -102,6 +102,12 @@ public:
     std::vector<int64_t> Extents;
     std::vector<int64_t> Los;
     runtime::ElemKind Kind = runtime::ElemKind::Real;
+    /// Storage placement solved by the layout pass (DESIGN.md Section 12).
+    /// Empty vectors mean the canonical layout (identity axes, zero
+    /// offsets); when set, logical element x is stored at slot
+    /// (x[d] + Offsets[d]) mod Extents[d] along each axis.
+    std::vector<int64_t> AxisMap;
+    std::vector<int64_t> Offsets;
   };
   struct ScalarAlloc {
     std::string Name;
@@ -205,11 +211,20 @@ public:
   CShiftStmt(std::string Dst, std::string Src, unsigned Dim, int64_t Shift,
              bool EndOff)
       : HostStmt(Kind::CShift), Dst(std::move(Dst)), Src(std::move(Src)),
-        Dim(Dim), Shift(Shift), EndOff(EndOff) {}
+        Dim(Dim), Shift(Shift), Logical(Shift), EndOff(EndOff) {}
+  /// Realigned form (layout materialization): \p Shift is the physical
+  /// slot distance actually exchanged, \p Logical the source-level shift
+  /// it implements under the solved placements.
+  CShiftStmt(std::string Dst, std::string Src, unsigned Dim, int64_t Shift,
+             int64_t Logical, bool EndOff)
+      : HostStmt(Kind::CShift), Dst(std::move(Dst)), Src(std::move(Src)),
+        Dim(Dim), Shift(Shift), Logical(Logical), EndOff(EndOff) {}
   const std::string &dst() const { return Dst; }
   const std::string &src() const { return Src; }
   unsigned dim() const { return Dim; }
   int64_t shift() const { return Shift; }
+  int64_t logicalShift() const { return Logical; }
+  bool isRealigned() const { return Logical != Shift; }
   bool isEndOff() const { return EndOff; }
   static bool classof(const HostStmt *S) {
     return S->getKind() == Kind::CShift;
@@ -218,7 +233,7 @@ public:
 private:
   std::string Dst, Src;
   unsigned Dim;
-  int64_t Shift;
+  int64_t Shift, Logical;
   bool EndOff;
 };
 

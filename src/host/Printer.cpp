@@ -77,9 +77,20 @@ private:
       return;
     case HostStmt::Kind::AllocScope: {
       const auto *A = cast<AllocScopeStmt>(S);
-      for (const auto &F : A->fields())
+      for (const auto &F : A->fields()) {
+        // Realigned fields carry their placement so the printed program
+        // (and the program tag derived from it) distinguishes layouts;
+        // canonical allocations print in the historical form.
+        std::string Layout;
+        if (!F.Offsets.empty()) {
+          Layout = " layout{off=";
+          for (size_t D = 0; D < F.Offsets.size(); ++D)
+            Layout += (D ? "," : "") + std::to_string(F.Offsets[D]);
+          Layout += "}";
+        }
         line(Depth, "alloc    " + F.Name + " : " + dims(F.Extents) + " " +
-                        kindName(F.Kind) + " (cm heap)");
+                        kindName(F.Kind) + " (cm heap)" + Layout);
+      }
       for (const auto &Sc : A->scalars())
         line(Depth, "alloc    " + Sc.Name + " : " + kindName(Sc.Kind) +
                         " (host)");
@@ -130,10 +141,16 @@ private:
     }
     case HostStmt::Kind::CShift: {
       const auto *C = cast<CShiftStmt>(S);
+      std::string Realigned =
+          C->isRealigned()
+              ? " realigned(logical=" + std::to_string(C->logicalShift()) +
+                    ")"
+              : "";
       line(Depth, std::string("cm_shift ") + C->dst() + " <- " +
                       (C->isEndOff() ? "eoshift" : "cshift") + "(" +
                       C->src() + ", dim=" + std::to_string(C->dim()) +
-                      ", shift=" + std::to_string(C->shift()) + ")");
+                      ", shift=" + std::to_string(C->shift()) + ")" +
+                      Realigned);
       return;
     }
     case HostStmt::Kind::MultiShift: {

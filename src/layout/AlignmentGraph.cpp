@@ -1,0 +1,352 @@
+//===- layout/AlignmentGraph.cpp - Field alignment constraint graph ---------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/AlignmentGraph.h"
+
+#include "cm2/CostModel.h"
+#include "nir/Imperative.h"
+#include "nir/Shape.h"
+#include "nir/Type.h"
+
+#include <cmath>
+
+using namespace f90y;
+using namespace f90y::layout;
+namespace N = f90y::nir;
+
+namespace {
+
+/// Communication/reduction intrinsic names (the extract-comm canonical
+/// set; kept in sync with nir/Verifier.cpp).
+bool isCommOrReductionName(const std::string &Name) {
+  return Name == "cshift" || Name == "eoshift" || Name == "transpose" ||
+         Name == "spread" || Name == "sum" || Name == "product" ||
+         Name == "maxval" || Name == "minval" || Name == "count" ||
+         Name == "any" || Name == "all";
+}
+
+/// Trip-count guess for loops whose extent the builder cannot resolve.
+constexpr double UnknownTripCount = 16.0;
+
+class GraphBuilder {
+public:
+  explicit GraphBuilder(const cm2::CostModel *Costs) : Costs(Costs) {}
+
+  AlignmentGraph take(const N::Imp *Root) {
+    visitImp(Root, 1.0);
+    return std::move(G);
+  }
+
+private:
+  const cm2::CostModel *Costs;
+  AlignmentGraph G;
+  N::DomainEnv Domains;
+
+  AlignField *fieldOf(const std::string &Id) {
+    auto It = G.Fields.find(Id);
+    return It == G.Fields.end() ? nullptr : &It->second;
+  }
+
+  void pin(const std::string &Id) {
+    if (AlignField *F = fieldOf(Id))
+      F->Pinned = true;
+  }
+
+  /// Pins every AVAR field referenced anywhere under \p V.
+  void pinFieldsIn(const N::Value *V) {
+    if (!V)
+      return;
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      pinFieldsIn(B->getLHS());
+      pinFieldsIn(B->getRHS());
+      return;
+    }
+    case N::Value::Kind::Unary:
+      pinFieldsIn(cast<N::UnaryValue>(V)->getOperand());
+      return;
+    case N::Value::Kind::FcnCall:
+      for (const N::Value *A : cast<N::FcnCallValue>(V)->getArgs())
+        pinFieldsIn(A);
+      return;
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      pin(AV->getId());
+      if (const auto *Sub = dyn_cast<N::SubscriptAction>(AV->getAction()))
+        for (const N::Value *Idx : Sub->getIndices())
+          pinFieldsIn(Idx);
+      return;
+    }
+    case N::Value::Kind::SVar:
+    case N::Value::Kind::ScalarConst:
+    case N::Value::Kind::StrConst:
+    case N::Value::Kind::LocalCoord:
+      return;
+    }
+  }
+
+  /// Collects whole-field participants of a computational expression;
+  /// sets \p Irregular when the expression contains a construct that
+  /// forces its fields canonical (subscript, section, coordinate value).
+  void collectParticipants(const N::Value *V, std::vector<std::string> &Out,
+                           bool &Irregular) {
+    if (!V)
+      return;
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      collectParticipants(B->getLHS(), Out, Irregular);
+      collectParticipants(B->getRHS(), Out, Irregular);
+      return;
+    }
+    case N::Value::Kind::Unary:
+      collectParticipants(cast<N::UnaryValue>(V)->getOperand(), Out,
+                          Irregular);
+      return;
+    case N::Value::Kind::FcnCall:
+      for (const N::Value *A : cast<N::FcnCallValue>(V)->getArgs())
+        collectParticipants(A, Out, Irregular);
+      return;
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      Out.push_back(AV->getId());
+      if (!isa<N::EverywhereAction>(AV->getAction()))
+        Irregular = true;
+      if (const auto *Sub = dyn_cast<N::SubscriptAction>(AV->getAction()))
+        for (const N::Value *Idx : Sub->getIndices())
+          collectParticipants(Idx, Out, Irregular);
+      return;
+    }
+    case N::Value::Kind::LocalCoord:
+      Irregular = true;
+      return;
+    case N::Value::Kind::SVar:
+    case N::Value::Kind::ScalarConst:
+    case N::Value::Kind::StrConst:
+      return;
+    }
+  }
+
+  static bool isTrueGuard(const N::Value *G) {
+    if (!G)
+      return true;
+    const auto *C = dyn_cast<N::ScalarConstValue>(G);
+    return C && C->isBool() && C->getBool();
+  }
+
+  static bool containsCommCall(const N::Value *V) {
+    if (!V)
+      return false;
+    switch (V->getKind()) {
+    case N::Value::Kind::Binary: {
+      const auto *B = cast<N::BinaryValue>(V);
+      return containsCommCall(B->getLHS()) || containsCommCall(B->getRHS());
+    }
+    case N::Value::Kind::Unary:
+      return containsCommCall(cast<N::UnaryValue>(V)->getOperand());
+    case N::Value::Kind::FcnCall: {
+      const auto *F = cast<N::FcnCallValue>(V);
+      if (isCommOrReductionName(F->getCallee()))
+        return true;
+      for (const N::Value *A : F->getArgs())
+        if (containsCommCall(A))
+          return true;
+      return false;
+    }
+    case N::Value::Kind::AVar: {
+      const auto *AV = cast<N::AVarValue>(V);
+      if (const auto *Sub = dyn_cast<N::SubscriptAction>(AV->getAction()))
+        for (const N::Value *Idx : Sub->getIndices())
+          if (containsCommCall(Idx))
+            return true;
+      return false;
+    }
+    default:
+      return false;
+    }
+  }
+
+  /// Estimated dynamic comm cycles of one CSHIFT execution over \p F.
+  double shiftCost(const AlignField &F, int64_t Shift) const {
+    double Elems = 1;
+    for (int64_t E : F.Extents)
+      Elems *= static_cast<double>(E);
+    if (!Costs)
+      return Elems;
+    double Hops = static_cast<double>(Shift < 0 ? -Shift : Shift);
+    return static_cast<double>(Costs->CommStartupCycles) +
+           Elems * Costs->GridWirePerElemHop * (Hops > 0 ? Hops : 1.0) /
+               static_cast<double>(Costs->NumPEs ? Costs->NumPEs : 1);
+  }
+
+  void visitClause(const N::MoveClause &C, double TripMult) {
+    const auto *F = dyn_cast<N::FcnCallValue>(C.Src);
+    if (F && isCommOrReductionName(F->getCallee())) {
+      // The one pattern worth an edge: an unmasked whole-field constant
+      // circular shift. Everything else iterates storage in an order a
+      // rotation would change (or fills edges / reassociates FP), so its
+      // fields stay canonical.
+      const auto *DstAV = dyn_cast<N::AVarValue>(C.Dst);
+      const N::AVarValue *SrcAV =
+          F->getArgs().empty() ? nullptr
+                               : dyn_cast<N::AVarValue>(F->getArgs()[0]);
+      if (F->getCallee() == "cshift" && F->getArgs().size() == 3 && DstAV &&
+          SrcAV && isa<N::EverywhereAction>(DstAV->getAction()) &&
+          isa<N::EverywhereAction>(SrcAV->getAction()) && isTrueGuard(C.Guard)) {
+        const auto *Sh = dyn_cast<N::ScalarConstValue>(F->getArgs()[1]);
+        const auto *Dm = dyn_cast<N::ScalarConstValue>(F->getArgs()[2]);
+        AlignField *SF = fieldOf(SrcAV->getId());
+        AlignField *DF = fieldOf(DstAV->getId());
+        if (Sh && Sh->isInt() && Dm && Dm->isInt() && SF && DF &&
+            SF->Extents == DF->Extents && Dm->getInt() >= 1 &&
+            static_cast<size_t>(Dm->getInt()) <= SF->Extents.size()) {
+          AlignEdge E;
+          E.K = AlignEdge::Kind::Shift;
+          E.Src = SrcAV->getId();
+          E.Dst = DstAV->getId();
+          E.Axis = static_cast<unsigned>(Dm->getInt() - 1);
+          E.Shift = Sh->getInt();
+          E.Weight = TripMult * shiftCost(*SF, E.Shift);
+          G.Edges.push_back(E);
+          return;
+        }
+      }
+      pinFieldsIn(C.Guard);
+      pinFieldsIn(C.Src);
+      pinFieldsIn(C.Dst);
+      return;
+    }
+
+    // Computational clause. A comm call nested below the top level (the
+    // pass ran without extract-comm) defeats the slot-wise argument, so
+    // everything it touches stays canonical.
+    std::vector<std::string> Parts;
+    bool Irregular =
+        containsCommCall(C.Guard) || containsCommCall(C.Src);
+    collectParticipants(C.Guard, Parts, Irregular);
+    collectParticipants(C.Src, Parts, Irregular);
+    collectParticipants(C.Dst, Parts, Irregular);
+    if (Parts.empty())
+      return;
+    if (!isa<N::AVarValue>(C.Dst))
+      Irregular = true; // Field read into scalar storage.
+    const AlignField *Ref = fieldOf(Parts.front());
+    for (const std::string &Id : Parts) {
+      const AlignField *AF = fieldOf(Id);
+      if (!AF || !Ref || AF->Extents != Ref->Extents)
+        Irregular = true;
+    }
+    if (Irregular) {
+      for (const std::string &Id : Parts)
+        pin(Id);
+      return;
+    }
+    for (size_t I = 1; I < Parts.size(); ++I) {
+      if (Parts[I] == Parts.front())
+        continue;
+      AlignEdge E;
+      E.K = AlignEdge::Kind::Equality;
+      E.Src = Parts.front();
+      E.Dst = Parts[I];
+      G.Edges.push_back(E);
+    }
+  }
+
+  void visitImp(const N::Imp *I, double TripMult) {
+    if (!I)
+      return;
+    switch (I->getKind()) {
+    case N::Imp::Kind::Program:
+      visitImp(cast<N::ProgramImp>(I)->getBody(), TripMult);
+      return;
+    case N::Imp::Kind::Sequentially:
+      for (const N::Imp *A : cast<N::SequentiallyImp>(I)->getActions())
+        visitImp(A, TripMult);
+      return;
+    case N::Imp::Kind::Concurrently:
+      for (const N::Imp *A : cast<N::ConcurrentlyImp>(I)->getActions())
+        visitImp(A, TripMult);
+      return;
+    case N::Imp::Kind::Move:
+      for (const N::MoveClause &C : cast<N::MoveImp>(I)->getClauses())
+        visitClause(C, TripMult);
+      return;
+    case N::Imp::Kind::IfThenElse: {
+      const auto *If = cast<N::IfThenElseImp>(I);
+      pinFieldsIn(If->getCond());
+      visitImp(If->getThen(), TripMult);
+      visitImp(If->getElse(), TripMult);
+      return;
+    }
+    case N::Imp::Kind::While: {
+      const auto *W = cast<N::WhileImp>(I);
+      pinFieldsIn(W->getCond());
+      visitImp(W->getBody(), TripMult * UnknownTripCount);
+      return;
+    }
+    case N::Imp::Kind::WithDecl: {
+      const auto *WD = cast<N::WithDeclImp>(I);
+      N::forEachBinding(WD->getDecl(), [&](const std::string &Id,
+                                           const N::Type *Ty,
+                                           const N::Value *Init) {
+        const auto *FT = dyn_cast<N::DFieldType>(Ty);
+        if (!FT)
+          return;
+        AlignField AF;
+        AF.Name = Id;
+        std::vector<N::ShapeExtent> Ext;
+        if (!N::shapeExtents(FT->getShape(), Domains, Ext)) {
+          AF.Pinned = true;
+        } else {
+          for (const N::ShapeExtent &SE : Ext)
+            AF.Extents.push_back(SE.Hi - SE.Lo + 1);
+        }
+        // Field initializers are evaluated by the canonical allocator
+        // before any realignment sweep could run.
+        if (Init)
+          AF.Pinned = true;
+        G.Fields[Id] = std::move(AF);
+        if (Init)
+          pinFieldsIn(Init);
+      });
+      visitImp(WD->getBody(), TripMult);
+      return;
+    }
+    case N::Imp::Kind::WithDomain: {
+      const auto *WD = cast<N::WithDomainImp>(I);
+      const N::Shape *Old = Domains.bind(WD->getName(), WD->getShape());
+      visitImp(WD->getBody(), TripMult);
+      Domains.restore(WD->getName(), Old);
+      return;
+    }
+    case N::Imp::Kind::Skip:
+      return;
+    case N::Imp::Kind::Do: {
+      const auto *D = cast<N::DoImp>(I);
+      int64_t Points = N::shapeNumElements(D->getIterSpace(), Domains);
+      double Mult = Points > 0 ? static_cast<double>(Points)
+                               : UnknownTripCount;
+      visitImp(D->getBody(), TripMult * Mult);
+      return;
+    }
+    case N::Imp::Kind::Call:
+      // PRINT renders fields through the layout-aware element reader;
+      // any other residual call gets conservative canonical operands.
+      if (cast<N::CallImp>(I)->getCallee() != "print")
+        for (const N::Value *A : cast<N::CallImp>(I)->getArgs())
+          pinFieldsIn(A);
+      return;
+    }
+  }
+};
+
+} // namespace
+
+AlignmentGraph layout::buildAlignmentGraph(const N::Imp *Root,
+                                           const cm2::CostModel *Costs) {
+  return GraphBuilder(Costs).take(Root);
+}

@@ -1,0 +1,23 @@
+//===- layout/Layout.h - Alignment/layout inference umbrella -----*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the f90y_layout subsystem (DESIGN.md Section 12):
+/// alignment-graph construction, the greedy offset solver, and the
+/// materialization pass the transform pipeline slots between fuse and
+/// block-domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_LAYOUT_LAYOUT_H
+#define F90Y_LAYOUT_LAYOUT_H
+
+#include "layout/AlignmentGraph.h"
+#include "layout/AlignmentSolver.h"
+#include "layout/LayoutDescriptor.h"
+#include "layout/Materialize.h"
+
+#endif // F90Y_LAYOUT_LAYOUT_H

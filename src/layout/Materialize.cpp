@@ -1,0 +1,233 @@
+//===- layout/Materialize.cpp - Layout materialization pass -----------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/Materialize.h"
+
+#include "layout/AlignmentGraph.h"
+#include "layout/AlignmentSolver.h"
+#include "nir/NIRContext.h"
+
+using namespace f90y;
+using namespace f90y::layout;
+namespace N = f90y::nir;
+
+namespace {
+
+class Materializer {
+public:
+  Materializer(N::NIRContext &Ctx, const AlignmentGraph &G,
+               const SolveResult &Solved, LayoutStats &Stats)
+      : Ctx(Ctx), G(G), Solved(Solved), Stats(Stats) {}
+
+  const N::Imp *rewrite(const N::Imp *I) { return rewriteImp(I); }
+
+private:
+  N::NIRContext &Ctx;
+  const AlignmentGraph &G;
+  const SolveResult &Solved;
+  LayoutStats &Stats;
+
+  const LayoutDescriptor *layoutOf(const std::string &Id) const {
+    auto It = Solved.Layouts.find(Id);
+    return It == Solved.Layouts.end() ? nullptr : &It->second;
+  }
+
+  static bool isTrueGuard(const N::Value *G) {
+    if (!G)
+      return true;
+    const auto *C = dyn_cast<N::ScalarConstValue>(G);
+    return C && C->isBool() && C->getBool();
+  }
+
+  const N::Decl *rewriteDecl(const N::Decl *D, bool &Changed) {
+    switch (D->getKind()) {
+    case N::Decl::Kind::Simple: {
+      const auto *SD = cast<N::SimpleDecl>(D);
+      const LayoutDescriptor *L = layoutOf(SD->getId());
+      if (!L || L->isCanonical() || SD->getLayout() == *L)
+        return D;
+      Changed = true;
+      return Ctx.getDecl(SD->getId(), SD->getType(), *L);
+    }
+    case N::Decl::Kind::Set: {
+      const auto *Set = cast<N::DeclSet>(D);
+      bool Any = false;
+      std::vector<const N::Decl *> Subs;
+      Subs.reserve(Set->getDecls().size());
+      for (const N::Decl *Sub : Set->getDecls())
+        Subs.push_back(rewriteDecl(Sub, Any));
+      if (!Any)
+        return D;
+      Changed = true;
+      return Ctx.getDeclSet(std::move(Subs));
+    }
+    case N::Decl::Kind::Initialized:
+      return D; // Initialized fields are pinned canonical.
+    }
+    return D;
+  }
+
+  /// Rewrites one MOVE clause against the solved placements. Only the
+  /// canonical unmasked constant CSHIFT form is ever touched - exactly
+  /// the form the graph builder turned into a shift edge; every other
+  /// construct had its fields pinned, so its operands are canonical and
+  /// the clause is already correct as written.
+  N::MoveClause rewriteClause(const N::MoveClause &C, bool &Changed) {
+    const auto *F = dyn_cast<N::FcnCallValue>(C.Src);
+    if (!F || F->getCallee() != "cshift" || F->getArgs().size() != 3 ||
+        !isTrueGuard(C.Guard))
+      return C;
+    const auto *DstAV = dyn_cast<N::AVarValue>(C.Dst);
+    const auto *SrcAV = dyn_cast<N::AVarValue>(F->getArgs()[0]);
+    const auto *Sh = dyn_cast<N::ScalarConstValue>(F->getArgs()[1]);
+    const auto *Dm = dyn_cast<N::ScalarConstValue>(F->getArgs()[2]);
+    if (!DstAV || !SrcAV || !Sh || !Sh->isInt() || !Dm || !Dm->isInt() ||
+        !isa<N::EverywhereAction>(DstAV->getAction()) ||
+        !isa<N::EverywhereAction>(SrcAV->getAction()))
+      return C;
+    const LayoutDescriptor *SL = layoutOf(SrcAV->getId());
+    const LayoutDescriptor *DL = layoutOf(DstAV->getId());
+    auto FieldIt = G.Fields.find(SrcAV->getId());
+    if (!SL || !DL || FieldIt == G.Fields.end())
+      return C;
+    size_t Axis = static_cast<size_t>(Dm->getInt() - 1);
+    if (Axis >= FieldIt->second.Extents.size())
+      return C;
+    int64_t N = FieldIt->second.Extents[Axis];
+    if (N <= 0)
+      return C;
+    // Slot-level distance: the runtime sweep reads raw slot storage, so
+    // the offsets fold into the shift (DST slot y holds logical y - o_d;
+    // see DESIGN.md 12.3).
+    int64_t Logical = Sh->getInt();
+    int64_t Physical =
+        ((Logical + SL->offsetAt(Axis) - DL->offsetAt(Axis)) % N + N) % N;
+    if (Physical > N / 2)
+      Physical -= N; // Minimal-magnitude representative.
+    if (Physical == 0) {
+      // Fully aligned: the exchange degenerates to a local copy sweep.
+      Changed = true;
+      ++Stats.CommMovesLocalized;
+      N::MoveClause Copy = C;
+      Copy.Src = F->getArgs()[0];
+      return Copy;
+    }
+    if (Physical == Logical)
+      return C; // Same wire distance; keep the original node.
+    // Residual exchange at the (smaller) physical distance; the logical
+    // distance rides along as a trailing argument so the executor can
+    // trace the realigned exchange.
+    Changed = true;
+    N::MoveClause Out = C;
+    Out.Src = Ctx.getFcnCall(
+        "cshift", {F->getArgs()[0], Ctx.getIntConst(Physical),
+                   F->getArgs()[2], Ctx.getIntConst(Logical)});
+    return Out;
+  }
+
+  const N::Imp *rewriteImp(const N::Imp *I) {
+    if (!I)
+      return I;
+    switch (I->getKind()) {
+    case N::Imp::Kind::Program: {
+      const auto *P = cast<N::ProgramImp>(I);
+      const N::Imp *Body = rewriteImp(P->getBody());
+      return Body == P->getBody() ? I : Ctx.getProgram(P->getName(), Body);
+    }
+    case N::Imp::Kind::Sequentially: {
+      const auto *S = cast<N::SequentiallyImp>(I);
+      bool Any = false;
+      std::vector<const N::Imp *> Actions;
+      Actions.reserve(S->getActions().size());
+      for (const N::Imp *A : S->getActions()) {
+        const N::Imp *R = rewriteImp(A);
+        Any |= R != A;
+        Actions.push_back(R);
+      }
+      return Any ? Ctx.getSequentially(std::move(Actions)) : I;
+    }
+    case N::Imp::Kind::Concurrently: {
+      const auto *S = cast<N::ConcurrentlyImp>(I);
+      bool Any = false;
+      std::vector<const N::Imp *> Actions;
+      Actions.reserve(S->getActions().size());
+      for (const N::Imp *A : S->getActions()) {
+        const N::Imp *R = rewriteImp(A);
+        Any |= R != A;
+        Actions.push_back(R);
+      }
+      return Any ? Ctx.getConcurrently(std::move(Actions)) : I;
+    }
+    case N::Imp::Kind::Move: {
+      const auto *M = cast<N::MoveImp>(I);
+      bool Any = false;
+      std::vector<N::MoveClause> Clauses;
+      Clauses.reserve(M->getClauses().size());
+      for (const N::MoveClause &C : M->getClauses())
+        Clauses.push_back(rewriteClause(C, Any));
+      return Any ? Ctx.getMove(std::move(Clauses)) : I;
+    }
+    case N::Imp::Kind::IfThenElse: {
+      const auto *If = cast<N::IfThenElseImp>(I);
+      const N::Imp *T = rewriteImp(If->getThen());
+      const N::Imp *E = rewriteImp(If->getElse());
+      return (T == If->getThen() && E == If->getElse())
+                 ? I
+                 : Ctx.getIfThenElse(If->getCond(), T, E);
+    }
+    case N::Imp::Kind::While: {
+      const auto *W = cast<N::WhileImp>(I);
+      const N::Imp *Body = rewriteImp(W->getBody());
+      return Body == W->getBody() ? I : Ctx.getWhile(W->getCond(), Body);
+    }
+    case N::Imp::Kind::WithDecl: {
+      const auto *WD = cast<N::WithDeclImp>(I);
+      bool DeclChanged = false;
+      const N::Decl *D = rewriteDecl(WD->getDecl(), DeclChanged);
+      const N::Imp *Body = rewriteImp(WD->getBody());
+      return (!DeclChanged && Body == WD->getBody())
+                 ? I
+                 : Ctx.getWithDecl(D, Body);
+    }
+    case N::Imp::Kind::WithDomain: {
+      const auto *WD = cast<N::WithDomainImp>(I);
+      const N::Imp *Body = rewriteImp(WD->getBody());
+      return Body == WD->getBody()
+                 ? I
+                 : Ctx.getWithDomain(WD->getName(), WD->getShape(), Body);
+    }
+    case N::Imp::Kind::Skip:
+    case N::Imp::Kind::Call:
+      return I;
+    case N::Imp::Kind::Do: {
+      const auto *D = cast<N::DoImp>(I);
+      const N::Imp *Body = rewriteImp(D->getBody());
+      return Body == D->getBody() ? I : Ctx.getDo(D->getIterSpace(), Body);
+    }
+    }
+    return I;
+  }
+};
+
+} // namespace
+
+const N::Imp *layout::materializeLayout(const N::Imp *Root,
+                                        N::NIRContext &Ctx,
+                                        DiagnosticEngine &Diags,
+                                        const cm2::CostModel *Costs,
+                                        LayoutStats *Stats) {
+  (void)Diags; // Inference is total: a program it cannot improve is
+               // returned unchanged, never diagnosed.
+  AlignmentGraph G = buildAlignmentGraph(Root, Costs);
+  SolveResult Solved = solveAlignment(G);
+  LayoutStats Local;
+  LayoutStats &S = Stats ? *Stats : Local;
+  S.FieldsRealigned = Solved.FieldsRealigned;
+  S.CommCyclesSaved = Solved.CommCyclesSaved;
+  if (Solved.FieldsRealigned == 0)
+    return Root; // Canonical solve: nothing to materialize.
+  return Materializer(Ctx, G, Solved, S).rewrite(Root);
+}

@@ -1,0 +1,66 @@
+//===- layout/Materialize.h - Layout materialization pass --------*- C++ -*-===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The materialization step of alignment inference (DESIGN.md Section
+/// 12): solves the alignment graph of a post-fusion NIR program and
+/// rewrites it against the chosen descriptors.
+///
+///   - field DECLs gain their (non-canonical) LayoutDescriptor, which
+///     the back end threads into host allocation and the runtime's
+///     subgrid addressing;
+///   - a CSHIFT whose endpoints the solver co-located becomes a direct
+///     local MOVE (a zero-comm computation sweep);
+///   - a CSHIFT between offset endpoints that still crosses the grid is
+///     re-expressed with its physical slot distance (usually smaller),
+///     keeping the original logical distance as a trailing trace
+///     argument so the executor can annotate the realigned exchange.
+///
+/// When the solver realigns nothing (true for every workload whose
+/// equality constraints already force one placement - the stock SWE,
+/// heat, and figure programs), the input program is returned unchanged,
+/// bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef F90Y_LAYOUT_MATERIALIZE_H
+#define F90Y_LAYOUT_MATERIALIZE_H
+
+#include "support/Diagnostics.h"
+
+namespace f90y {
+namespace cm2 {
+struct CostModel;
+}
+namespace nir {
+class Imp;
+class NIRContext;
+}
+namespace layout {
+
+/// Counters surfaced as layout.* metrics gauges.
+struct LayoutStats {
+  /// Fields assigned a non-canonical descriptor.
+  unsigned FieldsRealigned = 0;
+  /// CSHIFT clauses rewritten into direct local MOVEs (static count).
+  unsigned CommMovesLocalized = 0;
+  /// Estimated dynamic comm cycles those clauses cost per run
+  /// (CostModel estimate x loop trip counts).
+  double CommCyclesSaved = 0;
+};
+
+/// Runs alignment inference over \p Root and materializes the result.
+/// Returns \p Root itself when every field stays canonical. \p Costs may
+/// be null (edge weights degrade to element counts).
+const nir::Imp *materializeLayout(const nir::Imp *Root, nir::NIRContext &Ctx,
+                                  DiagnosticEngine &Diags,
+                                  const cm2::CostModel *Costs,
+                                  LayoutStats *Stats);
+
+} // namespace layout
+} // namespace f90y
+
+#endif // F90Y_LAYOUT_MATERIALIZE_H

@@ -30,3 +30,21 @@ void nir::forEachBinding(
   }
   }
 }
+
+const layout::LayoutDescriptor *nir::findLayout(const Decl *D,
+                                                const std::string &Id) {
+  switch (D->getKind()) {
+  case Decl::Kind::Simple: {
+    const auto *SD = cast<SimpleDecl>(D);
+    return SD->getId() == Id ? &SD->getLayout() : nullptr;
+  }
+  case Decl::Kind::Set:
+    for (const Decl *Sub : cast<DeclSet>(D)->getDecls())
+      if (const layout::LayoutDescriptor *L = findLayout(Sub, Id))
+        return L;
+    return nullptr;
+  case Decl::Kind::Initialized:
+    return nullptr;
+  }
+  return nullptr;
+}

@@ -19,6 +19,7 @@
 #ifndef F90Y_NIR_DECL_H
 #define F90Y_NIR_DECL_H
 
+#include "layout/LayoutDescriptor.h"
 #include "nir/Type.h"
 #include "nir/Value.h"
 #include "support/Casting.h"
@@ -46,20 +47,28 @@ private:
   const Kind K;
 };
 
-/// DECL(id, T).
+/// DECL(id, T). Optionally carries the layout descriptor alignment
+/// inference assigned to the field (canonical when defaulted); the
+/// printer renders the descriptor only when non-canonical, so programs
+/// untouched by the layout pass keep their historical printed form.
 class SimpleDecl : public Decl {
 public:
   SimpleDecl(std::string Id, const Type *Ty)
       : Decl(Kind::Simple), Id(std::move(Id)), Ty(Ty) {}
+  SimpleDecl(std::string Id, const Type *Ty, layout::LayoutDescriptor L)
+      : Decl(Kind::Simple), Id(std::move(Id)), Ty(Ty),
+        Layout(std::move(L)) {}
 
   const std::string &getId() const { return Id; }
   const Type *getType() const { return Ty; }
+  const layout::LayoutDescriptor &getLayout() const { return Layout; }
 
   static bool classof(const Decl *D) { return D->getKind() == Kind::Simple; }
 
 private:
   std::string Id;
   const Type *Ty;
+  layout::LayoutDescriptor Layout;
 };
 
 /// DECLSET[d1, d2, ...].
@@ -101,6 +110,12 @@ private:
 void forEachBinding(const Decl *D,
                     const std::function<void(const std::string &, const Type *,
                                              const Value *)> &Fn);
+
+/// Finds the layout descriptor of binding \p Id inside \p D (flattening
+/// DECLSETs), or null when \p Id is not declared there. INITIALIZED
+/// declarations are always canonical and report null.
+const layout::LayoutDescriptor *findLayout(const Decl *D,
+                                           const std::string &Id);
 
 } // namespace nir
 } // namespace f90y

@@ -125,6 +125,11 @@ const SimpleDecl *NIRContext::getDecl(std::string Id, const Type *Ty) {
   return make<SimpleDecl>(std::move(Id), Ty);
 }
 
+const SimpleDecl *NIRContext::getDecl(std::string Id, const Type *Ty,
+                                      layout::LayoutDescriptor Layout) {
+  return make<SimpleDecl>(std::move(Id), Ty, std::move(Layout));
+}
+
 const DeclSet *NIRContext::getDeclSet(std::vector<const Decl *> Decls) {
   return make<DeclSet>(std::move(Decls));
 }

@@ -75,6 +75,8 @@ public:
 
   // Declarations.
   const SimpleDecl *getDecl(std::string Id, const Type *Ty);
+  const SimpleDecl *getDecl(std::string Id, const Type *Ty,
+                            layout::LayoutDescriptor Layout);
   const DeclSet *getDeclSet(std::vector<const Decl *> Decls);
   const InitializedDecl *getInitialized(std::string Id, const Type *Ty,
                                         const Value *Init);

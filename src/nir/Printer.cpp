@@ -125,7 +125,14 @@ std::string nir::printDecl(const Decl *D) {
   switch (D->getKind()) {
   case Decl::Kind::Simple: {
     const auto *SD = cast<SimpleDecl>(D);
-    return "DECL('" + SD->getId() + "', " + printType(SD->getType()) + ")";
+    std::string Out =
+        "DECL('" + SD->getId() + "', " + printType(SD->getType());
+    // Canonical layouts are elided so programs untouched by alignment
+    // inference keep their historical printed form (and the fingerprints
+    // and program tags derived from it).
+    if (!SD->getLayout().isCanonical())
+      Out += ", layout{" + SD->getLayout().str() + "}";
+    return Out + ")";
   }
   case Decl::Kind::Set: {
     std::vector<std::string> Parts;

@@ -42,8 +42,163 @@ private:
   VerifyOptions Opts;
   DomainEnv Domains;
   std::map<std::string, const Type *> Decls;
+  std::map<std::string, layout::LayoutDescriptor> Layouts;
 
   void error(const std::string &Msg) { Diags.error(SourceLocation(), Msg); }
+
+  layout::LayoutDescriptor layoutOf(const std::string &Id) {
+    auto It = Layouts.find(Id);
+    return It == Layouts.end() ? layout::LayoutDescriptor() : It->second;
+  }
+
+  static bool isTrueGuard(const Value *G) {
+    if (!G)
+      return true;
+    const auto *C = dyn_cast<ScalarConstValue>(G);
+    return C && C->isBool() && C->getBool();
+  }
+
+  /// LayoutConsistency helpers: walks \p V collecting whole-field AVAR
+  /// participants and flagging layout-sensitive constructs. Pointwise
+  /// subscripts, sections, and coordinate values address logical
+  /// positions, so any realigned participant there is an error.
+  void collectLayoutParticipants(const Value *V,
+                                 std::vector<const AVarValue *> &Fields,
+                                 bool &SawCoord) {
+    if (!V)
+      return;
+    switch (V->getKind()) {
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryValue>(V);
+      collectLayoutParticipants(B->getLHS(), Fields, SawCoord);
+      collectLayoutParticipants(B->getRHS(), Fields, SawCoord);
+      return;
+    }
+    case Value::Kind::Unary:
+      collectLayoutParticipants(cast<UnaryValue>(V)->getOperand(), Fields,
+                                SawCoord);
+      return;
+    case Value::Kind::FcnCall:
+      for (const Value *A : cast<FcnCallValue>(V)->getArgs())
+        collectLayoutParticipants(A, Fields, SawCoord);
+      return;
+    case Value::Kind::AVar: {
+      const auto *AV = cast<AVarValue>(V);
+      if (isa<EverywhereAction>(AV->getAction())) {
+        Fields.push_back(AV);
+      } else if (!layoutOf(AV->getId()).isCanonical()) {
+        error("subscript/section access to realigned field '" + AV->getId() +
+              "' (layout " + layoutOf(AV->getId()).str() + ")");
+      }
+      if (const auto *Sub = dyn_cast<SubscriptAction>(AV->getAction()))
+        for (const Value *Idx : Sub->getIndices())
+          collectLayoutParticipants(Idx, Fields, SawCoord);
+      return;
+    }
+    case Value::Kind::LocalCoord:
+      SawCoord = true;
+      return;
+    case Value::Kind::SVar:
+    case Value::Kind::ScalarConst:
+    case Value::Kind::StrConst:
+      return;
+    }
+  }
+
+  /// LayoutConsistency invariant for one MOVE clause (the materialization
+  /// post-condition, DESIGN.md Section 12).
+  void checkLayoutClause(const MoveClause &C) {
+    const auto *F = dyn_cast<FcnCallValue>(C.Src);
+    if (F && isCommOrReductionName(F->getCallee())) {
+      const auto *DstAV = dyn_cast<AVarValue>(C.Dst);
+      const auto *SrcAV = F->getArgs().empty()
+                              ? nullptr
+                              : dyn_cast<AVarValue>(F->getArgs()[0]);
+      if (F->getCallee() == "cshift" && DstAV && SrcAV &&
+          F->getArgs().size() >= 3) {
+        // A residual shift exchange sweeps raw slot storage along one
+        // axis; endpoints may disagree only on that axis's offset.
+        layout::LayoutDescriptor SL = layoutOf(SrcAV->getId());
+        layout::LayoutDescriptor DL = layoutOf(DstAV->getId());
+        if (!SL.identityAxes() || !DL.identityAxes() || SL.Replicated ||
+            DL.Replicated) {
+          error("cshift between permuted/replicated layouts ('" +
+                SrcAV->getId() + "' -> '" + DstAV->getId() + "')");
+          return;
+        }
+        const auto *Dm =
+            dyn_cast<ScalarConstValue>(F->getArgs()[2]);
+        if (!Dm || !Dm->isInt()) {
+          if (!SL.isCanonical() || !DL.isCanonical())
+            error("cshift with non-constant dimension touches realigned "
+                  "field '" +
+                  SrcAV->getId() + "'");
+          return;
+        }
+        size_t Rank = SL.Offsets.size() > DL.Offsets.size()
+                          ? SL.Offsets.size()
+                          : DL.Offsets.size();
+        for (size_t A = 0; A < Rank; ++A)
+          if (A != static_cast<size_t>(Dm->getInt() - 1) &&
+              SL.offsetAt(A) != DL.offsetAt(A))
+            error("cshift along dim " + std::to_string(Dm->getInt()) +
+                  " between fields misaligned on axis " +
+                  std::to_string(A + 1) + " ('" + SrcAV->getId() + "' " +
+                  SL.str() + " -> '" + DstAV->getId() + "' " + DL.str() +
+                  ")");
+        return;
+      }
+      // Every other comm/reduction intrinsic iterates storage in an
+      // order the offsets would change: operands and destination must be
+      // canonical.
+      auto RequireCanonical = [&](const std::string &Id) {
+        if (!layoutOf(Id).isCanonical())
+          error("'" + F->getCallee() + "' requires canonical operand '" +
+                Id + "' but its layout is " + layoutOf(Id).str());
+      };
+      for (const Value *A : F->getArgs())
+        if (const auto *AV = dyn_cast<AVarValue>(A))
+          RequireCanonical(AV->getId());
+      if (DstAV)
+        RequireCanonical(DstAV->getId());
+      return;
+    }
+    // Localized exchange: an unguarded whole-field copy is the form the
+    // materializer leaves behind when alignment removed a shift entirely.
+    // The raw slot copy dst[s] = src[s] realizes dst(x) = src(x+od-os),
+    // so the endpoints may legitimately differ in offsets (identity axes,
+    // unreplicated) - exactly the misalignment the copy absorbs.
+    if (const auto *SrcAV = dyn_cast<AVarValue>(C.Src);
+        SrcAV && isa<EverywhereAction>(SrcAV->getAction()) &&
+        isTrueGuard(C.Guard)) {
+      if (const auto *DstAV = dyn_cast<AVarValue>(C.Dst);
+          DstAV && isa<EverywhereAction>(DstAV->getAction())) {
+        layout::LayoutDescriptor SL = layoutOf(SrcAV->getId());
+        layout::LayoutDescriptor DL = layoutOf(DstAV->getId());
+        if (SL.identityAxes() && DL.identityAxes() && !SL.Replicated &&
+            !DL.Replicated)
+          return;
+      }
+    }
+    // Computational clause: slot-wise evaluation is correct only when
+    // every whole-field participant shares one placement.
+    std::vector<const AVarValue *> Fields;
+    bool SawCoord = false;
+    collectLayoutParticipants(C.Guard, Fields, SawCoord);
+    collectLayoutParticipants(C.Src, Fields, SawCoord);
+    collectLayoutParticipants(C.Dst, Fields, SawCoord);
+    if (Fields.empty())
+      return;
+    layout::LayoutDescriptor Ref = layoutOf(Fields.front()->getId());
+    for (const AVarValue *AV : Fields)
+      if (layoutOf(AV->getId()) != Ref)
+        error("MOVE mixes misaligned layouts: '" +
+              Fields.front()->getId() + "' is " + Ref.str() + " but '" +
+              AV->getId() + "' is " + layoutOf(AV->getId()).str());
+    if (SawCoord && !Ref.isCanonical())
+      error("coordinate-valued MOVE touches realigned field '" +
+            Fields.front()->getId() + "' (layout " + Ref.str() + ")");
+  }
 
   /// CanonicalComm: no communication/reduction call anywhere under \p V.
   void checkNoCommCall(const Value *V, const char *Where) {
@@ -240,6 +395,8 @@ private:
       for (const MoveClause &C : cast<MoveImp>(I)->getClauses()) {
         if (Opts.CanonicalComm)
           checkCanonicalClause(C);
+        if (Opts.LayoutConsistency)
+          checkLayoutClause(C);
         if (C.Guard)
           visitValue(C.Guard);
         visitValue(C.Src);
@@ -268,6 +425,8 @@ private:
     case Imp::Kind::WithDecl: {
       const auto *WD = cast<WithDeclImp>(I);
       std::vector<std::pair<std::string, const Type *>> Saved;
+      std::vector<std::pair<std::string, layout::LayoutDescriptor>>
+          SavedLayouts;
       forEachBinding(WD->getDecl(), [&](const std::string &Id, const Type *Ty,
                                         const Value *Init) {
         checkType(Ty);
@@ -276,6 +435,12 @@ private:
         auto It = Decls.find(Id);
         Saved.emplace_back(Id, It == Decls.end() ? nullptr : It->second);
         Decls[Id] = Ty;
+        SavedLayouts.emplace_back(Id, layoutOf(Id));
+        const layout::LayoutDescriptor *L = findLayout(WD->getDecl(), Id);
+        if (L && !L->isCanonical())
+          Layouts[Id] = *L;
+        else
+          Layouts.erase(Id);
       });
       visitImp(WD->getBody());
       for (auto It = Saved.rbegin(); It != Saved.rend(); ++It) {
@@ -283,6 +448,12 @@ private:
           Decls[It->first] = It->second;
         else
           Decls.erase(It->first);
+      }
+      for (auto It = SavedLayouts.rbegin(); It != SavedLayouts.rend(); ++It) {
+        if (It->second.isCanonical())
+          Layouts.erase(It->first);
+        else
+          Layouts[It->first] = It->second;
       }
       return;
     }

@@ -40,6 +40,15 @@ struct VerifyOptions {
   /// FCNCALLs only as a whole clause source. Off by default because raw
   /// lowered NIR legitimately nests comm calls inside expressions.
   bool CanonicalComm = false;
+  /// Enforce the layout-materialization post-condition: every MOVE's
+  /// endpoint geometries agree. All whole-field participants of a
+  /// computational clause must carry identical layout descriptors
+  /// (a local MOVE across misaligned descriptors would silently read
+  /// rotated data); residual cshift exchanges may differ only along the
+  /// shifted axis; every other communication/reduction intrinsic and
+  /// every pointwise/section/coordinate access requires canonical
+  /// operands.
+  bool LayoutConsistency = false;
 };
 
 /// Verifies the program rooted at \p Root, reporting problems to \p Diags.

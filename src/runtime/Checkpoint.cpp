@@ -83,6 +83,7 @@ std::string encodeMeta(const CheckpointState &S) {
   W.str(S.LoopDomain);
   writeI64Vec(W, S.LoopCoord);
   W.u64(S.StepsExecuted);
+  W.str(S.LayoutSig);
   return W.takeBytes();
 }
 
@@ -94,6 +95,7 @@ bool decodeMeta(ByteReader &R, CheckpointState &S) {
   if (!readI64Vec(R, S.LoopCoord))
     return false;
   S.StepsExecuted = R.u64();
+  S.LayoutSig = R.str();
   return R.ok();
 }
 
@@ -126,6 +128,8 @@ std::string encodeFields(const CheckpointState &S) {
     W.u8(F.Kind);
     writeI64Vec(W, F.Extents);
     writeI64Vec(W, F.Los);
+    writeI64Vec(W, F.AxisMap);
+    writeI64Vec(W, F.Offsets);
     W.u64(F.Data.size());
     for (double D : F.Data)
       W.f64(D);
@@ -145,7 +149,8 @@ bool decodeFields(ByteReader &R, CheckpointState &S) {
     F.Kind = R.u8();
     if (F.Kind > 2)
       return false;
-    if (!readI64Vec(R, F.Extents) || !readI64Vec(R, F.Los))
+    if (!readI64Vec(R, F.Extents) || !readI64Vec(R, F.Los) ||
+        !readI64Vec(R, F.AxisMap) || !readI64Vec(R, F.Offsets))
       return false;
     uint64_t Elems = R.u64();
     if (!R.ok() || Elems > R.remaining() / 8)
@@ -423,6 +428,7 @@ void Controller::setFaultConfig(bool Has, uint64_t Seed,
 RtStatus Controller::write(CheckpointState &S) {
   observe::WallSpan Span(Trace, "ckpt.write", "ckpt");
   S.ProgramTag = ProgramTag;
+  S.LayoutSig = LayoutSig;
   std::string Bytes = serializeCheckpoint(S);
 
   auto Begin = std::chrono::steady_clock::now();
@@ -466,6 +472,14 @@ void Controller::maybeCrash(uint64_t Step) {
 }
 
 RtStatus Controller::validate(const CheckpointState &S) const {
+  // Layout first: a checkpoint whose program also differs is most often a
+  // -layout= mode flip, and the specific diagnostic beats the generic one.
+  if (S.LayoutSig != LayoutSig)
+    return invalid(
+        "checkpoint storage layout does not match the run (checkpoint '" +
+        (S.LayoutSig.empty() ? std::string("canonical") : S.LayoutSig) +
+        "' vs run '" + (LayoutSig.empty() ? std::string("canonical") : LayoutSig) +
+        "'); was -layout= changed between runs?");
   if (ProgramTag != 0 && S.ProgramTag != ProgramTag)
     return invalid("checkpoint was taken from a different program "
                    "(program tag mismatch)");

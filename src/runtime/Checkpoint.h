@@ -53,7 +53,9 @@ namespace runtime {
 namespace ckpt {
 
 /// The checkpoint file format version this build reads and writes.
-constexpr uint32_t FormatVersion = 1;
+/// Version 2 added per-field storage layouts (AxisMap/Offsets in FLDS)
+/// and the layout signature in META.
+constexpr uint32_t FormatVersion = 2;
 /// The 8-byte file magic ("F90YCKPT").
 extern const char FileMagic[8];
 
@@ -79,6 +81,12 @@ struct CheckpointState {
   std::vector<int64_t> LoopCoord;
   /// The executor's statement counter (the -max-steps watchdog position).
   uint64_t StepsExecuted = 0;
+  /// Deterministic rendering of every non-canonically placed field
+  /// ("name=axes=...;off=...;rep=0|" entries, name-sorted; empty when all
+  /// fields are canonical). A resumed run must have solved the same
+  /// placements - restoring canonical bytes into realigned storage, or
+  /// vice versa, would silently permute the data.
+  std::string LayoutSig;
 
   //===------------------------------------------------------------------===//
   // LEDG / OUTP: simulated time and program output so far.
@@ -94,6 +102,11 @@ struct CheckpointState {
     uint8_t Kind = 0; ///< runtime::ElemKind.
     std::vector<int64_t> Extents;
     std::vector<int64_t> Los;
+    /// Storage layout (PeArray::AxisMap/LayoutOffsets); empty when
+    /// canonical. Data is raw slot storage, so it is only meaningful
+    /// under the same placement.
+    std::vector<int64_t> AxisMap;
+    std::vector<int64_t> Offsets;
     std::vector<double> Data; ///< Raw subgrid storage (snapshotField form).
   };
   std::vector<FieldImage> Fields;
@@ -183,6 +196,10 @@ public:
   /// The running program's identity and fault configuration, stamped into
   /// every written checkpoint and validated against every loaded one.
   void setProgramTag(uint32_t Tag) { ProgramTag = Tag; }
+  /// This run's solved-layout signature (CheckpointState::LayoutSig
+  /// form). Checked before the program tag so a -layout= mode flip gets
+  /// the precise diagnostic rather than a generic program mismatch.
+  void setLayoutSignature(std::string Sig) { LayoutSig = std::move(Sig); }
   void setFaultConfig(bool HasFaults, uint64_t Seed,
                       const double Prob[support::NumFaultKinds]);
 
@@ -219,6 +236,7 @@ private:
   observe::TraceRecorder *Trace = nullptr;
   observe::MetricsRegistry *Metrics = nullptr;
   uint32_t ProgramTag = 0;
+  std::string LayoutSig;
   bool HasFaults = false;
   uint64_t FaultSeed = 0;
   double FaultProb[support::NumFaultKinds] = {0, 0, 0, 0, 0, 0};

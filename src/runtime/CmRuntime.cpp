@@ -253,11 +253,26 @@ int CmRuntime::coordField(const Geometry *Geo, unsigned Dim) {
   return Handle;
 }
 
+void CmRuntime::setFieldLayout(int Handle, std::vector<int64_t> AxisMap,
+                               std::vector<int64_t> Offsets) {
+  PeArray &A = field(Handle);
+  bool AnyOffset = false;
+  for (int64_t O : Offsets)
+    AnyOffset |= O != 0;
+  A.AxisMap = AnyOffset ? std::move(AxisMap) : std::vector<int64_t>();
+  A.LayoutOffsets = AnyOffset ? std::move(Offsets) : std::vector<int64_t>();
+}
+
 double CmRuntime::readElement(int Handle,
                               const std::vector<int64_t> &ZeroCoord) {
   PeArray &A = field(Handle);
   int64_t PE, Off;
-  A.Geo->locate(ZeroCoord, PE, Off);
+  if (A.hasLayout()) {
+    std::vector<int64_t> Slot;
+    A.toSlot(ZeroCoord, Slot);
+    A.Geo->locate(Slot, PE, Off);
+  } else
+    A.Geo->locate(ZeroCoord, PE, Off);
   Ledger.CommCycles += Costs.RouterPerElem;
   if (Metrics) { // Scalar router traffic: too fine-grained for spans.
     Metrics->count("comm.element-read.ops");
@@ -271,7 +286,12 @@ void CmRuntime::writeElement(int Handle,
                              double V) {
   PeArray &A = field(Handle);
   int64_t PE, Off;
-  A.Geo->locate(ZeroCoord, PE, Off);
+  if (A.hasLayout()) {
+    std::vector<int64_t> Slot;
+    A.toSlot(ZeroCoord, Slot);
+    A.Geo->locate(Slot, PE, Off);
+  } else
+    A.Geo->locate(ZeroCoord, PE, Off);
   Ledger.CommCycles += Costs.RouterPerElem;
   if (Metrics) {
     Metrics->count("comm.element-write.ops");
@@ -894,10 +914,15 @@ RtResult<std::string> CmRuntime::tryRenderField(int Handle) {
       runFaultableComm(FaultKind::RouterDrop, "field render", {}, [&] {
   Out.clear();
   std::vector<int64_t> Coord(Geo.rank(), 0);
+  std::vector<int64_t> Slot;
   bool FirstElem = true;
   while (true) {
     int64_t PE, Off;
-    Geo.locate(Coord, PE, Off);
+    if (A.hasLayout()) {
+      A.toSlot(Coord, Slot);
+      Geo.locate(Slot, PE, Off);
+    } else
+      Geo.locate(Coord, PE, Off);
     double V = A.peBase(PE)[Off];
     if (!FirstElem)
       Out += ' ';

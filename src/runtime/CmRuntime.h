@@ -56,12 +56,32 @@ struct PeArray {
   const Geometry *Geo = nullptr;
   ElemKind Kind = ElemKind::Real;
   std::vector<double> Data;
+  /// Storage placement solved by layout inference: logical element x
+  /// lives at slot (x[d] + LayoutOffsets[d]) mod Extents[d]. Empty means
+  /// canonical. AxisMap is carried for the checkpoint format but is
+  /// always the identity under the offset-only solver; sweeps (cshift,
+  /// PEAC dispatch) work on raw slots and never consult these - only the
+  /// front end's element access and rendering translate.
+  std::vector<int64_t> AxisMap;
+  std::vector<int64_t> LayoutOffsets;
 
   double *peBase(int64_t PE) {
     return Data.data() + static_cast<size_t>(PE * Geo->PaddedSubgrid);
   }
   const double *peBase(int64_t PE) const {
     return Data.data() + static_cast<size_t>(PE * Geo->PaddedSubgrid);
+  }
+
+  bool hasLayout() const { return !LayoutOffsets.empty(); }
+  /// Maps a zero-based logical coordinate to its slot coordinate.
+  void toSlot(const std::vector<int64_t> &Logical,
+              std::vector<int64_t> &Slot) const {
+    Slot = Logical;
+    for (size_t D = 0; D < Slot.size() && D < LayoutOffsets.size(); ++D) {
+      int64_t N = Geo->Extents[D];
+      if (N > 0)
+        Slot[D] = ((Slot[D] + LayoutOffsets[D]) % N + N) % N;
+    }
   }
 };
 
@@ -170,6 +190,11 @@ public:
   const PeArray &field(int Handle) const;
   /// True when \p Handle names a live field.
   bool isLiveField(int Handle) const;
+  /// Stamps the field's storage placement (layout inference). Element
+  /// access and rendering translate logical coordinates through it;
+  /// empty vectors restore the canonical placement.
+  void setFieldLayout(int Handle, std::vector<int64_t> AxisMap,
+                      std::vector<int64_t> Offsets);
 
   //===--------------------------------------------------------------------===//
   // Checkpointing (phase rollback/replay)

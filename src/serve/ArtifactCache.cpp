@@ -69,13 +69,17 @@ uint64_t ArtifactCache::fingerprint(const std::string &Source,
   // (The observability sinks are the one deliberate omission: they alter
   // what is recorded about a compilation, never its artifacts.)
   {
-    const auto &[ExtractComm, MaskSections, Fusion, Blocking, CommSchedule,
-                 Trace, Metrics] = Opts.Transforms;
+    const auto &[ExtractComm, MaskSections, Fusion, Layout, Blocking,
+                 CommSchedule, LayoutCosts, Trace, Metrics] = Opts.Transforms;
     F.u64(ExtractComm);
     F.u64(MaskSections);
     F.u64(Fusion);
+    F.u64(Layout);
     F.u64(Blocking);
     F.u64(CommSchedule);
+    // The layout cost-model pointer aliases Opts.Costs, hashed wholesale
+    // below; hashing the pointer itself would poison the address.
+    (void)LayoutCosts;
     (void)Trace;
     (void)Metrics;
   }

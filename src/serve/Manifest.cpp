@@ -104,6 +104,13 @@ bool parseJobObject(const js::Value &Obj, const std::string &BaseDir,
         Job.Fuse = false;
       else
         return Error = "'fuse' must be on|off", false;
+    } else if (Key == "layout") {
+      if (V.Str == "infer")
+        Job.LayoutInfer = true;
+      else if (V.Str == "canonical")
+        Job.LayoutInfer = false;
+      else
+        return Error = "'layout' must be infer|canonical", false;
     } else if (Key == "faults") {
       if (!V.isString())
         return Error = "'faults' must be a spec string", false;

@@ -105,6 +105,7 @@ JobRecord runOne(const JobSpec &S, const ServeOptions &O) {
       driver::CompileOptions::forProfile(S.Prof, Machine);
   COpts.Transforms.CommSchedule = S.OverlapComm;
   COpts.Transforms.Fusion = S.Fuse;
+  COpts.Transforms.Layout = S.LayoutInfer;
 
   ArtifactCache::EntryPtr E;
   if (O.Cache) {
@@ -251,6 +252,7 @@ BatchResult serve::runBatch(std::vector<JobSpec> Jobs,
           driver::CompileOptions::forProfile(J.Prof, Machine);
       CO.Transforms.CommSchedule = J.OverlapComm;
       CO.Transforms.Fusion = J.Fuse;
+      CO.Transforms.Layout = J.LayoutInfer;
       J.Fingerprint = ArtifactCache::fingerprint(J.Source, CO);
       bool &Seen = SeenInBatch[J.Fingerprint];
       J.ColdCompile = !Seen && !Opts.Cache->contains(J.Fingerprint);

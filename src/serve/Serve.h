@@ -62,6 +62,10 @@ struct JobSpec {
   /// Cross-statement elementwise fusion (f90yc -fuse=). Participates in
   /// the artifact fingerprint: on/off jobs never share a compilation.
   bool Fuse = true;
+  /// Alignment/layout inference (f90yc -layout=). Participates in the
+  /// artifact fingerprint: infer/canonical jobs never share a compilation
+  /// (a realigned program's host code stores fields differently).
+  bool LayoutInfer = true;
   support::FaultSpec Faults;
   uint64_t FaultSeed = 0;
   /// Step deadline: the existing -max-steps watchdog. A run that trips it

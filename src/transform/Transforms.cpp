@@ -6,6 +6,7 @@
 
 #include "transform/Transforms.h"
 
+#include "layout/Materialize.h"
 #include "nir/Verifier.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
@@ -69,6 +70,18 @@ const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
       Opts.Metrics->gauge("fuse.bytes_saved", double(FS.BytesSaved));
     }
   }
+  if (Opts.Layout) {
+    layout::LayoutStats LS;
+    I = runPass("layout", I, Opts, [&](const N::Imp *In) {
+      return layout::materializeLayout(In, Ctx, Diags, Opts.Costs, &LS);
+    });
+    if (Opts.Metrics) {
+      Opts.Metrics->gauge("layout.fields_realigned", LS.FieldsRealigned);
+      Opts.Metrics->gauge("layout.comm_moves_localized",
+                          LS.CommMovesLocalized);
+      Opts.Metrics->gauge("layout.comm_cycles_saved", LS.CommCyclesSaved);
+    }
+  }
   if (Opts.Blocking)
     I = runPass("block-domains", I, Opts, [&](const N::Imp *In) {
       return blockDomains(In, Ctx, Diags);
@@ -87,6 +100,7 @@ const N::ProgramImp *transform::optimize(const N::ProgramImp *Program,
     // would drag computation across a communication boundary.
     N::VerifyOptions VOpts;
     VOpts.CanonicalComm = Opts.ExtractComm;
+    VOpts.LayoutConsistency = Opts.Layout;
     if (!N::verify(Result, Diags, VOpts))
       return Program;
   }

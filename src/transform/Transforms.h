@@ -23,6 +23,12 @@
 ///    into one PEAC sweep and the temporary's allocation disappears
 ///    (cross-statement elementwise fusion; runs before blockDomains so the
 ///    blocked phases already carry whole expressions).
+///  - layout (f90y_layout's materializeLayout): alignment/layout
+///    inference. Solves per-field integer offsets so co-shifted fields
+///    share a placement, turning CSHIFT exchanges into local copies and
+///    shrinking the residual ones (DESIGN.md Section 12). Runs between
+///    fuseElementwise and blockDomains so fused comm chains are already
+///    canonical but copy MOVEs can still merge into blocked phases.
 ///  - blockDomains: reorders independent phases and fuses adjacent
 ///    computation MOVEs over a common domain into single MOVEs (the shape
 ///    equivalent of loop fusion; paper Figure 9).
@@ -45,6 +51,10 @@
 
 namespace f90y {
 
+namespace cm2 {
+struct CostModel;
+}
+
 namespace observe {
 class TraceRecorder;
 class MetricsRegistry;
@@ -59,10 +69,18 @@ struct TransformOptions {
   /// Cross-statement elementwise fusion (eliminate single-use array
   /// temporaries). f90yc -fuse=off disables it.
   bool Fusion = true;
+  /// Alignment/layout inference (f90yc -layout=infer). Off by default so
+  /// pipelines assembled without a profile keep their historical shape;
+  /// the F90Y profile turns it on.
+  bool Layout = false;
   bool Blocking = true;
   /// Communication scheduling (hoist + coalesce). Off by default: it
   /// reorders and fuses comm phases, which -comm=sync runs must not see.
   bool CommSchedule = false;
+  /// Cost model the layout pass weighs alignment edges with; null keeps
+  /// the pass functional (weights fall back to element counts). The
+  /// driver points this at CompileOptions::Costs.
+  const cm2::CostModel *Costs = nullptr;
   /// Optional observability sinks; null (the default) is the zero-cost
   /// disabled path. With Trace set each pass is a wall span; with Metrics
   /// set the per-pass PhaseStats deltas are recorded as gauges.

@@ -1,0 +1,487 @@
+//===- tests/layout_test.cpp - alignment/layout inference -------------------===//
+//
+// Part of the Fortran-90-Y reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alignment/layout inference contract (DESIGN.md Section 12):
+/// descriptors round-trip through their printed form; the solver is
+/// deterministic and assigns the offsets that localize neighbor-field
+/// exchanges; materialization rewrites co-located exchanges into local
+/// copies and re-expresses residual ones by their physical distance;
+/// -layout=infer is bit-identical to -layout=canonical (including under
+/// injected faults); a checkpoint taken under one placement refuses to
+/// restore into another; and the verifier rejects a computational MOVE
+/// across misaligned descriptors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/Workloads.h"
+#include "host/Printer.h"
+#include "layout/Layout.h"
+#include "nir/NIRContext.h"
+#include "nir/Printer.h"
+#include "nir/Verifier.h"
+#include "observe/Metrics.h"
+#include "runtime/Checkpoint.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace f90y;
+using namespace f90y::driver;
+
+namespace {
+
+cm2::CostModel machine() {
+  cm2::CostModel C;
+  C.NumPEs = 64;
+  return C;
+}
+
+// ---------------------------------------------------------------------------
+// LayoutDescriptor
+// ---------------------------------------------------------------------------
+
+TEST(LayoutDescriptor, StrParseRoundTrip) {
+  layout::LayoutDescriptor D;
+  D.AxisMap = {1, 0};
+  D.Offsets = {3, -2};
+  D.Replicated = true;
+  EXPECT_EQ(D.str(), "axes=1,0;off=3,-2;rep=1");
+
+  layout::LayoutDescriptor Back;
+  ASSERT_TRUE(layout::LayoutDescriptor::parse(D.str(), Back));
+  EXPECT_EQ(Back, D);
+
+  // The elided canonical form round-trips too.
+  layout::LayoutDescriptor Canon;
+  EXPECT_EQ(Canon.str(), "axes=;off=;rep=0");
+  ASSERT_TRUE(layout::LayoutDescriptor::parse(Canon.str(), Back));
+  EXPECT_TRUE(Back.isCanonical());
+
+  EXPECT_FALSE(layout::LayoutDescriptor::parse("", Back));
+  EXPECT_FALSE(layout::LayoutDescriptor::parse("off=1;axes=;rep=0", Back));
+  EXPECT_FALSE(layout::LayoutDescriptor::parse("axes=;off=x;rep=0", Back));
+  EXPECT_FALSE(layout::LayoutDescriptor::parse("axes=;off=1;rep=2", Back));
+}
+
+TEST(LayoutDescriptor, NormalizeAndEquality) {
+  layout::LayoutDescriptor D;
+  D.Offsets = {-1, 8};
+  D.normalize({8, 8});
+  EXPECT_EQ(D.offsetAt(0), 7);
+  EXPECT_EQ(D.offsetAt(1), 0);
+
+  // Explicit identity and elided forms denote the same placement.
+  layout::LayoutDescriptor Explicit;
+  Explicit.AxisMap = {0, 1};
+  Explicit.Offsets = {0, 0};
+  EXPECT_TRUE(Explicit.isCanonical());
+  EXPECT_EQ(Explicit, layout::LayoutDescriptor());
+  Explicit.normalize({8, 8});
+  EXPECT_TRUE(Explicit.AxisMap.empty());
+  EXPECT_TRUE(Explicit.Offsets.empty());
+
+  layout::LayoutDescriptor Shifted;
+  Shifted.Offsets = {1};
+  EXPECT_NE(Shifted, layout::LayoutDescriptor());
+  EXPECT_FALSE(Shifted.isCanonical());
+}
+
+// ---------------------------------------------------------------------------
+// Solver + materialization (driven through the driver pipeline)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Compilation> compileWithLayout(const std::string &Src,
+                                               bool Infer,
+                                               observe::MetricsRegistry *M) {
+  CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, machine());
+  Opts.Transforms.Layout = Infer;
+  auto C = std::make_unique<Compilation>(Opts);
+  if (M)
+    C->setObservability(nullptr, M);
+  EXPECT_TRUE(C->compile(Src)) << C->diags().str();
+  return C;
+}
+
+/// A neighbor-field consumer: 'an' lives one cell east of 'a', and only
+/// ever meets 'a' again through the shifted-back 'bw', so the solver can
+/// store 'an'/'b' pre-shifted and localize both exchanges.
+const char *neighborSource() {
+  return "program nb\n"
+         "integer, parameter :: n = 8\n"
+         "real a(n,n), an(n,n), b(n,n), bw(n,n)\n"
+         "integer i, j, t\n"
+         "forall (i=1:n, j=1:n) a(i,j) = real(i) + 0.5*real(j)\n"
+         "do t = 1, 3\n"
+         "  an = cshift(a, 1, 1)\n"
+         "  b = 0.5*an + 1.0\n"
+         "  bw = cshift(b, -1, 1)\n"
+         "  a = a + 0.001*bw\n"
+         "end do\n"
+         "print *, 'sum:', sum(a)\n"
+         "end program nb\n";
+}
+
+TEST(LayoutInfer, NeighborFieldsLocalized) {
+  observe::MetricsRegistry Metrics;
+  auto C = compileWithLayout(neighborSource(), true, &Metrics);
+  EXPECT_EQ(Metrics.value("layout.fields_realigned"), 2.0);
+  EXPECT_EQ(Metrics.value("layout.comm_moves_localized"), 2.0);
+  EXPECT_GT(Metrics.value("layout.comm_cycles_saved"), 0.0);
+
+  // The host program allocates the realigned fields pre-shifted and has
+  // no cm_shift left for them.
+  std::string L = host::printHostProgram(C->artifacts().Compiled.Program);
+  EXPECT_NE(L.find("alloc    an : 8x8 real (cm heap) layout{off=1,0}"),
+            std::string::npos)
+      << L;
+  EXPECT_NE(L.find("alloc    b : 8x8 real (cm heap) layout{off=1,0}"),
+            std::string::npos)
+      << L;
+  EXPECT_EQ(L.find("cm_shift"), std::string::npos) << L;
+}
+
+TEST(LayoutInfer, SolverIsDeterministic) {
+  auto A = compileWithLayout(misalignedSweSource(16, 2), true, nullptr);
+  auto B = compileWithLayout(misalignedSweSource(16, 2), true, nullptr);
+  EXPECT_EQ(host::printHostProgram(A->artifacts().Compiled.Program),
+            host::printHostProgram(B->artifacts().Compiled.Program));
+}
+
+TEST(LayoutInfer, PinnedWorkloadsStayCanonical) {
+  // The stock SWE and heat stencils mix home-frame and shifted reads in
+  // one statement, which pins everything to one placement: inference
+  // must leave the programs bit-identical to the canonical pipeline.
+  for (const std::string &Src :
+       {sweSource(16, 1), heatSource(16, 2), figure12Source(16)}) {
+    observe::MetricsRegistry Metrics;
+    auto Infer = compileWithLayout(Src, true, &Metrics);
+    auto Canon = compileWithLayout(Src, false, nullptr);
+    EXPECT_EQ(Metrics.value("layout.fields_realigned"), 0.0);
+    EXPECT_EQ(Metrics.value("layout.comm_moves_localized"), 0.0);
+    EXPECT_EQ(host::printHostProgram(Infer->artifacts().Compiled.Program),
+              host::printHostProgram(Canon->artifacts().Compiled.Program));
+  }
+}
+
+/// Reads \p Name element by element in logical order through the
+/// runtime's layout-aware path, so realigned and canonical runs produce
+/// comparable vectors.
+std::vector<double> logicalField(Execution &Exec, const std::string &Name) {
+  std::vector<double> Out;
+  int Handle = Exec.executor().fieldHandle(Name);
+  if (Handle < 0)
+    return Out;
+  const runtime::PeArray &Got = Exec.runtime().field(Handle);
+  std::vector<int64_t> Pos(Got.Geo->Extents.size(), 0);
+  bool Done = Got.Geo->totalElements() == 0;
+  while (!Done) {
+    Out.push_back(Exec.runtime().readElement(Handle, Pos));
+    size_t K = Pos.size();
+    Done = true;
+    while (K-- > 0) {
+      if (++Pos[K] < Got.Geo->Extents[K]) {
+        Done = false;
+        break;
+      }
+      Pos[K] = 0;
+    }
+  }
+  return Out;
+}
+
+TEST(LayoutInfer, ResidualShiftKeepsPhysicalDistance) {
+  // 'b' and 'c' are forced into one placement by the consuming 'e', but
+  // their shift distances from the (pinned) home field 'a' differ: the
+  // solver localizes one exchange, and the other stays with its smaller
+  // physical distance while the logical distance rides along as the
+  // trace annotation.
+  const char *Src = "program resid\n"
+                    "integer, parameter :: n = 8\n"
+                    "real a(n), b(n), c(n), e(n)\n"
+                    "integer i\n"
+                    "forall (i=1:n) a(i) = real(i)\n"
+                    "b = cshift(a, 1, 1)\n"
+                    "c = cshift(a, 2, 1)\n"
+                    "e = b + c\n"
+                    "print *, 'sum:', sum(a)\n"
+                    "end program resid\n";
+  auto C = compileWithLayout(Src, true, nullptr);
+  std::string L = host::printHostProgram(C->artifacts().Compiled.Program);
+  EXPECT_NE(L.find("realigned(logical="), std::string::npos) << L;
+
+  // The residual leg still computes exactly the canonical chain.
+  auto Canon = compileWithLayout(Src, false, nullptr);
+  Execution EI(machine()), EC(machine());
+  auto RI = EI.run(C->artifacts().Compiled.Program);
+  auto RC = EC.run(Canon->artifacts().Compiled.Program);
+  ASSERT_TRUE(RI && RC) << EI.diags().str() << EC.diags().str();
+  EXPECT_EQ(RI->Output, RC->Output);
+  for (const char *F : {"b", "c", "e"})
+    EXPECT_EQ(logicalField(EI, F), logicalField(EC, F)) << F << "\n" << L;
+}
+
+// ---------------------------------------------------------------------------
+// Infer-vs-canonical equivalence sweep
+// ---------------------------------------------------------------------------
+
+/// One seeded random neighbor-field program: a home field updated from a
+/// chain of shifted copies. Depending on the drawn shifts the solver
+/// localizes everything, leaves residual exchanges, or freezes the chain
+/// canonical - all must be bit-identical to the canonical pipeline.
+std::string randomProgram(std::mt19937 &Rng,
+                          std::vector<std::string> &Fields) {
+  std::uniform_int_distribution<int> ShiftDist(-2, 2);
+  std::uniform_int_distribution<int> AxisDist(1, 2);
+  std::uniform_int_distribution<int> LenDist(1, 3);
+  int Links = LenDist(Rng);
+  std::string Src = "program rnd\n"
+                    "integer, parameter :: n = 8\n"
+                    "real a(n,n)\n";
+  Fields = {"a"};
+  for (int I = 0; I < Links; ++I) {
+    Src += "real s" + std::to_string(I) + "(n,n)\n";
+    Fields.push_back("s" + std::to_string(I));
+  }
+  Src += "integer i, j, t\n"
+         "forall (i=1:n, j=1:n) a(i,j) = real(i*j)\n"
+         "do t = 1, 2\n";
+  std::string Prev = "a";
+  for (int I = 0; I < Links; ++I) {
+    int S = ShiftDist(Rng);
+    if (S == 0)
+      S = 1;
+    Src += "  s" + std::to_string(I) + " = cshift(" + Prev + ", " +
+           std::to_string(S) + ", " + std::to_string(AxisDist(Rng)) + ")\n";
+    Prev = "s" + std::to_string(I);
+  }
+  Src += "  a = 0.5*a + 0.25*" + Prev + "\n";
+  Src += "end do\n"
+         "print *, 'sum:', sum(a)\n"
+         "end program rnd\n";
+  return Src;
+}
+
+TEST(LayoutEquivalence, RandomizedInferVsCanonical) {
+  std::mt19937 Rng(0xf90u);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    std::vector<std::string> Fields;
+    std::string Src = randomProgram(Rng, Fields);
+    auto Infer = compileWithLayout(Src, true, nullptr);
+    auto Canon = compileWithLayout(Src, false, nullptr);
+    // Every other trial runs under recoverable injected faults: retries
+    // must not observe placement either.
+    ExecutionOptions EO;
+    if (Trial % 2) {
+      std::string Error;
+      ASSERT_TRUE(support::FaultSpec::parse("corrupt:0.01,pe-trap:0.005",
+                                            EO.Faults, Error))
+          << Error;
+      EO.FaultSeed = 11 + Trial;
+    }
+    Execution EI(machine(), EO), EC(machine(), EO);
+    auto RI = EI.run(Infer->artifacts().Compiled.Program);
+    auto RC = EC.run(Canon->artifacts().Compiled.Program);
+    ASSERT_TRUE(RI && RC)
+        << "trial " << Trial << "\n"
+        << Src << EI.diags().str() << EC.diags().str();
+    EXPECT_EQ(RI->Output, RC->Output) << "trial " << Trial << "\n" << Src;
+    for (const std::string &F : Fields)
+      EXPECT_EQ(logicalField(EI, F), logicalField(EC, F))
+          << "trial " << Trial << " field " << F << "\n"
+          << Src;
+  }
+}
+
+TEST(LayoutEquivalence, MisalignedSweFullMatrix) {
+  // The full compile-time x run-time matrix: layout crossed with fusion
+  // at compile time, threads x engine x comm at run time. Every leg must
+  // agree with the fused canonical baseline in output and logical-order
+  // field memory.
+  const std::string Src = misalignedSweSource(16, 3);
+  const std::vector<std::string> Fields = {"u", "v", "p", "pe", "fe", "q"};
+  std::map<std::string, std::unique_ptr<Compilation>> Legs;
+  for (bool Infer : {true, false})
+    for (bool Fuse : {true, false}) {
+      CompileOptions Opts =
+          CompileOptions::forProfile(Profile::F90Y, machine());
+      Opts.Transforms.Layout = Infer;
+      Opts.Transforms.Fusion = Fuse;
+      auto C = std::make_unique<Compilation>(Opts);
+      ASSERT_TRUE(C->compile(Src)) << C->diags().str();
+      Legs[std::string(Infer ? "infer" : "canonical") + "/" +
+           (Fuse ? "fuse" : "nofuse")] = std::move(C);
+    }
+  for (unsigned Threads : {1u, 4u}) {
+    for (peac::EngineKind Engine :
+         {peac::EngineKind::Interp, peac::EngineKind::Compiled}) {
+      for (bool Overlap : {false, true}) {
+        ExecutionOptions EO;
+        EO.Threads = Threads;
+        EO.Engine = Engine;
+        EO.OverlapComm = Overlap;
+        Execution Ref(machine(), EO);
+        auto RefRep = Ref.run(Legs["canonical/fuse"]->artifacts()
+                                  .Compiled.Program);
+        ASSERT_TRUE(RefRep) << Ref.diags().str();
+        for (auto &[Name, C] : Legs) {
+          SCOPED_TRACE(Name);
+          Execution E(machine(), EO);
+          auto R = E.run(C->artifacts().Compiled.Program);
+          ASSERT_TRUE(R) << E.diags().str();
+          EXPECT_EQ(R->Output, RefRep->Output);
+          for (const std::string &F : Fields)
+            EXPECT_EQ(logicalField(E, F), logicalField(Ref, F)) << F;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint layout signature
+// ---------------------------------------------------------------------------
+
+std::string tempPath(const std::string &Leaf) {
+  const ::testing::TestInfo *TI =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "f90y_" + TI->test_suite_name() + "_" +
+         TI->name() + "_" + Leaf;
+}
+
+/// Runs \p Program to completion once to learn its statement count, then
+/// re-runs with every-step checkpoints and the statement watchdog set to
+/// half (the in-process stand-in for a mid-run crash, as in
+/// checkpoint_test). Returns the checkpoint path; asserts the killed run
+/// committed at least one checkpoint.
+std::string killMidRun(const host::HostProgram &Program) {
+  observe::MetricsRegistry Metrics;
+  ExecutionOptions Base;
+  Base.Metrics = &Metrics;
+  Execution Full(machine(), Base);
+  EXPECT_TRUE(Full.run(Program).has_value()) << Full.diags().str();
+  uint64_t Total = static_cast<uint64_t>(Metrics.value("exec.statements"));
+  EXPECT_GT(Total, 4u);
+
+  std::string Path = tempPath("ck");
+  std::remove(Path.c_str());
+  ExecutionOptions Write;
+  Write.Checkpoint.Path = Path;
+  Write.MaxSteps = Total / 2;
+  Execution Killed(machine(), Write);
+  EXPECT_FALSE(Killed.run(Program).has_value());
+  EXPECT_GE(Killed.checkpoint()->writesCompleted(), 1u)
+      << Killed.diags().str();
+  return Path;
+}
+
+TEST(LayoutCheckpoint, DescriptorsSurviveRestore) {
+  // Kill a realigned run at a step boundary and resume: the restored run
+  // must be bit-identical to an uninterrupted one.
+  auto C = compileWithLayout(misalignedSweSource(8, 6), true, nullptr);
+  Execution Full(machine());
+  auto FullRep = Full.run(C->artifacts().Compiled.Program);
+  ASSERT_TRUE(FullRep) << Full.diags().str();
+
+  std::string Path = killMidRun(C->artifacts().Compiled.Program);
+
+  ExecutionOptions Resume;
+  Resume.Checkpoint.RestorePath = Path;
+  Execution Resumed(machine(), Resume);
+  auto ResumedRep = Resumed.run(C->artifacts().Compiled.Program);
+  ASSERT_TRUE(ResumedRep) << Resumed.diags().str();
+  EXPECT_FALSE(Resumed.restoreFailed());
+  EXPECT_EQ(ResumedRep->Output, FullRep->Output);
+  for (const char *F : {"p", "pe", "fe"})
+    EXPECT_EQ(logicalField(Resumed, F), logicalField(Full, F)) << F;
+  std::remove(Path.c_str());
+}
+
+TEST(LayoutCheckpoint, MismatchedLayoutRejected) {
+  // A checkpoint written under -layout=infer refuses to restore into a
+  // -layout=canonical run of the same program (and names the cause).
+  auto Infer = compileWithLayout(misalignedSweSource(8, 6), true, nullptr);
+  auto Canon = compileWithLayout(misalignedSweSource(8, 6), false, nullptr);
+  std::string Path = killMidRun(Infer->artifacts().Compiled.Program);
+
+  ExecutionOptions Resume;
+  Resume.Checkpoint.RestorePath = Path;
+  Execution Resumed(machine(), Resume);
+  EXPECT_FALSE(Resumed.run(Canon->artifacts().Compiled.Program));
+  EXPECT_TRUE(Resumed.restoreFailed()) << Resumed.diags().str();
+  EXPECT_NE(Resumed.diags().str().find("layout"), std::string::npos)
+      << Resumed.diags().str();
+  std::remove(Path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Verifier + NIR printer coverage
+// ---------------------------------------------------------------------------
+
+TEST(LayoutVerifier, RejectsMixedComputationalMove) {
+  nir::NIRContext Ctx;
+  DiagnosticEngine Diags;
+  layout::LayoutDescriptor Shifted;
+  Shifted.Offsets = {1};
+  const nir::Decl *Decls = Ctx.getDeclSet(
+      {Ctx.getDecl("a", Ctx.getDField(Ctx.getDomainRef("d"),
+                                      Ctx.getFloat64()),
+                   Shifted),
+       Ctx.getDecl("b", Ctx.getDField(Ctx.getDomainRef("d"),
+                                      Ctx.getFloat64()))});
+  // b = a + 1.0 across differing offsets is not a pure copy: slot-wise
+  // evaluation would read rotated data.
+  const nir::Imp *M = Ctx.getMove(
+      {{Ctx.getTrue(),
+        Ctx.getBinary(nir::BinaryOp::Add,
+                      Ctx.getAVar("a", Ctx.getEverywhere()),
+                      Ctx.getFloatConst(1.0)),
+        Ctx.getAVar("b", Ctx.getEverywhere())}});
+  const nir::Imp *Prog = Ctx.getWithDomain(
+      "d", Ctx.getInterval(1, 8), Ctx.getWithDecl(Decls, M));
+
+  nir::VerifyOptions Strict;
+  Strict.LayoutConsistency = true;
+  EXPECT_FALSE(nir::verify(Prog, Diags, Strict));
+  EXPECT_NE(Diags.str().find("mixes misaligned layouts"), std::string::npos)
+      << Diags.str();
+
+  // The same program without the layout option (the raw pipeline) and a
+  // pure whole-field copy across the same descriptors both verify.
+  DiagnosticEngine D2;
+  EXPECT_TRUE(nir::verify(Prog, D2)) << D2.str();
+  const nir::Imp *Copy = Ctx.getMove(
+      {{Ctx.getTrue(), Ctx.getAVar("a", Ctx.getEverywhere()),
+        Ctx.getAVar("b", Ctx.getEverywhere())}});
+  const nir::Imp *CopyProg = Ctx.getWithDomain(
+      "d", Ctx.getInterval(1, 8), Ctx.getWithDecl(Decls, Copy));
+  DiagnosticEngine D3;
+  EXPECT_TRUE(nir::verify(CopyProg, D3, Strict)) << D3.str();
+}
+
+TEST(LayoutPrinter, DeclCarriesDescriptor) {
+  nir::NIRContext Ctx;
+  layout::LayoutDescriptor Shifted;
+  Shifted.Offsets = {2, 0};
+  const nir::Decl *D = Ctx.getDecl(
+      "pe", Ctx.getDField(Ctx.getDomainRef("g"), Ctx.getFloat64()), Shifted);
+  std::string Printed = nir::printDecl(D);
+  EXPECT_NE(Printed.find("layout{axes=;off=2,0;rep=0}"), std::string::npos)
+      << Printed;
+  // Canonical decls keep the historical printed form.
+  const nir::Decl *Canon = Ctx.getDecl(
+      "p", Ctx.getDField(Ctx.getDomainRef("g"), Ctx.getFloat64()));
+  EXPECT_EQ(nir::printDecl(Canon).find("layout{"), std::string::npos);
+}
+
+} // namespace

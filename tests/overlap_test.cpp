@@ -36,6 +36,9 @@ struct TwoRuns {
 
 TwoRuns runBoth(const std::string &Src) {
   CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, machine());
+  // These programs isolate a single exchange on purpose; layout inference
+  // would align it away entirely, leaving no communication to overlap.
+  Opts.Transforms.Layout = false;
   Compilation C(Opts);
   EXPECT_TRUE(C.compile(Src)) << C.diags().str();
   TwoRuns R;

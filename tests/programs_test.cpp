@@ -72,8 +72,18 @@ TEST(SamplePrograms, SweConservesMeanPressure) {
   EXPECT_NEAR(Mean, 50000.0, 0.01);
 }
 
+TEST(SamplePrograms, MisalignedSweRelaxes) {
+  std::string Out = runProgram("mswe.f90");
+  ASSERT_EQ(Out.rfind("mean p: ", 0), 0u) << Out;
+  double Mean = std::stod(Out.substr(8));
+  // Four steps of +0.5 forcing minus the small flux relaxation.
+  EXPECT_GT(Mean, 50000.0);
+  EXPECT_LT(Mean, 50002.5);
+}
+
 TEST(SamplePrograms, AllMatchReferenceInterpreter) {
-  for (const char *Name : {"fig10.f90", "subroutines.f90", "swe.f90"}) {
+  for (const char *Name :
+       {"fig10.f90", "subroutines.f90", "swe.f90", "mswe.f90"}) {
     SCOPED_TRACE(Name);
     CompileOptions Opts = CompileOptions::forProfile(Profile::F90Y, small());
     Compilation C(Opts);

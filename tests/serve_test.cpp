@@ -113,6 +113,25 @@ TEST(Manifest, ParsesFuseKeyAndRejectsBadValues) {
       << Jobs[3].ParseError;
 }
 
+TEST(Manifest, ParsesLayoutKeyAndRejectsBadValues) {
+  const std::string Text =
+      "{\"id\":\"infer\",\"source\":\"x\",\"layout\":\"infer\"}\n"
+      "{\"id\":\"canon\",\"source\":\"x\",\"layout\":\"canonical\"}\n"
+      "{\"id\":\"default\",\"source\":\"x\"}\n"
+      "{\"id\":\"bad\",\"source\":\"x\",\"layout\":\"auto\"}\n";
+  auto Jobs = parseManifest(Text, "");
+  ASSERT_EQ(Jobs.size(), 4u);
+  EXPECT_TRUE(Jobs[0].Valid);
+  EXPECT_TRUE(Jobs[0].LayoutInfer);
+  EXPECT_TRUE(Jobs[1].Valid);
+  EXPECT_FALSE(Jobs[1].LayoutInfer);
+  EXPECT_TRUE(Jobs[2].Valid);
+  EXPECT_TRUE(Jobs[2].LayoutInfer) << "layout defaults to infer, like f90yc";
+  EXPECT_FALSE(Jobs[3].Valid);
+  EXPECT_NE(Jobs[3].ParseError.find("layout"), std::string::npos)
+      << Jobs[3].ParseError;
+}
+
 TEST(Manifest, UniquifiesDuplicateIdsInOrder) {
   const std::string Text = "{\"id\":\"x\",\"source\":\"1\"}\n"
                            "{\"id\":\"x\",\"source\":\"2\"}\n"
@@ -186,6 +205,23 @@ TEST(ArtifactCache, FuseOnAndOffNeverShareAnArtifact) {
   // Canonicalization still applies within each setting.
   EXPECT_EQ(ArtifactCache::fingerprint(Src + "\n\n", On), FpOn);
   EXPECT_EQ(ArtifactCache::fingerprint(Src + "\n\n", Off), FpOff);
+}
+
+TEST(ArtifactCache, LayoutInferAndCanonicalNeverShareAnArtifact) {
+  // layout= participates in the fingerprint: a realigned program's host
+  // code stores its fields differently, so an infer and a canonical job
+  // for the same source must never be served from one compilation.
+  const std::string Src = smallSource();
+  auto Infer = defaultOpts();
+  Infer.Transforms.Layout = true;
+  auto Canon = defaultOpts();
+  Canon.Transforms.Layout = false;
+  const uint64_t FpInfer = ArtifactCache::fingerprint(Src, Infer);
+  const uint64_t FpCanon = ArtifactCache::fingerprint(Src, Canon);
+  EXPECT_NE(FpInfer, FpCanon);
+  // Canonicalization still applies within each setting.
+  EXPECT_EQ(ArtifactCache::fingerprint(Src + "\n\n", Infer), FpInfer);
+  EXPECT_EQ(ArtifactCache::fingerprint(Src + "\n\n", Canon), FpCanon);
 }
 
 TEST(ArtifactCache, ConcurrentFirstRequestsCompileExactlyOnce) {

@@ -6,15 +6,22 @@
 ///
 /// \file
 /// f90y-trace: summarize a Chrome trace-event JSON file produced by
-/// `f90yc -trace=FILE`.
+/// `f90yc -trace=FILE`, and/or a metrics registry export produced by
+/// `f90yc -metrics=FILE`.
 ///
-///   f90y-trace [-top=N] trace.json
+///   f90y-trace [-top=N] [-metrics=metrics.json] [trace.json]
 ///
-/// Prints, per clock domain, the per-phase breakdown (event name, span
-/// count, total duration, share of the domain total) and the top-N
-/// longest individual spans. The cycle-domain total equals the run's
-/// cycle-ledger total (`f90yc -stats`): cycle spans tile the ledger, with
-/// untraced front-end time attributed to synthetic "host" spans.
+/// For a trace, prints per clock domain the per-phase breakdown (event
+/// name, span count, total duration, share of the domain total) and the
+/// top-N longest individual spans. The cycle-domain total equals the
+/// run's cycle-ledger total (`f90yc -stats`): cycle spans tile the
+/// ledger, with untraced front-end time attributed to synthetic "host"
+/// spans.
+///
+/// For a metrics export, prints every metric grouped by its dotted
+/// prefix, then a one-line digest of each optimization pass that
+/// reported gauges (layout.*, fuse.*) so CI logs surface what the
+/// transforms actually did to the program.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -93,14 +100,89 @@ void summarizeDomain(const char *Title, const char *Unit,
   std::printf("\n");
 }
 
+/// Summarizes a `f90yc -metrics=FILE` export: every metric grouped by
+/// its dotted prefix, then the optimization-pass digest. Returns the
+/// process exit code.
+int summarizeMetrics(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "f90y-trace: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  json::Value Root;
+  std::string Error;
+  if (!json::parse(Buf.str(), Root, Error)) {
+    std::fprintf(stderr,
+                 "f90y-trace: %s: malformed metrics JSON (%s)\n",
+                 Path.c_str(), Error.c_str());
+    return 2;
+  }
+  const json::Value *Metrics = Root.get("metrics");
+  if (!Metrics || !Metrics->isObject()) {
+    std::fprintf(stderr,
+                 "f90y-trace: %s: no metrics object (not a f90yc "
+                 "-metrics export?)\n",
+                 Path.c_str());
+    return 2;
+  }
+
+  std::printf("== metrics ==\n");
+  std::string Prefix;
+  std::map<std::string, double> Values;
+  for (const auto &[Name, M] : Metrics->Obj) {
+    if (!M.isObject())
+      continue;
+    std::string Group = Name.substr(0, Name.find('.'));
+    if (Group != Prefix) {
+      Prefix = Group;
+      std::printf("  [%s]\n", Group.c_str());
+    }
+    std::string Type = M.strOr("type", "?");
+    if (const json::Value *V = M.get("value")) {
+      Values[Name] = V->Num;
+      std::printf("    %-34s %-10s %16.1f\n", Name.c_str(), Type.c_str(),
+                  V->Num);
+    } else {
+      // Histograms carry count/sum instead of one value.
+      std::printf("    %-34s %-10s count=%.0f sum=%.1f\n", Name.c_str(),
+                  Type.c_str(), M.numOr("count", 0), M.numOr("sum", 0));
+    }
+  }
+
+  // Pass digests: what the optimizing transforms did, one line each,
+  // only for passes that actually reported.
+  if (Values.count("layout.fields_realigned"))
+    std::printf("\n  layout: %.0f fields realigned, %.0f exchanges "
+                "localized, ~%.0f comm cycles saved/run\n",
+                Values["layout.fields_realigned"],
+                Values["layout.comm_moves_localized"],
+                Values["layout.comm_cycles_saved"]);
+  if (Values.count("fuse.temps_eliminated"))
+    std::printf("  fuse: %.0f temporaries eliminated, %.0f moves fused, "
+                "%.0f bytes saved/step\n",
+                Values["fuse.temps_eliminated"], Values["fuse.moves_fused"],
+                Values["fuse.bytes_saved"]);
+  std::printf("\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Path;
+  std::string Path, MetricsPath;
   unsigned TopN = 5;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("-top=", 0) == 0) {
+    if (Arg.rfind("-metrics=", 0) == 0) {
+      MetricsPath = Arg.substr(9);
+      if (MetricsPath.empty()) {
+        std::fprintf(stderr, "f90y-trace: -metrics needs a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("-top=", 0) == 0) {
       char *End = nullptr;
       unsigned long V = std::strtoul(Arg.c_str() + 5, &End, 10);
       if (End == Arg.c_str() + 5 || *End != '\0' || V == 0) {
@@ -109,7 +191,8 @@ int main(int argc, char **argv) {
       }
       TopN = static_cast<unsigned>(V);
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "usage: f90y-trace [-top=N] trace.json\n");
+      std::fprintf(stderr, "usage: f90y-trace [-top=N] "
+                           "[-metrics=metrics.json] [trace.json]\n");
       return 2;
     } else if (Path.empty()) {
       Path = Arg;
@@ -118,9 +201,15 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  if (Path.empty()) {
-    std::fprintf(stderr, "usage: f90y-trace [-top=N] trace.json\n");
+  if (Path.empty() && MetricsPath.empty()) {
+    std::fprintf(stderr, "usage: f90y-trace [-top=N] "
+                         "[-metrics=metrics.json] [trace.json]\n");
     return 2;
+  }
+  if (!MetricsPath.empty()) {
+    int RC = summarizeMetrics(MetricsPath);
+    if (RC != 0 || Path.empty())
+      return RC;
   }
 
   std::ifstream In(Path);

@@ -31,6 +31,13 @@
 ///                    consumer and their allocation deleted, so producer
 ///                    chains compile into one PEAC sweep | off: keep every
 ///                    temporary. Program output is bit-identical either way
+///   -layout=MODE     infer (default for -profile=f90y): alignment/layout
+///                    inference — fields connected by constant CSHIFTs are
+///                    realigned by per-axis storage offsets so exchanges
+///                    become local copies (or shrink to the residual
+///                    distance) | canonical: every field in its canonical
+///                    placement (cmf/naive profiles always compile
+///                    canonical). Program output is bit-identical either way
 ///   -faults=SPEC     inject faults: kind:prob[,kind:prob...]; kinds are
 ///                    router-drop, grid-timeout, corrupt, pe-trap, fpu,
 ///                    oom, or all (e.g. -faults=all:0.01)
@@ -91,6 +98,7 @@ void usage() {
       "  -emit-nir | -emit-blocked | -emit-peac | -emit-host\n"
       "  -profile=f90y|cmf|naive   -pes=N   -threads=N   -cm5   -stats\n"
       "  -exec=compiled|interp   -comm=overlap|sync   -fuse=on|off\n"
+      "  -layout=infer|canonical\n"
       "  -faults=kind:prob[,...]   -fault-seed=N   -max-steps=N\n"
       "  -stats-json=FILE   -trace=FILE   -metrics=FILE\n"
       "  -checkpoint=FILE   -checkpoint-every=N   -restore=FILE\n"
@@ -148,6 +156,8 @@ int main(int argc, char **argv) {
   bool OverlapComm = true;
   bool Fuse = true;
   bool FuseExplicit = false; // -fuse= overrides the profile's default
+  bool LayoutInfer = true;
+  bool LayoutExplicit = false; // -layout= overrides the profile's default
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -206,6 +216,19 @@ int main(int argc, char **argv) {
       else {
         std::fprintf(stderr, "f90yc: unknown mode '%s' for -fuse="
                              "on|off\n",
+                     M.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("-layout=", 0) == 0) {
+      std::string M = Arg.substr(8);
+      LayoutExplicit = true;
+      if (M == "infer")
+        LayoutInfer = true;
+      else if (M == "canonical")
+        LayoutInfer = false;
+      else {
+        std::fprintf(stderr, "f90yc: unknown mode '%s' for -layout="
+                             "infer|canonical\n",
                      M.c_str());
         return 2;
       }
@@ -337,6 +360,8 @@ int main(int argc, char **argv) {
   COpts.Transforms.CommSchedule = OverlapComm;
   if (FuseExplicit)
     COpts.Transforms.Fusion = Fuse;
+  if (LayoutExplicit)
+    COpts.Transforms.Layout = LayoutInfer;
   ExecOpts.OverlapComm = OverlapComm;
   Compilation C(std::move(COpts));
   C.setObservability(TraceP, MetricsP);
